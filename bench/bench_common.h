@@ -1,0 +1,55 @@
+#ifndef LQOLAB_BENCH_BENCH_COMMON_H_
+#define LQOLAB_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the per-figure/table bench binaries. Every binary
+// regenerates one experiment of the paper; the database scale can be
+// reduced for quick runs via the LQOLAB_SCALE environment variable
+// (default 1.0 = the standard ~0.7M-row database; training-heavy benches
+// pick their own default).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "query/job_workload.h"
+#include "util/table_printer.h"
+
+namespace lqolab::bench {
+
+/// Standard experiment seed (shared by all binaries, like the paper's fixed
+/// setup).
+inline constexpr uint64_t kSeed = 42;
+
+inline double EnvScale(double default_scale) {
+  const char* env = std::getenv("LQOLAB_SCALE");
+  if (env == nullptr) return default_scale;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : default_scale;
+}
+
+/// Creates the standard benchmark database.
+inline std::unique_ptr<engine::Database> MakeDatabase(
+    double default_scale = 1.0,
+    engine::DbConfig config = engine::DbConfig::OurFramework()) {
+  engine::Database::Options options;
+  options.profile =
+      datagen::ScaleProfile::Medium().Scaled(EnvScale(default_scale));
+  options.seed = kSeed;
+  options.config = config;
+  return engine::Database::CreateImdb(options);
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* summary) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (%s)\n", experiment, paper_ref);
+  std::printf("%s\n", summary);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace lqolab::bench
+
+#endif  // LQOLAB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+// Extension experiment (paper §6.1): generalization to ENTIRELY UNSEEN
+// query templates. The paper's hardest split (base-query sampling) still
+// draws train and test from the same 33 JOB templates; Neo's Ext-JOB went
+// further with brand-new queries. Here every learned method trains on the
+// full 113-query JOB-lite workload and is then evaluated on Ext-JOB-lite:
+// 20 queries over 10 join shapes that never occur in training (person-
+// centric queries without `title`, two-hop movie-link chains, ...).
+
+#include <memory>
+
+#include "bench_common.h"
+#include "benchkit/measurement.h"
+#include "lqo/balsa.h"
+#include "lqo/bao.h"
+#include "lqo/hybridqo.h"
+#include "lqo/lero.h"
+#include "lqo/loger.h"
+#include "lqo/neo.h"
+#include "lqo/rtos.h"
+
+int main() {
+  using namespace lqolab;
+  bench::PrintHeader(
+      "Ext-JOB generalization", "extension of paper §6.1 / §7.2",
+      "Train on all 113 JOB queries, evaluate on 20 queries over 10 novel "
+      "templates (one level harder than base-query sampling).");
+
+  auto db = bench::MakeDatabase(0.25);
+  const auto train = query::BuildJobLiteWorkload(db->schema());
+  const auto test = query::BuildExtJobWorkload(db->schema());
+  std::printf("train: %zu JOB queries; test: %zu Ext-JOB queries\n\n",
+              train.size(), test.size());
+
+  benchkit::Protocol protocol;
+  protocol.runs = 5;
+
+  util::TablePrinter table({"method", "inference+planning", "execution",
+                            "end-to-end", "timeouts", "vs pglite"});
+  const auto native = benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+  const double pg_e2e = static_cast<double>(native.total_end_to_end_ns());
+  table.AddRow({"pglite",
+                util::FormatDuration(native.total_inference_ns() +
+                                     native.total_planning_ns()),
+                util::FormatDuration(native.total_execution_ns()),
+                util::FormatDuration(native.total_end_to_end_ns()),
+                std::to_string(native.timeout_count()), "1.0x"});
+
+  std::vector<std::unique_ptr<lqo::LearnedOptimizer>> methods;
+  {
+    lqo::BaoOptimizer::Options bao;
+    bao.epochs = 3;
+    bao.train_epochs = 12;
+    methods.push_back(std::make_unique<lqo::BaoOptimizer>(bao));
+    lqo::LeroOptimizer::Options lero;
+    lero.epochs = 2;
+    lero.pair_epochs = 8;
+    methods.push_back(std::make_unique<lqo::LeroOptimizer>(lero));
+    lqo::NeoOptimizer::Options neo;
+    neo.iterations = 2;
+    neo.train_epochs = 12;
+    methods.push_back(std::make_unique<lqo::NeoOptimizer>(neo));
+    lqo::RtosOptimizer::Options rtos;
+    rtos.iterations = 2;
+    rtos.train_epochs = 10;
+    methods.push_back(std::make_unique<lqo::RtosOptimizer>(rtos));
+    lqo::LogerOptimizer::Options loger;
+    loger.iterations = 2;
+    loger.train_epochs = 8;
+    methods.push_back(std::make_unique<lqo::LogerOptimizer>(loger));
+    lqo::HybridQoOptimizer::Options hybrid;
+    hybrid.epochs = 2;
+    hybrid.train_epochs = 8;
+    hybrid.mcts_iterations = 40;
+    methods.push_back(std::make_unique<lqo::HybridQoOptimizer>(hybrid));
+    lqo::BalsaOptimizer::Options balsa;
+    balsa.pretrain_samples_per_query = 6;
+    balsa.pretrain_epochs = 2;
+    balsa.iterations = 2;
+    balsa.train_epochs = 8;
+    methods.push_back(std::make_unique<lqo::BalsaOptimizer>(balsa));
+  }
+  for (auto& method : methods) {
+    method->Train(train, db.get());
+    const auto result =
+        benchkit::MeasureWorkloadLqo(db.get(), method.get(), test, protocol);
+    table.AddRow(
+        {method->name(),
+         util::FormatDuration(result.total_inference_ns() +
+                              result.total_planning_ns()),
+         util::FormatDuration(result.total_execution_ns()),
+         util::FormatDuration(result.total_end_to_end_ns()),
+         std::to_string(result.timeout_count()),
+         util::FormatFactor(
+             static_cast<double>(result.total_end_to_end_ns()) / pg_e2e)});
+    std::printf("%s done\n", method->name().c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nexpected shape (extrapolating the paper's split-difficulty trend): "
+      "the gap to pglite widens further on never-seen templates — the value "
+      "networks cannot transfer join structure they never observed, while "
+      "the classical optimizer is structure-agnostic by design.\n");
+  return 0;
+}

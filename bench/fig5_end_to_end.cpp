@@ -1,0 +1,141 @@
+// Figure 5 (the headline experiment): end-to-end comparison of PostgreSQL
+// (pglite) vs Neo, Bao, Balsa, LEON on the TEST sets of 9 train/test splits
+// (3 samplers x 3 splits, shared across methods). Reports the paper's
+// decomposition: inference+planning time and execution time, with 95% CIs
+// and timeout counts. The paper finds pglite generally best, Bao
+// competitive, Neo/Balsa behind, and LEON dominated by inference time.
+//
+// Environment knobs: LQOLAB_SCALE (default 0.25), LQOLAB_SPLITS (default 9).
+
+#include <memory>
+
+#include "bench_common.h"
+#include "benchkit/measurement.h"
+#include "benchkit/splits.h"
+#include "lqo/balsa.h"
+#include "lqo/bao.h"
+#include "lqo/leon.h"
+#include "lqo/neo.h"
+
+namespace {
+
+using namespace lqolab;
+
+std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
+                                                  uint64_t seed) {
+  if (name == "neo") {
+    lqo::NeoOptimizer::Options options;
+    options.iterations = 2;
+    options.train_epochs = 12;
+    options.seed = seed;
+    return std::make_unique<lqo::NeoOptimizer>(options);
+  }
+  if (name == "bao") {
+    lqo::BaoOptimizer::Options options;
+    options.epochs = 3;
+    options.train_epochs = 12;
+    options.seed = seed;
+    return std::make_unique<lqo::BaoOptimizer>(options);
+  }
+  if (name == "balsa") {
+    lqo::BalsaOptimizer::Options options;
+    options.pretrain_samples_per_query = 8;
+    options.pretrain_epochs = 2;
+    options.iterations = 3;
+    options.train_epochs = 8;
+    options.seed = seed;
+    return std::make_unique<lqo::BalsaOptimizer>(options);
+  }
+  if (name == "leon") {
+    lqo::LeonOptimizer::Options options;
+    options.beam_masks = 10;
+    options.topk_per_mask = 2;
+    options.exec_per_query = 2;
+    options.pair_epochs = 4;
+    options.seed = seed;
+    return std::make_unique<lqo::LeonOptimizer>(options);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5", "paper §8.2.1",
+      "End-to-end performance of pglite vs Neo/Bao/Balsa/LEON on the test "
+      "sets of 9 shared train/test splits.");
+
+  auto db = bench::MakeDatabase(0.25);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  auto splits = benchkit::PaperSplits(workload);
+  const char* env_splits = std::getenv("LQOLAB_SPLITS");
+  if (env_splits != nullptr) {
+    const size_t limit = static_cast<size_t>(std::atoi(env_splits));
+    if (limit > 0 && limit < splits.size()) splits.resize(limit);
+  }
+
+  benchkit::Protocol protocol;
+  protocol.runs = 5;  // extra runs give the CI
+  protocol.take = 2;
+
+  util::TablePrinter table({"split", "method", "inference", "planning",
+                            "execution", "+/-95%", "end-to-end", "timeouts"});
+  const std::vector<std::string> methods = {"pglite", "bao", "neo", "balsa",
+                                            "leon"};
+  // Per-method sums over splits for the summary.
+  std::map<std::string, util::VirtualNanos> total_e2e;
+  std::map<std::string, util::VirtualNanos> total_exec;
+  std::map<std::string, int> total_timeouts;
+
+  for (const auto& split : splits) {
+    const auto train = benchkit::SelectQueries(workload, split.train_indices);
+    const auto test = benchkit::SelectQueries(workload, split.test_indices);
+    for (const auto& method : methods) {
+      benchkit::WorkloadMeasurement result;
+      if (method == "pglite") {
+        result = benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+      } else {
+        auto lqo = MakeMethod(method, bench::kSeed);
+        lqo->Train(train, db.get());
+        result = benchkit::MeasureWorkloadLqo(db.get(), lqo.get(), test,
+                                              protocol);
+      }
+      table.AddRow(
+          {split.name, method,
+           util::FormatDuration(result.total_inference_ns()),
+           util::FormatDuration(result.total_planning_ns()),
+           util::FormatDuration(result.total_execution_ns()),
+           util::FormatDuration(
+               static_cast<util::VirtualNanos>(result.execution_ci95_ns())),
+           util::FormatDuration(result.total_end_to_end_ns()),
+           std::to_string(result.timeout_count())});
+      total_e2e[method] += result.total_end_to_end_ns();
+      total_exec[method] += result.total_execution_ns();
+      total_timeouts[method] += result.timeout_count();
+      std::printf(".");
+      std::fflush(stdout);
+    }
+    std::printf(" %s done\n", split.name.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+
+  std::printf("\nSummary over all splits (end-to-end / execution-only):\n");
+  util::TablePrinter summary({"method", "end-to-end", "execution", "timeouts",
+                              "vs pglite e2e"});
+  const double pg_e2e = static_cast<double>(total_e2e["pglite"]);
+  for (const auto& method : methods) {
+    summary.AddRow({method, util::FormatDuration(total_e2e[method]),
+                    util::FormatDuration(total_exec[method]),
+                    std::to_string(total_timeouts[method]),
+                    util::FormatFactor(static_cast<double>(total_e2e[method]) /
+                                       pg_e2e)});
+  }
+  summary.Print();
+  std::printf(
+      "\npaper shape: pglite best end-to-end on most splits; Bao competitive "
+      "(sometimes better on execution alone, never after planning); "
+      "Neo/Balsa behind; LEON's inference time dominates everything.\n");
+  return 0;
+}

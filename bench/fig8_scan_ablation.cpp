@@ -1,0 +1,106 @@
+// Figure 8 / §8.4: ablation of bitmap and tid scans. Balsa and LEON disable
+// both without stated reasons; the paper shows the toolkit matters: some
+// queries speed up when the scans are disabled (28a: 5.5x) while others
+// slow down (30c: 2.4x), sometimes within the same family.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.h"
+#include "benchkit/measurement.h"
+#include "util/statistics.h"
+
+int main() {
+  using namespace lqolab;
+  bench::PrintHeader(
+      "Figure 8", "paper §8.4",
+      "pglite execution times with bitmap+tid scans enabled vs disabled; "
+      "queries whose delta exceeds the report threshold.");
+
+  auto db = bench::MakeDatabase();
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+
+  benchkit::Protocol protocol;
+  protocol.runs = 6;
+  protocol.take = 2;
+
+  auto measure_all = [&](const engine::DbConfig& config) {
+    db->SetConfig(config);
+    db->DropCaches();
+    std::vector<benchkit::QueryMeasurement> measurements;
+    for (const auto& q : workload) {
+      measurements.push_back(benchkit::MeasureNative(db.get(), q, protocol));
+    }
+    return measurements;
+  };
+
+  const auto enabled = measure_all(engine::DbConfig::OurFramework());
+  engine::DbConfig no_scans = engine::DbConfig::OurFramework();
+  no_scans.enable_bitmapscan = false;
+  no_scans.enable_tidscan = false;
+  const auto disabled = measure_all(no_scans);
+
+  // Report queries whose delta exceeds a threshold (the paper uses 250 ms
+  // on its hardware; we scale by the ratio of total workload runtimes).
+  util::VirtualNanos total = 0;
+  for (const auto& m : enabled) total += m.execution_ns;
+  const util::VirtualNanos threshold = std::max<util::VirtualNanos>(
+      total / 500, 2 * util::kNanosPerMilli);
+
+  struct Delta {
+    double factor;  // >1: disabling is slower
+    size_t index;
+  };
+  std::vector<Delta> deltas;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const auto diff = std::llabs(enabled[i].execution_ns -
+                                 disabled[i].execution_ns);
+    if (diff < threshold) continue;
+    deltas.push_back({static_cast<double>(disabled[i].execution_ns) /
+                          static_cast<double>(std::max<util::VirtualNanos>(
+                              1, enabled[i].execution_ns)),
+                      i});
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Delta& a, const Delta& b) { return a.factor < b.factor; });
+
+  util::TablePrinter table({"query", "scans enabled", "scans disabled",
+                            "disable effect", "significant"});
+  int significant_speedups = 0;
+  int significant_slowdowns = 0;
+  for (const auto& delta : deltas) {
+    const auto& on = enabled[delta.index];
+    const auto& off = disabled[delta.index];
+    std::vector<double> runs_on;
+    std::vector<double> runs_off;
+    for (size_t r = 2; r < on.run_execution_ns.size(); ++r) {
+      runs_on.push_back(static_cast<double>(on.run_execution_ns[r]));
+      runs_off.push_back(static_cast<double>(off.run_execution_ns[r]));
+    }
+    const auto sig = util::WelchTTest(runs_on, runs_off);
+    const bool faster = delta.factor < 1.0;
+    if (sig.significant && faster) ++significant_speedups;
+    if (sig.significant && !faster) ++significant_slowdowns;
+    table.AddRow(
+        {on.query_id, util::FormatDuration(on.execution_ns),
+         util::FormatDuration(off.execution_ns),
+         faster ? util::FormatFactor(1.0 / delta.factor) + " faster"
+                : util::FormatFactor(delta.factor) + " slower",
+         sig.significant ? "yes" : "no"});
+  }
+  table.Print();
+
+  std::printf("\n%zu queries above the %s reporting threshold; "
+              "%d significant speedups and %d significant slowdowns from "
+              "disabling.\n",
+              deltas.size(), util::FormatDuration(threshold).c_str(),
+              significant_speedups, significant_slowdowns);
+  std::printf("\npaper shape: disabling helps some queries (28a 5.5x) and "
+              "hurts others (30c 2.4x), sometimes within one family => "
+              "restricting the toolkit is a data-dependent gamble "
+              "(Lemma 3.1). %s\n",
+              (significant_speedups > 0 && significant_slowdowns > 0)
+                  ? "[REPRODUCED]"
+                  : "[check thresholds]");
+  return 0;
+}

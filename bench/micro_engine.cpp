@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the engine components: planning
+// (DP and GEQO), virtual-time execution, ANALYZE, the true-cardinality
+// oracle, and value-network forward/backward passes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "lqo/encoding.h"
+#include "lqo/value_net.h"
+#include "ml/nn.h"
+#include "stats/column_stats.h"
+
+namespace {
+
+using namespace lqolab;
+
+engine::Database* SharedDb() {
+  static engine::Database* db = [] {
+    engine::Database::Options options;
+    options.profile = datagen::ScaleProfile::Medium().Scaled(0.1);
+    options.seed = bench::kSeed;
+    return engine::Database::CreateImdb(options).release();
+  }();
+  return db;
+}
+
+const std::vector<query::Query>& SharedWorkload() {
+  static const std::vector<query::Query> workload =
+      query::BuildJobLiteWorkload(SharedDb()->schema());
+  return workload;
+}
+
+void BM_PlannerDpSmall(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query q = query::BuildJobQuery(db->schema(), 3, 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->planner().PlanDynamicProgramming(q, true));
+  }
+}
+BENCHMARK(BM_PlannerDpSmall);
+
+void BM_PlannerDpMedium(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query q = query::BuildJobQuery(db->schema(), 22, 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->planner().PlanDynamicProgramming(q, true));
+  }
+}
+BENCHMARK(BM_PlannerDpMedium);
+
+void BM_PlannerGeqo17Relations(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query q = query::BuildJobQuery(db->schema(), 29, 'a');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db->planner().PlanGenetic(q, optimizer::GeqoParams{}));
+  }
+}
+BENCHMARK(BM_PlannerGeqo17Relations);
+
+void BM_ExecuteWarmQuery(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query& q = SharedWorkload()[0];
+  const auto planned = db->PlanQuery(q);
+  db->ExecutePlan(q, planned.plan);  // warm caches & oracle memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->ExecutePlan(q, planned.plan));
+  }
+}
+BENCHMARK(BM_ExecuteWarmQuery);
+
+void BM_AnalyzeCastInfo(benchmark::State& state) {
+  auto* db = SharedDb();
+  const auto& table = db->context().table(catalog::imdb::kCastInfo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::Analyze(table));
+  }
+}
+BENCHMARK(BM_AnalyzeCastInfo);
+
+void BM_EstimateJoinRows(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query& q = SharedWorkload()[70];
+  const auto& estimator = db->planner().estimator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EstimateJoinRows(q, q.FullMask()));
+  }
+}
+BENCHMARK(BM_EstimateJoinRows);
+
+void BM_OracleColdPairJoin(benchmark::State& state) {
+  auto* db = SharedDb();
+  // A fresh query fingerprint each iteration forces an unmemoized join.
+  const query::Query base = query::BuildJobQuery(db->schema(), 3, 'a');
+  int64_t counter = 0;
+  for (auto _ : state) {
+    query::Query q = base;
+    q.id = "micro_" + std::to_string(counter++);
+    const query::AliasMask mask = query::MaskOf(0) | query::MaskOf(1);
+    benchmark::DoNotOptimize(db->oracle().TrueJoinRows(q, mask));
+  }
+}
+BENCHMARK(BM_OracleColdPairJoin);
+
+void BM_ValueNetForward(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query& q = SharedWorkload()[20];
+  const auto planned = db->PlanQuery(q);
+  lqo::QueryEncoder qenc(&db->context(), &db->planner().estimator());
+  lqo::PlanEncoder penc(&db->context(), &db->planner().estimator(),
+                        lqo::PlanEncodingStyle::kWithTableIdentity);
+  lqo::TreeValueNet net(penc.node_dim(), qenc.dim(), 64, 1);
+  const auto features = qenc.Encode(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Score(features, q, planned.plan, penc));
+  }
+}
+BENCHMARK(BM_ValueNetForward);
+
+void BM_ValueNetTrainStep(benchmark::State& state) {
+  auto* db = SharedDb();
+  const query::Query& q = SharedWorkload()[20];
+  const auto planned = db->PlanQuery(q);
+  lqo::QueryEncoder qenc(&db->context(), &db->planner().estimator());
+  lqo::PlanEncoder penc(&db->context(), &db->planner().estimator(),
+                        lqo::PlanEncodingStyle::kWithTableIdentity);
+  lqo::TreeValueNet net(penc.node_dim(), qenc.dim(), 64, 1);
+  ml::Adam adam(net.Params());
+  const auto features = qenc.Encode(q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.TrainRegression(features, q, planned.plan, penc, 0.5f, &adam));
+  }
+}
+BENCHMARK(BM_ValueNetTrainStep);
+
+void BM_GenerateSmallImdb(benchmark::State& state) {
+  const catalog::Schema schema = catalog::BuildImdbSchema();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        datagen::GenerateImdb(schema, datagen::ScaleProfile::Small(), 1));
+  }
+}
+BENCHMARK(BM_GenerateSmallImdb);
+
+}  // namespace
+
+BENCHMARK_MAIN();

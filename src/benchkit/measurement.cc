@@ -1,0 +1,145 @@
+#include "benchkit/measurement.h"
+
+#include <algorithm>
+
+#include "exec/cost_constants.h"
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace lqolab::benchkit {
+
+using engine::Database;
+using engine::QueryRun;
+using query::Query;
+using util::VirtualNanos;
+
+namespace {
+
+QueryMeasurement MeasureRuns(Database* db, const Query& q,
+                             const optimizer::PhysicalPlan& plan,
+                             VirtualNanos planning_ns, const Protocol& protocol,
+                             QueryMeasurement measurement) {
+  LQOLAB_CHECK_GT(protocol.runs, 0);
+  LQOLAB_CHECK_LT(protocol.take, protocol.runs);
+  measurement.query_id = q.id;
+  measurement.joins = q.join_count();
+  measurement.planning_ns = planning_ns;
+  for (int32_t r = 0; r < protocol.runs; ++r) {
+    const QueryRun run = db->ExecutePlan(q, plan, planning_ns);
+    measurement.run_execution_ns.push_back(run.execution_ns);
+    if (r == protocol.take) {
+      measurement.execution_ns = run.execution_ns;
+      measurement.timed_out = run.timed_out;
+      measurement.result_rows = run.result_rows;
+    }
+  }
+  return measurement;
+}
+
+}  // namespace
+
+QueryMeasurement MeasureNative(Database* db, const Query& q,
+                               const Protocol& protocol) {
+  const Database::Planned planned = db->PlanQuery(q);
+  QueryMeasurement measurement;
+  return MeasureRuns(db, q, planned.plan, planned.planning_ns, protocol,
+                     std::move(measurement));
+}
+
+QueryMeasurement MeasureLqo(Database* db, lqo::LearnedOptimizer* lqo,
+                            const Query& q, const Protocol& protocol) {
+  const lqo::Prediction prediction = lqo->Plan(q, db);
+  QueryMeasurement measurement;
+  measurement.inference_ns = prediction.inference_ns;
+  // Forced plans skip join-order search in the engine; the hint-based
+  // methods (Bao) report their per-hint-set plannings here instead.
+  const VirtualNanos planning =
+      prediction.planning_ns > 0
+          ? prediction.planning_ns
+          : static_cast<VirtualNanos>(q.relation_count()) *
+                exec::cost::kPlanPerRelationNs;
+  return MeasureRuns(db, q, prediction.plan, planning, protocol,
+                     std::move(measurement));
+}
+
+WorkloadMeasurement MeasureWorkloadNative(Database* db,
+                                          const std::vector<Query>& qs,
+                                          const Protocol& protocol) {
+  WorkloadMeasurement workload;
+  workload.method = "pglite";
+  for (const Query& q : qs) {
+    workload.queries.push_back(MeasureNative(db, q, protocol));
+  }
+  return workload;
+}
+
+WorkloadMeasurement MeasureWorkloadLqo(Database* db,
+                                       lqo::LearnedOptimizer* lqo,
+                                       const std::vector<Query>& qs,
+                                       const Protocol& protocol) {
+  WorkloadMeasurement workload;
+  workload.method = lqo->name();
+  for (const Query& q : qs) {
+    workload.queries.push_back(MeasureLqo(db, lqo, q, protocol));
+  }
+  return workload;
+}
+
+VirtualNanos WorkloadMeasurement::total_inference_ns() const {
+  VirtualNanos total = 0;
+  for (const auto& q : queries) total += q.inference_ns;
+  return total;
+}
+
+VirtualNanos WorkloadMeasurement::total_planning_ns() const {
+  VirtualNanos total = 0;
+  for (const auto& q : queries) total += q.planning_ns;
+  return total;
+}
+
+VirtualNanos WorkloadMeasurement::total_execution_ns() const {
+  VirtualNanos total = 0;
+  for (const auto& q : queries) total += q.execution_ns;
+  return total;
+}
+
+VirtualNanos WorkloadMeasurement::total_end_to_end_ns() const {
+  return total_inference_ns() + total_planning_ns() + total_execution_ns();
+}
+
+int32_t WorkloadMeasurement::timeout_count() const {
+  int32_t count = 0;
+  for (const auto& q : queries) count += q.timed_out ? 1 : 0;
+  return count;
+}
+
+double WorkloadMeasurement::execution_ci95_ns() const {
+  if (queries.empty()) return 0.0;
+  // Totals per run index, over post-warm-up runs (>= take index).
+  const size_t runs = queries.front().run_execution_ns.size();
+  std::vector<double> totals;
+  for (size_t r = 2; r < runs; ++r) {
+    double total = 0.0;
+    for (const auto& q : queries) {
+      if (r < q.run_execution_ns.size()) {
+        total += static_cast<double>(q.run_execution_ns[r]);
+      }
+    }
+    totals.push_back(total);
+  }
+  if (totals.size() < 2) {
+    // Fall back to per-query variance across the last two runs.
+    std::vector<double> diffs;
+    for (const auto& q : queries) {
+      if (q.run_execution_ns.size() >= 2) {
+        diffs.push_back(static_cast<double>(
+            q.run_execution_ns.back() -
+            q.run_execution_ns[q.run_execution_ns.size() - 2]));
+      }
+    }
+    return util::StdDev(diffs) * 1.96;
+  }
+  return util::ConfidenceInterval95(totals);
+}
+
+}  // namespace lqolab::benchkit

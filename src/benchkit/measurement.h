@@ -1,0 +1,78 @@
+#ifndef LQOLAB_BENCHKIT_MEASUREMENT_H_
+#define LQOLAB_BENCHKIT_MEASUREMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "lqo/interface.h"
+#include "query/query.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::benchkit {
+
+/// The paper's measurement protocol (§7.3): execute each query `runs` times
+/// in succession on a hot cache and report the `take`-th execution (0-based;
+/// default: 3 runs, take the 3rd).
+struct Protocol {
+  int32_t runs = 3;
+  int32_t take = 2;
+};
+
+/// Timing decomposition of one measured query (§8.2.1).
+struct QueryMeasurement {
+  std::string query_id;
+  int32_t joins = 0;
+  util::VirtualNanos inference_ns = 0;
+  util::VirtualNanos planning_ns = 0;
+  util::VirtualNanos execution_ns = 0;  ///< the `take`-th run
+  bool timed_out = false;
+  int64_t result_rows = 0;
+  /// Execution time of every run, in order.
+  std::vector<util::VirtualNanos> run_execution_ns;
+
+  util::VirtualNanos end_to_end_ns() const {
+    return inference_ns + planning_ns + execution_ns;
+  }
+};
+
+/// Aggregate over a query set.
+struct WorkloadMeasurement {
+  std::string method;
+  std::string split;
+  std::vector<QueryMeasurement> queries;
+  lqo::TrainReport train_report;
+
+  util::VirtualNanos total_inference_ns() const;
+  util::VirtualNanos total_planning_ns() const;
+  util::VirtualNanos total_execution_ns() const;
+  util::VirtualNanos total_end_to_end_ns() const;
+  int32_t timeout_count() const;
+  /// 95% CI half-width of the total execution time, from the per-run totals
+  /// of the post-warm-up runs.
+  double execution_ci95_ns() const;
+};
+
+/// Measures the native optimizer on one query.
+QueryMeasurement MeasureNative(engine::Database* db, const query::Query& q,
+                               const Protocol& protocol);
+
+/// Measures a learned optimizer on one query (plan once, execute per the
+/// protocol through the forced-plan path).
+QueryMeasurement MeasureLqo(engine::Database* db, lqo::LearnedOptimizer* lqo,
+                            const query::Query& q, const Protocol& protocol);
+
+/// Runs a full query set with the native optimizer.
+WorkloadMeasurement MeasureWorkloadNative(engine::Database* db,
+                                          const std::vector<query::Query>& qs,
+                                          const Protocol& protocol);
+
+/// Runs a full query set with a learned optimizer (already trained).
+WorkloadMeasurement MeasureWorkloadLqo(engine::Database* db,
+                                       lqo::LearnedOptimizer* lqo,
+                                       const std::vector<query::Query>& qs,
+                                       const Protocol& protocol);
+
+}  // namespace lqolab::benchkit
+
+#endif  // LQOLAB_BENCHKIT_MEASUREMENT_H_

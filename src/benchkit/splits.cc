@@ -1,0 +1,117 @@
+#include "benchkit/splits.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lqolab::benchkit {
+
+using query::Query;
+
+const char* SplitKindName(SplitKind kind) {
+  switch (kind) {
+    case SplitKind::kLeaveOneOut: return "leave_one_out";
+    case SplitKind::kRandom: return "random";
+    case SplitKind::kBaseQuery: return "base_query";
+  }
+  return "?";
+}
+
+Split SampleSplit(const std::vector<Query>& workload, SplitKind kind,
+                  double test_fraction, uint64_t seed) {
+  LQOLAB_CHECK(!workload.empty());
+  util::Rng rng(seed);
+  Split split;
+  split.kind = kind;
+
+  // Group query indices by base-query family.
+  std::map<int32_t, std::vector<int32_t>> families;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    families[workload[i].template_id].push_back(static_cast<int32_t>(i));
+  }
+
+  std::vector<char> in_test(workload.size(), 0);
+  switch (kind) {
+    case SplitKind::kLeaveOneOut: {
+      for (const auto& [family, members] : families) {
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1));
+        in_test[static_cast<size_t>(members[pick])] = 1;
+      }
+      break;
+    }
+    case SplitKind::kRandom: {
+      std::vector<int32_t> order(workload.size());
+      for (size_t i = 0; i < order.size(); ++i) {
+        order[i] = static_cast<int32_t>(i);
+      }
+      rng.Shuffle(&order);
+      const size_t test_count = static_cast<size_t>(
+          test_fraction * static_cast<double>(workload.size()) + 0.5);
+      for (size_t i = 0; i < test_count; ++i) {
+        in_test[static_cast<size_t>(order[i])] = 1;
+      }
+      break;
+    }
+    case SplitKind::kBaseQuery: {
+      std::vector<int32_t> family_ids;
+      for (const auto& [family, members] : families) {
+        family_ids.push_back(family);
+      }
+      rng.Shuffle(&family_ids);
+      const size_t target = static_cast<size_t>(
+          test_fraction * static_cast<double>(workload.size()) + 0.5);
+      size_t assigned = 0;
+      for (int32_t family : family_ids) {
+        if (assigned >= target) break;
+        for (int32_t idx : families[family]) {
+          in_test[static_cast<size_t>(idx)] = 1;
+          ++assigned;
+        }
+      }
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (in_test[i]) {
+      split.test_indices.push_back(static_cast<int32_t>(i));
+    } else {
+      split.train_indices.push_back(static_cast<int32_t>(i));
+    }
+  }
+  LQOLAB_CHECK(!split.train_indices.empty());
+  LQOLAB_CHECK(!split.test_indices.empty());
+  return split;
+}
+
+std::vector<Split> PaperSplits(const std::vector<Query>& workload) {
+  std::vector<Split> splits;
+  const SplitKind kinds[] = {SplitKind::kLeaveOneOut, SplitKind::kRandom,
+                             SplitKind::kBaseQuery};
+  for (SplitKind kind : kinds) {
+    for (int32_t i = 1; i <= 3; ++i) {
+      Split split = SampleSplit(workload, kind, 0.2,
+                                0x5eed0000ULL + static_cast<uint64_t>(i) +
+                                    (static_cast<uint64_t>(kind) << 8));
+      split.name =
+          std::string(SplitKindName(kind)) + "_" + std::to_string(i);
+      splits.push_back(std::move(split));
+    }
+  }
+  return splits;
+}
+
+std::vector<Query> SelectQueries(const std::vector<Query>& workload,
+                                 const std::vector<int32_t>& indices) {
+  std::vector<Query> out;
+  out.reserve(indices.size());
+  for (int32_t i : indices) {
+    out.push_back(workload[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace lqolab::benchkit

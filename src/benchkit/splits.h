@@ -1,0 +1,47 @@
+#ifndef LQOLAB_BENCHKIT_SPLITS_H_
+#define LQOLAB_BENCHKIT_SPLITS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace lqolab::benchkit {
+
+/// The paper's three train/test split samplers (§7.2, Fig. 3), in
+/// increasing difficulty order.
+enum class SplitKind {
+  kLeaveOneOut,  ///< one variant of each base query in the test set ("easy")
+  kRandom,       ///< uniform over all queries ("medium")
+  kBaseQuery,    ///< whole base-query families held out ("hard")
+};
+
+const char* SplitKindName(SplitKind kind);
+
+/// A concrete train/test assignment over a workload.
+struct Split {
+  std::string name;  ///< e.g. "base_query_1"
+  SplitKind kind = SplitKind::kRandom;
+  std::vector<int32_t> train_indices;
+  std::vector<int32_t> test_indices;
+};
+
+/// Samples one split. `test_fraction` applies to kRandom and kBaseQuery
+/// (the paper uses 80/20); kLeaveOneOut ignores it (exactly one variant per
+/// family is held out). Deterministic in `seed`.
+Split SampleSplit(const std::vector<query::Query>& workload, SplitKind kind,
+                  double test_fraction, uint64_t seed);
+
+/// The paper's evaluation grid: 3 splits per sampler (9 total), shared by
+/// every method.
+std::vector<Split> PaperSplits(const std::vector<query::Query>& workload);
+
+/// Materializes the query lists of a split.
+std::vector<query::Query> SelectQueries(
+    const std::vector<query::Query>& workload,
+    const std::vector<int32_t>& indices);
+
+}  // namespace lqolab::benchkit
+
+#endif  // LQOLAB_BENCHKIT_SPLITS_H_

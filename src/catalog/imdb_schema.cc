@@ -1,0 +1,151 @@
+#include "catalog/imdb_schema.h"
+
+#include "util/check.h"
+
+namespace lqolab::catalog {
+
+namespace {
+
+using imdb::Table;
+
+ColumnDef Int(const char* name) { return {name, ColumnType::kInt}; }
+ColumnDef Str(const char* name) { return {name, ColumnType::kString}; }
+
+TableDef MakeTable(const char* name, std::vector<ColumnDef> columns,
+                   std::vector<ForeignKey> fks = {}) {
+  TableDef def;
+  def.name = name;
+  def.columns = std::move(columns);
+  def.foreign_keys = std::move(fks);
+  return def;
+}
+
+}  // namespace
+
+Schema BuildImdbSchema() {
+  Schema schema;
+
+  // Dimension tables (small lookup tables).
+  TableId id = schema.AddTable(MakeTable("kind_type", {Int("id"), Str("kind")}));
+  LQOLAB_CHECK_EQ(id, Table::kKindType);
+  id = schema.AddTable(MakeTable("info_type", {Int("id"), Str("info")}));
+  LQOLAB_CHECK_EQ(id, Table::kInfoType);
+  id = schema.AddTable(MakeTable("company_type", {Int("id"), Str("kind")}));
+  LQOLAB_CHECK_EQ(id, Table::kCompanyType);
+  id = schema.AddTable(MakeTable("link_type", {Int("id"), Str("link")}));
+  LQOLAB_CHECK_EQ(id, Table::kLinkType);
+  id = schema.AddTable(MakeTable("role_type", {Int("id"), Str("role")}));
+  LQOLAB_CHECK_EQ(id, Table::kRoleType);
+  id = schema.AddTable(MakeTable("comp_cast_type", {Int("id"), Str("kind")}));
+  LQOLAB_CHECK_EQ(id, Table::kCompCastType);
+
+  // Entity tables.
+  id = schema.AddTable(MakeTable(
+      "keyword", {Int("id"), Str("keyword"), Str("phonetic_code")}));
+  LQOLAB_CHECK_EQ(id, Table::kKeyword);
+  id = schema.AddTable(MakeTable(
+      "company_name", {Int("id"), Str("name"), Str("country_code")}));
+  LQOLAB_CHECK_EQ(id, Table::kCompanyName);
+  id = schema.AddTable(MakeTable(
+      "name", {Int("id"), Str("name"), Str("gender"), Str("name_pcode_cf")}));
+  LQOLAB_CHECK_EQ(id, Table::kName);
+  id = schema.AddTable(MakeTable("char_name", {Int("id"), Str("name")}));
+  LQOLAB_CHECK_EQ(id, Table::kCharName);
+  id = schema.AddTable(MakeTable(
+      "aka_name", {Int("id"), Int("person_id"), Str("name")},
+      {{1, Table::kName}}));
+  LQOLAB_CHECK_EQ(id, Table::kAkaName);
+  id = schema.AddTable(MakeTable(
+      "title",
+      {Int("id"), Str("title"), Int("kind_id"), Int("production_year"),
+       Int("season_nr"), Int("episode_nr"), Str("phonetic_code")},
+      {{2, Table::kKindType}}));
+  LQOLAB_CHECK_EQ(id, Table::kTitle);
+  id = schema.AddTable(MakeTable(
+      "aka_title", {Int("id"), Int("movie_id"), Str("title"), Int("kind_id")},
+      {{1, Table::kTitle}, {3, Table::kKindType}}));
+  LQOLAB_CHECK_EQ(id, Table::kAkaTitle);
+
+  // Relationship (fact) tables.
+  id = schema.AddTable(MakeTable(
+      "cast_info",
+      {Int("id"), Int("person_id"), Int("movie_id"), Int("person_role_id"),
+       Int("role_id"), Str("note"), Int("nr_order")},
+      {{1, Table::kName},
+       {2, Table::kTitle},
+       {3, Table::kCharName},
+       {4, Table::kRoleType}}));
+  LQOLAB_CHECK_EQ(id, Table::kCastInfo);
+  id = schema.AddTable(MakeTable(
+      "complete_cast",
+      {Int("id"), Int("movie_id"), Int("subject_id"), Int("status_id")},
+      {{1, Table::kTitle},
+       {2, Table::kCompCastType},
+       {3, Table::kCompCastType}}));
+  LQOLAB_CHECK_EQ(id, Table::kCompleteCast);
+  id = schema.AddTable(MakeTable(
+      "movie_companies",
+      {Int("id"), Int("movie_id"), Int("company_id"), Int("company_type_id"),
+       Str("note")},
+      {{1, Table::kTitle},
+       {2, Table::kCompanyName},
+       {3, Table::kCompanyType}}));
+  LQOLAB_CHECK_EQ(id, Table::kMovieCompanies);
+  id = schema.AddTable(MakeTable(
+      "movie_info",
+      {Int("id"), Int("movie_id"), Int("info_type_id"), Str("info")},
+      {{1, Table::kTitle}, {2, Table::kInfoType}}));
+  LQOLAB_CHECK_EQ(id, Table::kMovieInfo);
+  id = schema.AddTable(MakeTable(
+      "movie_info_idx",
+      {Int("id"), Int("movie_id"), Int("info_type_id"), Str("info")},
+      {{1, Table::kTitle}, {2, Table::kInfoType}}));
+  LQOLAB_CHECK_EQ(id, Table::kMovieInfoIdx);
+  id = schema.AddTable(MakeTable(
+      "movie_keyword", {Int("id"), Int("movie_id"), Int("keyword_id")},
+      {{1, Table::kTitle}, {2, Table::kKeyword}}));
+  LQOLAB_CHECK_EQ(id, Table::kMovieKeyword);
+  id = schema.AddTable(MakeTable(
+      "movie_link",
+      {Int("id"), Int("movie_id"), Int("linked_movie_id"), Int("link_type_id")},
+      {{1, Table::kTitle}, {2, Table::kTitle}, {3, Table::kLinkType}}));
+  LQOLAB_CHECK_EQ(id, Table::kMovieLink);
+  id = schema.AddTable(MakeTable(
+      "person_info",
+      {Int("id"), Int("person_id"), Int("info_type_id"), Str("info"),
+       Str("note")},
+      {{1, Table::kName}, {2, Table::kInfoType}}));
+  LQOLAB_CHECK_EQ(id, Table::kPersonInfo);
+
+  LQOLAB_CHECK_EQ(schema.table_count(), Table::kTableCount);
+  return schema;
+}
+
+const char* ImdbShortAlias(TableId table) {
+  switch (table) {
+    case Table::kKindType: return "kt";
+    case Table::kInfoType: return "it";
+    case Table::kCompanyType: return "ct";
+    case Table::kLinkType: return "lt";
+    case Table::kRoleType: return "rt";
+    case Table::kCompCastType: return "cct";
+    case Table::kKeyword: return "k";
+    case Table::kCompanyName: return "cn";
+    case Table::kName: return "n";
+    case Table::kCharName: return "chn";
+    case Table::kAkaName: return "an";
+    case Table::kTitle: return "t";
+    case Table::kAkaTitle: return "at";
+    case Table::kCastInfo: return "ci";
+    case Table::kCompleteCast: return "cc";
+    case Table::kMovieCompanies: return "mc";
+    case Table::kMovieInfo: return "mi";
+    case Table::kMovieInfoIdx: return "midx";
+    case Table::kMovieKeyword: return "mk";
+    case Table::kMovieLink: return "ml";
+    case Table::kPersonInfo: return "pi";
+    default: return "?";
+  }
+}
+
+}  // namespace lqolab::catalog

@@ -1,0 +1,50 @@
+#ifndef LQOLAB_CATALOG_IMDB_SCHEMA_H_
+#define LQOLAB_CATALOG_IMDB_SCHEMA_H_
+
+#include "catalog/schema.h"
+
+namespace lqolab::catalog {
+
+/// Table ids of the 21-table IMDB schema, in the order BuildImdbSchema()
+/// registers them. The schema mirrors the real IMDB dump used by the Join
+/// Order Benchmark (tables, key columns and foreign keys); see DESIGN.md §1
+/// for the data substitution.
+namespace imdb {
+
+enum Table : TableId {
+  kKindType = 0,
+  kInfoType,
+  kCompanyType,
+  kLinkType,
+  kRoleType,
+  kCompCastType,
+  kKeyword,
+  kCompanyName,
+  kName,
+  kCharName,
+  kAkaName,
+  kTitle,
+  kAkaTitle,
+  kCastInfo,
+  kCompleteCast,
+  kMovieCompanies,
+  kMovieInfo,
+  kMovieInfoIdx,
+  kMovieKeyword,
+  kMovieLink,
+  kPersonInfo,
+  kTableCount,
+};
+
+}  // namespace imdb
+
+/// Builds the IMDB schema (21 tables with primary and foreign keys).
+Schema BuildImdbSchema();
+
+/// Conventional JOB alias for a table ("t" for title, "mc" for
+/// movie_companies, ...); used in query displays.
+const char* ImdbShortAlias(TableId table);
+
+}  // namespace lqolab::catalog
+
+#endif  // LQOLAB_CATALOG_IMDB_SCHEMA_H_

@@ -1,0 +1,34 @@
+#include "catalog/schema.h"
+
+#include "util/check.h"
+
+namespace lqolab::catalog {
+
+ColumnId TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<ColumnId>(i);
+  }
+  return kInvalidColumn;
+}
+
+TableId Schema::AddTable(TableDef table) {
+  LQOLAB_CHECK(!table.columns.empty());
+  LQOLAB_CHECK_EQ(table.columns[0].name, std::string("id"));
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size()) - 1;
+}
+
+TableId Schema::FindTable(const std::string& table_name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == table_name) return static_cast<TableId>(i);
+  }
+  return kInvalidTable;
+}
+
+const TableDef& Schema::table(TableId id) const {
+  LQOLAB_CHECK_GE(id, 0);
+  LQOLAB_CHECK_LT(id, table_count());
+  return tables_[static_cast<size_t>(id)];
+}
+
+}  // namespace lqolab::catalog

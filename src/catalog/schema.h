@@ -1,0 +1,69 @@
+#ifndef LQOLAB_CATALOG_SCHEMA_H_
+#define LQOLAB_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqolab::catalog {
+
+/// Index of a table within a Schema.
+using TableId = int32_t;
+/// Index of a column within a table.
+using ColumnId = int32_t;
+
+constexpr TableId kInvalidTable = -1;
+constexpr ColumnId kInvalidColumn = -1;
+
+/// Storage type of a column. Strings are dictionary-encoded at the storage
+/// layer, so every value is physically a 32-bit integer.
+enum class ColumnType {
+  kInt,     ///< Plain integer (ids, years, counters).
+  kString,  ///< Dictionary-encoded text.
+};
+
+/// Definition of one column.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+};
+
+/// Single-column foreign key: `column` references the primary key (column 0,
+/// always "id") of `referenced_table`.
+struct ForeignKey {
+  ColumnId column = kInvalidColumn;
+  TableId referenced_table = kInvalidTable;
+};
+
+/// Definition of one table. Column 0 is always the integer primary key "id".
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<ForeignKey> foreign_keys;
+
+  /// Returns the index of the named column or kInvalidColumn.
+  ColumnId FindColumn(const std::string& column_name) const;
+};
+
+/// A database schema: an ordered list of table definitions.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a table and returns its id.
+  TableId AddTable(TableDef table);
+
+  /// Returns the id of the named table or kInvalidTable.
+  TableId FindTable(const std::string& table_name) const;
+
+  const TableDef& table(TableId id) const;
+  int32_t table_count() const { return static_cast<int32_t>(tables_.size()); }
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace lqolab::catalog
+
+#endif  // LQOLAB_CATALOG_SCHEMA_H_

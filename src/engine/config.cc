@@ -1,0 +1,80 @@
+#include "engine/config.h"
+
+namespace lqolab::engine {
+
+DbConfig DbConfig::Default() { return DbConfig{}; }
+
+DbConfig DbConfig::JobPaper() {
+  DbConfig c;
+  c.name = "job_paper";
+  c.geqo_threshold = 18;
+  c.work_mem_mb = 2 * 1024;
+  c.shared_buffers_mb = 4 * 1024;
+  c.effective_cache_size_mb = 32 * 1024;
+  c.ram_mb = 64 * 1024;
+  return c;
+}
+
+DbConfig DbConfig::Bao() {
+  DbConfig c;
+  c.name = "bao";
+  c.shared_buffers_mb = 4 * 1024;
+  c.ram_mb = 15 * 1024;
+  return c;
+}
+
+DbConfig DbConfig::BalsaLeon() {
+  DbConfig c;
+  c.name = "balsa_leon";
+  c.geqo = false;
+  c.work_mem_mb = 4 * 1024;
+  c.shared_buffers_mb = 32 * 1024;
+  c.temp_buffers_mb = 32 * 1024;
+  c.max_worker_processes = 8;
+  c.enable_bitmapscan = false;
+  c.enable_tidscan = false;
+  c.ram_mb = 64 * 1024;
+  return c;
+}
+
+DbConfig DbConfig::Loger() {
+  DbConfig c;
+  c.name = "loger";
+  c.geqo = false;
+  c.shared_buffers_mb = 64 * 1024;
+  c.max_parallel_workers = 1;
+  c.max_parallel_workers_per_gather = 1;
+  c.ram_mb = 256 * 1024;
+  return c;
+}
+
+DbConfig DbConfig::Lero() {
+  DbConfig c;
+  c.name = "lero";
+  c.max_parallel_workers = 0;
+  c.max_parallel_workers_per_gather = 0;
+  c.ram_mb = 512 * 1024;
+  return c;
+}
+
+DbConfig DbConfig::OurFramework() {
+  DbConfig c;
+  c.name = "our_framework";
+  // GEQO stays on only when pglite fully controls execution (footnote 1 of
+  // Table 2); the engine honors the flag as given here.
+  c.geqo = true;
+  c.work_mem_mb = 4 * 1024;
+  c.shared_buffers_mb = 32 * 1024;
+  c.temp_buffers_mb = 32 * 1024;
+  c.effective_cache_size_mb = 32 * 1024;
+  c.max_worker_processes = 8;
+  c.ram_mb = 64 * 1024;
+  return c;
+}
+
+std::vector<DbConfig> DbConfig::Table2Presets() {
+  return {Default(), JobPaper(), Bao(),  BalsaLeon(),
+          Loger(),   Lero(),     OurFramework()};
+}
+
+}  // namespace lqolab::engine

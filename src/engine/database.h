@@ -1,0 +1,130 @@
+#ifndef LQOLAB_ENGINE_DATABASE_H_
+#define LQOLAB_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "datagen/imdb_generator.h"
+#include "engine/config.h"
+#include "exec/db_context.h"
+#include "exec/executor.h"
+#include "exec/oracle.h"
+#include "optimizer/planner.h"
+#include "query/query.h"
+#include "util/rng.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::engine {
+
+/// Pages corresponding to a Table 2 memory setting in MB (after
+/// kMemoryScale, see engine/config.h).
+int64_t ScaledPages(int64_t mb);
+
+/// Outcome of one planned-and-executed query.
+struct QueryRun {
+  util::VirtualNanos planning_ns = 0;
+  util::VirtualNanos execution_ns = 0;
+  bool timed_out = false;
+  int64_t result_rows = 0;
+  int64_t pages_accessed = 0;
+  bool used_geqo = false;
+  double estimated_cost = 0.0;
+
+  util::VirtualNanos total_ns() const { return planning_ns + execution_ns; }
+};
+
+/// "pglite": the PostgreSQL-like engine facade. Owns the schema, data,
+/// indexes, statistics, buffer cache, true-cardinality oracle, planner and
+/// executor of one database instance, plus the per-query warm-up state that
+/// models hot/cold-cache convergence (§7.3 / Fig. 4).
+class Database {
+ public:
+  struct Options {
+    datagen::ScaleProfile profile = datagen::ScaleProfile::Medium();
+    uint64_t seed = 42;
+    DbConfig config = DbConfig::OurFramework();
+  };
+
+  /// Generates the synthetic IMDB, builds indexes and runs ANALYZE.
+  static std::unique_ptr<Database> CreateImdb(const Options& options);
+
+  /// Wraps pre-built tables (e.g. the IMDB-50% subsample of Fig. 7).
+  static std::unique_ptr<Database> FromTables(
+      const Options& options,
+      std::vector<std::unique_ptr<storage::Table>> tables);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const catalog::Schema& schema() const { return schema_; }
+  const DbConfig& config() const { return ctx_.config; }
+  exec::DbContext& context() { return ctx_; }
+  exec::Oracle& oracle() { return *oracle_; }
+  const optimizer::Planner& planner() const { return *planner_; }
+
+  /// Changes the configuration. Memory-sizing changes resize (and thus
+  /// clear) the buffer cache; pure planner switches (enable_*, geqo) do
+  /// not — Bao-style hint sets can be applied per query without losing
+  /// cache state.
+  void SetConfig(const DbConfig& config);
+
+  /// Plans a query under the current configuration; returns the plan plus
+  /// the modeled planning time.
+  struct Planned {
+    optimizer::PhysicalPlan plan;
+    util::VirtualNanos planning_ns = 0;
+    double estimated_cost = 0.0;
+    bool used_geqo = false;
+    int64_t planner_steps = 0;
+  };
+  Planned PlanQuery(const query::Query& q);
+
+  /// Executes a caller-provided plan (the pg_hint_plan path used by LQOs).
+  /// Applies warm-up state and execution noise; mutates cache state.
+  /// `timeout_ns` overrides the configured statement timeout when > 0
+  /// (Balsa-style training timeouts).
+  QueryRun ExecutePlan(const query::Query& q,
+                       const optimizer::PhysicalPlan& plan,
+                       util::VirtualNanos planning_ns = 0,
+                       util::VirtualNanos timeout_ns = 0);
+
+  /// Plans and executes.
+  QueryRun Run(const query::Query& q);
+
+  /// EXPLAIN ANALYZE: plans, executes, and renders the plan tree with
+  /// estimated and actual cardinalities and the time breakdown.
+  std::string ExplainAnalyze(const query::Query& q);
+
+  /// Total database size in heap pages.
+  int64_t TotalPages() const;
+
+  /// Drops both cache tiers and all warm-up state (full cold start).
+  void DropCaches();
+
+  /// Number of times a query signature has executed since the last cache
+  /// drop (drives the warm-up multiplier).
+  int64_t RunCount(const query::Query& q) const;
+
+ private:
+  explicit Database(const Options& options);
+
+  void BuildIndexes();
+  void Analyze();
+  void InitRuntime();
+  double WarmupMultiplier(const query::Query& q);
+
+  catalog::Schema schema_;
+  exec::DbContext ctx_;
+  std::unique_ptr<exec::Oracle> oracle_;
+  std::unique_ptr<optimizer::Planner> planner_;
+  std::unique_ptr<exec::Executor> executor_;
+  std::unordered_map<uint64_t, int64_t> run_counts_;
+  util::Rng noise_rng_;
+};
+
+}  // namespace lqolab::engine
+
+#endif  // LQOLAB_ENGINE_DATABASE_H_

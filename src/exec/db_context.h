@@ -1,0 +1,51 @@
+#ifndef LQOLAB_EXEC_DB_CONTEXT_H_
+#define LQOLAB_EXEC_DB_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "engine/config.h"
+#include "stats/column_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace lqolab::exec {
+
+/// Shared view of one database instance used by the estimator, planner and
+/// executor. Owned and assembled by engine::Database.
+struct DbContext {
+  const catalog::Schema* schema = nullptr;
+  std::vector<std::unique_ptr<storage::Table>> tables;
+  /// Secondary indexes keyed by (table, column).
+  std::map<std::pair<catalog::TableId, catalog::ColumnId>,
+           std::unique_ptr<storage::Index>>
+      indexes;
+  std::vector<stats::TableStats> table_stats;
+  std::unique_ptr<storage::BufferPool> buffer_pool;
+  engine::DbConfig config;
+
+  const storage::Table& table(catalog::TableId id) const {
+    return *tables[static_cast<size_t>(id)];
+  }
+
+  /// Index on (table, column) or nullptr.
+  const storage::Index* FindIndex(catalog::TableId table,
+                                  catalog::ColumnId column) const {
+    auto it = indexes.find({table, column});
+    return it == indexes.end() ? nullptr : it->second.get();
+  }
+
+  const stats::ColumnStats& column_stats(catalog::TableId table,
+                                         catalog::ColumnId column) const {
+    return table_stats[static_cast<size_t>(table)]
+        .columns[static_cast<size_t>(column)];
+  }
+};
+
+}  // namespace lqolab::exec
+
+#endif  // LQOLAB_EXEC_DB_CONTEXT_H_

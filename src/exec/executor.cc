@@ -1,0 +1,394 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/cost_constants.h"
+#include "util/check.h"
+
+namespace lqolab::exec {
+
+using optimizer::JoinAlgo;
+using optimizer::PhysicalPlan;
+using optimizer::PlanNode;
+using optimizer::ScanType;
+using query::Query;
+using storage::AccessTier;
+using storage::BufferPool;
+using storage::PageKind;
+using storage::RowId;
+using util::VirtualNanos;
+
+namespace {
+
+/// Maximum buffer-pool operations charged per scan; larger fetch counts are
+/// sampled and the cost scaled, keeping real time bounded.
+constexpr int64_t kMaxPageLoop = 20'000;
+
+VirtualNanos TierCost(AccessTier tier, bool sequential) {
+  switch (tier) {
+    case AccessTier::kSharedHit:
+      return cost::kSharedHitNs;
+    case AccessTier::kOsHit:
+      return cost::kOsHitNs;
+    case AccessTier::kDisk:
+      return sequential ? cost::kDiskSeqReadNs : cost::kDiskReadNs;
+  }
+  return cost::kDiskReadNs;
+}
+
+double SafeLog2(double x) { return x < 2.0 ? 1.0 : std::log2(x); }
+
+/// Adds `amount` (double nanoseconds) saturating at a large cap.
+VirtualNanos SaturatingNanos(double amount) {
+  constexpr double kCap = 9.0e17;
+  if (amount >= kCap) return static_cast<VirtualNanos>(kCap);
+  if (amount < 0.0) return 0;
+  return static_cast<VirtualNanos>(amount);
+}
+
+}  // namespace
+
+Executor::Executor(DbContext* ctx, Oracle* oracle)
+    : ctx_(ctx), oracle_(oracle) {
+  LQOLAB_CHECK(ctx != nullptr);
+  LQOLAB_CHECK(oracle != nullptr);
+}
+
+VirtualNanos Executor::ChargePage(uint64_t key, bool sequential) {
+  ++pages_accessed_;
+  const AccessTier tier = ctx_->buffer_pool->Access(key);
+  return TierCost(tier, sequential);
+}
+
+VirtualNanos Executor::ChargeHeapFetches(catalog::TableId table,
+                                         const std::vector<RowId>& rows,
+                                         bool page_ordered) {
+  if (rows.empty()) return 0;
+  VirtualNanos total = 0;
+  const int64_t n = static_cast<int64_t>(rows.size());
+  const int64_t step = std::max<int64_t>(1, n / kMaxPageLoop);
+  int64_t charged = 0;
+  int64_t last_page = -1;
+  for (int64_t i = 0; i < n; i += step) {
+    const int64_t page = storage::Table::PageOfRow(rows[static_cast<size_t>(i)]);
+    if (page_ordered && page == last_page) continue;  // row-ids sorted: dedup
+    last_page = page;
+    total += ChargePage(
+        BufferPool::PageKey(table, PageKind::kHeap, catalog::kInvalidColumn,
+                            page),
+        page_ordered);
+    ++charged;
+  }
+  if (charged == 0) return 0;
+  // Scale sampled charges back to the full fetch count (random-order scans
+  // revisit pages; page-ordered ones were deduplicated above, so their
+  // sample is already page-accurate up to the stride).
+  const double scale = page_ordered ? static_cast<double>(step)
+                                    : static_cast<double>(n) /
+                                          static_cast<double>(charged);
+  return SaturatingNanos(static_cast<double>(total) * scale);
+}
+
+VirtualNanos Executor::ChargeRandomHeapPages(catalog::TableId table,
+                                             int64_t touches) {
+  if (touches <= 0) return 0;
+  const int64_t pages =
+      std::max<int64_t>(1, ctx_->table(table).page_count());
+  const int64_t loops = std::min(touches, kMaxPageLoop);
+  VirtualNanos total = 0;
+  uint64_t state = 0x9e3779b97f4a7c15ULL ^ static_cast<uint64_t>(table);
+  for (int64_t i = 0; i < loops; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const int64_t page = static_cast<int64_t>((state >> 33) %
+                                              static_cast<uint64_t>(pages));
+    total += ChargePage(
+        BufferPool::PageKey(table, PageKind::kHeap, catalog::kInvalidColumn,
+                            page),
+        /*sequential=*/false);
+  }
+  const double scale =
+      static_cast<double>(touches) / static_cast<double>(loops);
+  return SaturatingNanos(static_cast<double>(total) * scale);
+}
+
+double Executor::ParallelSpeedup(int64_t driving_pages) const {
+  const auto& cfg = ctx_->config;
+  const int32_t workers =
+      std::min({cfg.max_parallel_workers_per_gather, cfg.max_parallel_workers,
+                cfg.max_worker_processes});
+  if (workers <= 0 || driving_pages < cost::kParallelMinPages) return 1.0;
+  const int64_t usable = std::min<int64_t>(
+      workers,
+      std::max<int64_t>(1, driving_pages / cost::kParallelPagesPerWorker));
+  return 1.0 + cost::kParallelEfficiency * static_cast<double>(usable);
+}
+
+VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
+                                bool* overflow) {
+  *overflow = false;
+  const catalog::TableId table_id =
+      q.relations[static_cast<size_t>(node.alias)].table;
+  const storage::Table& table = ctx_->table(table_id);
+  const int64_t total_rows = table.row_count();
+  const int64_t pages = table.page_count();
+  const auto& preds = oracle_->BoundPredicates(q, node.alias);
+  const int64_t pred_count = static_cast<int64_t>(preds.size());
+
+  double cpu = 0.0;
+  VirtualNanos io = 0;
+
+  switch (node.scan_type) {
+    case ScanType::kSeq: {
+      for (int64_t p = 0; p < pages; ++p) {
+        io += ChargePage(BufferPool::PageKey(table_id, PageKind::kHeap,
+                                             catalog::kInvalidColumn, p),
+                         /*sequential=*/true);
+      }
+      cpu = static_cast<double>(total_rows) *
+            static_cast<double>(cost::kScanTupleNs +
+                                pred_count * cost::kPredEvalNs);
+      const double speedup = ParallelSpeedup(pages);
+      return SaturatingNanos((cpu + static_cast<double>(io)) / speedup);
+    }
+    case ScanType::kIndex:
+    case ScanType::kBitmap: {
+      // Find the driving predicate (first one on the index column).
+      size_t pred_index = preds.size();
+      for (size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i].column == node.index_column) {
+          pred_index = i;
+          break;
+        }
+      }
+      LQOLAB_CHECK_MSG(pred_index < preds.size(),
+                       "index scan without driving predicate in " << q.id);
+      const storage::Index* index = ctx_->FindIndex(table_id, node.index_column);
+      LQOLAB_CHECK_MSG(index != nullptr, "missing index for scan in " << q.id);
+      const auto& matched = oracle_->SinglePredicateRows(q, node.alias,
+                                                         pred_index);
+      const int64_t matches = static_cast<int64_t>(matched.size());
+      const auto& pred = preds[pred_index];
+      const int64_t descents =
+          pred.kind == query::Predicate::Kind::kRange
+              ? 1
+              : std::max<int64_t>(1,
+                                  static_cast<int64_t>(pred.values.size()));
+      cpu += static_cast<double>(descents * index->height() *
+                                 cost::kIndexDescentNs);
+      // Leaf pages proportional to matches.
+      const int64_t leaf_pages = std::max<int64_t>(1, matches / 256);
+      for (int64_t p = 0; p < std::min<int64_t>(leaf_pages, kMaxPageLoop);
+           ++p) {
+        io += ChargePage(BufferPool::PageKey(table_id, PageKind::kIndexLeaf,
+                                             node.index_column, p),
+                         /*sequential=*/true);
+      }
+      const int64_t residual = std::max<int64_t>(0, pred_count - 1);
+      if (node.scan_type == ScanType::kIndex) {
+        io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/false);
+        cpu += static_cast<double>(matches) *
+               static_cast<double>(cost::kIndexRowFetchNs +
+                                   residual * cost::kPredEvalNs);
+      } else {
+        cpu += static_cast<double>(matches) *
+               static_cast<double>(cost::kBitmapBuildNs);
+        io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/true);
+        cpu += static_cast<double>(matches) *
+               static_cast<double>(cost::kBitmapRowFetchNs +
+                                   residual * cost::kPredEvalNs);
+      }
+      return SaturatingNanos(cpu + static_cast<double>(io));
+    }
+    case ScanType::kTid: {
+      // Only valid for id = const / id IN (...) predicates.
+      size_t pred_index = preds.size();
+      for (size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i].column == 0 &&
+            (preds[i].kind == query::Predicate::Kind::kEq ||
+             preds[i].kind == query::Predicate::Kind::kIn)) {
+          pred_index = i;
+          break;
+        }
+      }
+      LQOLAB_CHECK_MSG(pred_index < preds.size(),
+                       "tid scan without id predicate in " << q.id);
+      const auto& matched =
+          oracle_->SinglePredicateRows(q, node.alias, pred_index);
+      io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/true);
+      cpu += static_cast<double>(matched.size()) *
+             static_cast<double>(cost::kTidFetchNs +
+                                 (pred_count - 1) * cost::kPredEvalNs);
+      return SaturatingNanos(cpu + static_cast<double>(io));
+    }
+  }
+  return 0;
+}
+
+VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
+                                const PlanNode& node, bool* overflow) {
+  *overflow = false;
+  const PlanNode& left = plan.node(node.left);
+  const PlanNode& right = plan.node(node.right);
+  const Oracle::CardResult in_l = oracle_->TrueJoinRows(q, left.mask);
+  const Oracle::CardResult in_r = oracle_->TrueJoinRows(q, right.mask);
+  const Oracle::CardResult out = oracle_->TrueJoinRows(q, node.mask);
+  if (in_l.overflow || in_r.overflow || out.overflow) {
+    *overflow = true;
+    return 0;
+  }
+  const double rows_l = static_cast<double>(in_l.rows);
+  const double rows_r = static_cast<double>(in_r.rows);
+  const double rows_out = static_cast<double>(out.rows);
+  const int64_t work_mem_bytes = engine::ScaledBytes(ctx_->config.work_mem_mb);
+
+  double cpu = rows_out * static_cast<double>(cost::kJoinOutputNs);
+  double io = 0.0;
+
+  switch (node.algo) {
+    case JoinAlgo::kHash: {
+      cpu += rows_r * static_cast<double>(cost::kHashBuildNs) +
+             rows_l * static_cast<double>(cost::kHashProbeNs);
+      const double build_bytes = rows_r * cost::kBytesPerTupleSlot;
+      const double batches =
+          std::max(1.0, build_bytes / static_cast<double>(work_mem_bytes));
+      if (batches > 1.0) {
+        cpu *= 1.0 + cost::kSpillPassPenalty * SafeLog2(batches);
+        // Spilled batches are written to and re-read from temp files.
+        const double spill_pages =
+            (rows_l + rows_r) / static_cast<double>(storage::kRowsPerPage);
+        io += 2.0 * spill_pages * static_cast<double>(cost::kDiskSeqReadNs);
+      }
+      const double speedup =
+          ParallelSpeedup(static_cast<int64_t>(rows_l) / storage::kRowsPerPage);
+      return SaturatingNanos((cpu + io) / speedup);
+    }
+    case JoinAlgo::kNestLoop: {
+      cpu += rows_l * rows_r * static_cast<double>(cost::kNlCompareNs);
+      return SaturatingNanos(cpu + io);
+    }
+    case JoinAlgo::kIndexNlj: {
+      // The inner must be a base relation with an index on the join column.
+      LQOLAB_CHECK(right.type == PlanNode::Type::kScan);
+      const auto edges = q.EdgesBetween(left.mask, right.mask);
+      LQOLAB_CHECK(!edges.empty());
+      const catalog::TableId inner_table =
+          q.relations[static_cast<size_t>(right.alias)].table;
+      const storage::Index* index = nullptr;
+      catalog::ColumnId probe_column = catalog::kInvalidColumn;
+      for (const auto& edge : edges) {
+        index = ctx_->FindIndex(inner_table, edge.right_column);
+        if (index != nullptr) {
+          probe_column = edge.right_column;
+          break;
+        }
+      }
+      LQOLAB_CHECK_MSG(index != nullptr, "index NLJ without inner index");
+      const auto& probe_stats = ctx_->column_stats(inner_table, probe_column);
+      const double avg_matches =
+          probe_stats.n_distinct > 0
+              ? static_cast<double>(index->entry_count()) /
+                    static_cast<double>(probe_stats.n_distinct)
+              : 1.0;
+      const double fetched = std::max(rows_out, rows_l * avg_matches);
+      cpu += rows_l * static_cast<double>(index->height() *
+                                          cost::kIndexDescentNs);
+      cpu += fetched * static_cast<double>(cost::kIndexRowFetchNs);
+      const auto& inner_preds = oracle_->BoundPredicates(q, right.alias);
+      cpu += fetched * static_cast<double>(inner_preds.size()) *
+             static_cast<double>(cost::kPredEvalNs);
+      io += static_cast<double>(
+          ChargeRandomHeapPages(inner_table, static_cast<int64_t>(std::min(
+                                                 fetched, 1.0e12))));
+      return SaturatingNanos(cpu + io);
+    }
+    case JoinAlgo::kMerge: {
+      auto sorted_for_free = [&](const PlanNode& child,
+                                 catalog::ColumnId column) {
+        return child.type == PlanNode::Type::kScan &&
+               child.scan_type == ScanType::kIndex &&
+               child.index_column == column;
+      };
+      const auto edges = q.EdgesBetween(left.mask, right.mask);
+      LQOLAB_CHECK(!edges.empty());
+      auto sort_cost = [&](double rows, bool free_sort) {
+        if (free_sort || rows < 2.0) return 0.0;
+        double c = rows * SafeLog2(rows) * cost::kSortItemNs;
+        const double bytes = rows * cost::kBytesPerTupleSlot;
+        if (bytes > static_cast<double>(work_mem_bytes)) {
+          c *= 1.0 + cost::kSpillPassPenalty;
+          io += 2.0 * (rows / storage::kRowsPerPage) *
+                static_cast<double>(cost::kDiskSeqReadNs);
+        }
+        return c;
+      };
+      cpu += sort_cost(rows_l, sorted_for_free(left, edges[0].left_column));
+      cpu += sort_cost(rows_r, sorted_for_free(right, edges[0].right_column));
+      cpu += (rows_l + rows_r) * static_cast<double>(cost::kMergeStepNs);
+      return SaturatingNanos(cpu + io);
+    }
+  }
+  return 0;
+}
+
+ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
+                                  VirtualNanos timeout_ns,
+                                  double time_multiplier) {
+  LQOLAB_CHECK(!plan.empty());
+  ExecutionResult result;
+  result.node_rows.assign(plan.nodes.size(), 0);
+  pages_accessed_ = 0;
+
+  double total = static_cast<double>(cost::kExecStartupNs);
+  bool overflow = false;
+
+  // Nodes are stored in construction order, so children precede parents:
+  // a simple forward walk is bottom-up. Skip inner scans of index-NLJ
+  // joins (they are probed, not scanned).
+  std::vector<char> skip(plan.nodes.size(), 0);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.type == PlanNode::Type::kJoin &&
+        node.algo == JoinAlgo::kIndexNlj) {
+      skip[static_cast<size_t>(node.right)] = 1;
+    }
+  }
+
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    bool node_overflow = false;
+    VirtualNanos node_cost = 0;
+    if (node.type == PlanNode::Type::kScan) {
+      const Oracle::CardResult rows = oracle_->TrueJoinRows(q, node.mask);
+      result.node_rows[i] = rows.rows;
+      if (!skip[i]) {
+        node_cost = ScanCost(q, node, &node_overflow);
+      }
+    } else {
+      const Oracle::CardResult rows = oracle_->TrueJoinRows(q, node.mask);
+      result.node_rows[i] = rows.overflow ? -1 : rows.rows;
+      node_cost = JoinCost(q, plan, node, &node_overflow);
+    }
+    if (node_overflow) {
+      overflow = true;
+      break;
+    }
+    total += static_cast<double>(node_cost);
+    if (total * time_multiplier >= static_cast<double>(timeout_ns)) break;
+  }
+
+  result.pages_accessed = pages_accessed_;
+  const double scaled = total * time_multiplier;
+  if (overflow || scaled >= static_cast<double>(timeout_ns)) {
+    result.timed_out = true;
+    result.execution_ns = timeout_ns;
+    return result;
+  }
+  result.execution_ns = SaturatingNanos(scaled);
+  const Oracle::CardResult final_rows =
+      oracle_->TrueJoinRows(q, plan.node(plan.root).mask);
+  result.result_rows = final_rows.overflow ? 0 : final_rows.rows;
+  return result;
+}
+
+}  // namespace lqolab::exec

@@ -1,0 +1,83 @@
+#ifndef LQOLAB_EXEC_EXECUTOR_H_
+#define LQOLAB_EXEC_EXECUTOR_H_
+
+#include <vector>
+
+#include "exec/db_context.h"
+#include "exec/oracle.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::exec {
+
+/// Outcome of one (simulated) plan execution.
+struct ExecutionResult {
+  /// Simulated execution latency. Equals the timeout when `timed_out`.
+  util::VirtualNanos execution_ns = 0;
+  bool timed_out = false;
+  /// True result cardinality of the query (0 when timed out).
+  int64_t result_rows = 0;
+  /// Heap/index pages touched through the buffer cache.
+  int64_t pages_accessed = 0;
+
+  /// Per plan node: true output rows (parallel to plan.nodes; join nodes
+  /// whose subset overflowed report -1).
+  std::vector<int64_t> node_rows;
+};
+
+/// Virtual-time executor. Walks a physical plan bottom-up, obtains every
+/// node's true input/output cardinalities from the Oracle, and charges
+/// simulated nanoseconds: per-tuple CPU by operator type and per-page costs
+/// through the two-tier buffer cache (which this mutates — executions have
+/// side effects on cache state, the mechanism behind Fig. 4).
+///
+/// The work done per execution is O(plan size + pages touched), independent
+/// of how catastrophic the plan is: true cardinalities are memoized in the
+/// oracle and the arithmetic is analytic. Timeouts are therefore free.
+class Executor {
+ public:
+  Executor(DbContext* ctx, Oracle* oracle);
+
+  /// Executes `plan` for `q`. `time_multiplier` scales all charges (used by
+  /// the engine for warm-up state and execution noise); `timeout_ns` bounds
+  /// the reported latency, marking the result timed out.
+  ExecutionResult Execute(const query::Query& q,
+                          const optimizer::PhysicalPlan& plan,
+                          util::VirtualNanos timeout_ns,
+                          double time_multiplier = 1.0);
+
+ private:
+  /// Charges one page access and returns its cost. `sequential` selects the
+  /// cheaper read-ahead disk cost on a miss.
+  util::VirtualNanos ChargePage(uint64_t key, bool sequential);
+
+  /// Charges page accesses for `count` heap fetches given by row-ids,
+  /// sampling at most kMaxPageLoop accesses and scaling the charge.
+  util::VirtualNanos ChargeHeapFetches(catalog::TableId table,
+                                       const std::vector<storage::RowId>& rows,
+                                       bool page_ordered);
+
+  /// Charges `pages` random page touches of `table`'s heap using a
+  /// deterministic probe sequence (used for index-NLJ inner fetches where
+  /// exact row-ids are not materialized).
+  util::VirtualNanos ChargeRandomHeapPages(catalog::TableId table,
+                                           int64_t touches);
+
+  util::VirtualNanos ScanCost(const query::Query& q,
+                              const optimizer::PlanNode& node,
+                              bool* overflow);
+  util::VirtualNanos JoinCost(const query::Query& q,
+                              const optimizer::PhysicalPlan& plan,
+                              const optimizer::PlanNode& node, bool* overflow);
+
+  double ParallelSpeedup(int64_t driving_pages) const;
+
+  DbContext* ctx_;
+  Oracle* oracle_;
+  int64_t pages_accessed_ = 0;
+};
+
+}  // namespace lqolab::exec
+
+#endif  // LQOLAB_EXEC_EXECUTOR_H_

@@ -1,0 +1,684 @@
+#include "exec/oracle.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+#include "exec/cost_constants.h"
+#include "util/check.h"
+
+namespace lqolab::exec {
+
+using query::AliasId;
+using query::AliasMask;
+using query::Query;
+using storage::RowId;
+using storage::Value;
+
+namespace {
+
+constexpr int64_t kMatBudgetBytes = 384ll * 1024 * 1024;
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4))) *
+         0x100000001b3ULL;
+}
+
+uint64_t HashString(uint64_t h, const std::string& s) {
+  for (char c : s) h = HashCombine(h, static_cast<uint64_t>(c));
+  return h;
+}
+
+}  // namespace
+
+uint64_t QueryFingerprint(const Query& q) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashString(h, q.id);
+  for (const auto& rel : q.relations) {
+    h = HashCombine(h, static_cast<uint64_t>(rel.table));
+    h = HashString(h, rel.alias);
+  }
+  for (const auto& e : q.edges) {
+    h = HashCombine(h, static_cast<uint64_t>(e.left_alias));
+    h = HashCombine(h, static_cast<uint64_t>(e.left_column));
+    h = HashCombine(h, static_cast<uint64_t>(e.right_alias));
+    h = HashCombine(h, static_cast<uint64_t>(e.right_column));
+  }
+  for (const auto& p : q.predicates) {
+    h = HashString(h, p.Signature());
+  }
+  return h;
+}
+
+Oracle::Oracle(const DbContext* ctx) : ctx_(ctx) { LQOLAB_CHECK(ctx != nullptr); }
+
+Oracle::QueryMemo& Oracle::Memo(const Query& q) {
+  QueryMemo& memo = memos_[QueryFingerprint(q)];
+  if (!memo.bound) {
+    memo.bound = true;
+    const size_t n = q.relations.size();
+    memo.preds.resize(n);
+    memo.filtered.resize(n);
+    memo.filtered_ready.assign(n, 0);
+    for (size_t a = 0; a < n; ++a) {
+      memo.preds[a] = query::BindAliasPredicates(
+          q, static_cast<AliasId>(a), ctx_->table(q.relations[a].table));
+    }
+  }
+  return memo;
+}
+
+void Oracle::EnsureFiltered(QueryMemo& memo, const Query& q, AliasId alias) {
+  if (memo.filtered_ready[static_cast<size_t>(alias)]) return;
+  const storage::Table& table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const auto& preds = memo.preds[static_cast<size_t>(alias)];
+  std::vector<RowId>& rows = memo.filtered[static_cast<size_t>(alias)];
+  rows.clear();
+  const int64_t n = table.row_count();
+  for (RowId r = 0; r < n; ++r) {
+    bool match = true;
+    for (const auto& pred : preds) {
+      if (!pred.Matches(table.column(pred.column).at(r))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) rows.push_back(r);
+  }
+  memo.filtered_ready[static_cast<size_t>(alias)] = 1;
+}
+
+const std::vector<RowId>& Oracle::FilteredRows(const Query& q, AliasId alias) {
+  QueryMemo& memo = Memo(q);
+  EnsureFiltered(memo, q, alias);
+  return memo.filtered[static_cast<size_t>(alias)];
+}
+
+int64_t Oracle::TrueBaseRows(const Query& q, AliasId alias) {
+  return static_cast<int64_t>(FilteredRows(q, alias).size());
+}
+
+const std::vector<RowId>& Oracle::SinglePredicateRows(const Query& q,
+                                                      AliasId alias,
+                                                      size_t pred_index) {
+  QueryMemo& memo = Memo(q);
+  const uint64_t key =
+      (static_cast<uint64_t>(alias) << 32) | static_cast<uint64_t>(pred_index);
+  auto it = memo.single_pred.find(key);
+  if (it != memo.single_pred.end()) return it->second;
+  const storage::Table& table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const auto& preds = memo.preds[static_cast<size_t>(alias)];
+  LQOLAB_CHECK_LT(pred_index, preds.size());
+  const auto& pred = preds[pred_index];
+  std::vector<RowId> rows;
+  const int64_t n = table.row_count();
+  const storage::Column& column = table.column(pred.column);
+  for (RowId r = 0; r < n; ++r) {
+    if (pred.Matches(column.at(r))) rows.push_back(r);
+  }
+  return memo.single_pred.emplace(key, std::move(rows)).first->second;
+}
+
+const std::vector<query::BoundPredicate>& Oracle::BoundPredicates(
+    const Query& q, AliasId alias) {
+  return Memo(q).preds[static_cast<size_t>(alias)];
+}
+
+Oracle::CardResult Oracle::TrueJoinRows(const Query& q, AliasMask mask) {
+  LQOLAB_CHECK_MSG(q.IsConnected(mask),
+                   "oracle asked for disconnected subset in " << q.id);
+  QueryMemo& memo = Memo(q);
+  auto it = memo.cards.find(mask);
+  if (it != memo.cards.end()) return it->second;
+  if (std::popcount(mask) == 1) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(mask));
+    EnsureFiltered(memo, q, alias);
+    const CardResult result{
+        static_cast<int64_t>(memo.filtered[static_cast<size_t>(alias)].size()),
+        false};
+    memo.cards[mask] = result;
+    return result;
+  }
+  const Intermediate* mat = Materialize(memo, q, mask);
+  CardResult result;
+  if (mat != nullptr) {
+    result.rows = mat->rows;
+    memo.cards[mask] = result;
+    return result;
+  }
+  // Materialization exceeded the caps: the subset is huge but its exact
+  // size may still be countable without storing tuples, by streaming the
+  // extension of a cached submask materialization. Plans over such subsets
+  // then get charged honest (large) virtual time instead of timing out.
+  AliasMask bits = mask;
+  while (bits != 0) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+    bits &= bits - 1;
+    const AliasMask rest = mask & ~query::MaskOf(alias);
+    if (!q.IsConnected(rest)) continue;
+    auto rest_it = memo.mats.find(rest);
+    if (rest_it == memo.mats.end()) continue;
+    EnsureFiltered(memo, q, alias);
+    int64_t count = 0;
+    if (CountExtension(q, rest_it->second, alias,
+                       memo.filtered[static_cast<size_t>(alias)], &count)) {
+      result.rows = count;
+      memo.cards[mask] = result;
+      return result;
+    }
+  }
+  int64_t tree_count = 0;
+  if (TreeCount(memo, q, mask, &tree_count)) {
+    result.rows = tree_count;
+    memo.cards[mask] = result;
+    return result;
+  }
+  result.overflow = true;
+  memo.cards[mask] = result;
+  return result;
+}
+
+bool Oracle::TreeCount(QueryMemo& memo, const Query& q, AliasMask mask,
+                       int64_t* count) {
+  // Collect the subset's internal edges; bail out on cycles (message
+  // passing is exact only for tree-shaped join graphs).
+  std::vector<query::JoinEdge> edges;
+  for (const auto& edge : q.edges) {
+    if ((mask & query::MaskOf(edge.left_alias)) &&
+        (mask & query::MaskOf(edge.right_alias))) {
+      edges.push_back(edge);
+    }
+  }
+  const int32_t members = std::popcount(mask);
+  if (static_cast<int32_t>(edges.size()) != members - 1) return false;
+
+  // Per-row partial counts (as doubles to survive astronomically large
+  // subsets; saturated on return).
+  std::unordered_map<query::AliasId, std::vector<double>> row_counts;
+  AliasMask bits = mask;
+  while (bits != 0) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+    bits &= bits - 1;
+    EnsureFiltered(memo, q, alias);
+    row_counts[alias].assign(memo.filtered[static_cast<size_t>(alias)].size(),
+                             1.0);
+  }
+
+  // Peel leaves: repeatedly take an alias with exactly one remaining edge,
+  // aggregate its per-key count sums, and multiply them into the neighbor.
+  std::vector<char> edge_done(edges.size(), 0);
+  AliasMask remaining = mask;
+  while (std::popcount(remaining) > 1) {
+    AliasId leaf = -1;
+    size_t leaf_edge = 0;
+    bits = remaining;
+    while (bits != 0) {
+      const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+      bits &= bits - 1;
+      int32_t degree = 0;
+      size_t last_edge = 0;
+      for (size_t e = 0; e < edges.size(); ++e) {
+        if (edge_done[e]) continue;
+        if (edges[e].left_alias == alias || edges[e].right_alias == alias) {
+          ++degree;
+          last_edge = e;
+        }
+      }
+      if (degree == 1) {
+        leaf = alias;
+        leaf_edge = last_edge;
+        break;
+      }
+    }
+    if (leaf < 0) return false;  // should not happen for a tree
+    const auto& edge = edges[leaf_edge];
+    const AliasId parent =
+        edge.left_alias == leaf ? edge.right_alias : edge.left_alias;
+    const catalog::ColumnId leaf_col =
+        edge.left_alias == leaf ? edge.left_column : edge.right_column;
+    const catalog::ColumnId parent_col =
+        edge.left_alias == leaf ? edge.right_column : edge.left_column;
+
+    // Message: per join-key sum of the leaf's row counts.
+    const storage::Column& leaf_values =
+        ctx_->table(q.relations[static_cast<size_t>(leaf)].table)
+            .column(leaf_col);
+    const auto& leaf_rows = memo.filtered[static_cast<size_t>(leaf)];
+    const auto& leaf_counts = row_counts[leaf];
+    std::unordered_map<Value, double> message;
+    message.reserve(leaf_rows.size());
+    for (size_t i = 0; i < leaf_rows.size(); ++i) {
+      const Value v = leaf_values.at(leaf_rows[i]);
+      if (v != storage::kNullValue) message[v] += leaf_counts[i];
+    }
+
+    // Fold into the parent: each parent row multiplies by its key's sum
+    // (zero when no partner exists).
+    const storage::Column& parent_values =
+        ctx_->table(q.relations[static_cast<size_t>(parent)].table)
+            .column(parent_col);
+    const auto& parent_rows = memo.filtered[static_cast<size_t>(parent)];
+    auto& parent_counts = row_counts[parent];
+    for (size_t i = 0; i < parent_rows.size(); ++i) {
+      if (parent_counts[i] == 0.0) continue;
+      const Value v = parent_values.at(parent_rows[i]);
+      double factor = 0.0;
+      if (v != storage::kNullValue) {
+        auto it = message.find(v);
+        if (it != message.end()) factor = it->second;
+      }
+      parent_counts[i] *= factor;
+    }
+
+    edge_done[leaf_edge] = 1;
+    remaining &= ~query::MaskOf(leaf);
+  }
+
+  const AliasId root = static_cast<AliasId>(std::countr_zero(remaining));
+  double total = 0.0;
+  for (double c : row_counts[root]) total += c;
+  constexpr double kSaturate = 4.0e18;
+  *count = static_cast<int64_t>(std::min(total, kSaturate));
+  return true;
+}
+
+bool Oracle::CountExtension(const Query& q, const Intermediate& left,
+                            AliasId alias,
+                            const std::vector<storage::RowId>& base_rows,
+                            int64_t* count) {
+  AliasMask left_mask = 0;
+  for (AliasId a : left.aliases) left_mask |= query::MaskOf(a);
+  const auto edges = q.EdgesBetween(left_mask, query::MaskOf(alias));
+  LQOLAB_CHECK(!edges.empty());
+  const storage::Table& base_table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const auto& hash_edge = edges[0];
+  const storage::Column& base_key = base_table.column(hash_edge.right_column);
+  const int32_t width = static_cast<int32_t>(left.aliases.size());
+  auto position_of = [&](AliasId a) {
+    for (int32_t i = 0; i < width; ++i) {
+      if (left.aliases[static_cast<size_t>(i)] == a) return i;
+    }
+    LQOLAB_CHECK_MSG(false, "alias not in intermediate");
+    return -1;
+  };
+  const int32_t hash_pos = position_of(hash_edge.left_alias);
+  const storage::Column& probe_col =
+      ctx_->table(q.relations[static_cast<size_t>(hash_edge.left_alias)].table)
+          .column(hash_edge.left_column);
+
+  if (edges.size() == 1) {
+    // Pure counting: sum per-key multiplicities, O(|left| + |base|).
+    std::unordered_map<Value, int64_t> counts;
+    counts.reserve(base_rows.size());
+    for (RowId r : base_rows) {
+      const Value v = base_key.at(r);
+      if (v != storage::kNullValue) ++counts[v];
+    }
+    int64_t total = 0;
+    for (int64_t row = 0; row < left.rows; ++row) {
+      const Value v = probe_col.at(left.data[static_cast<size_t>(
+          row * width + hash_pos)]);
+      if (v == storage::kNullValue) continue;
+      auto it = counts.find(v);
+      if (it != counts.end()) total += it->second;
+    }
+    *count = total;
+    return true;
+  }
+
+  // Residual edges: iterate matching pairs with a work cap.
+  constexpr int64_t kMaxCountedPairs = 400'000'000;
+  std::unordered_map<Value, std::vector<RowId>> hash;
+  hash.reserve(base_rows.size());
+  for (RowId r : base_rows) {
+    const Value v = base_key.at(r);
+    if (v != storage::kNullValue) hash[v].push_back(r);
+  }
+  struct EdgeProbe {
+    int32_t left_pos;
+    const storage::Column* left_col;
+    const storage::Column* right_col;
+  };
+  std::vector<EdgeProbe> residual;
+  for (size_t e = 1; e < edges.size(); ++e) {
+    residual.push_back(
+        {position_of(edges[e].left_alias),
+         &ctx_->table(
+                  q.relations[static_cast<size_t>(edges[e].left_alias)].table)
+              .column(edges[e].left_column),
+         &base_table.column(edges[e].right_column)});
+  }
+  int64_t total = 0;
+  int64_t pairs = 0;
+  for (int64_t row = 0; row < left.rows; ++row) {
+    const RowId* tuple = left.data.data() + row * width;
+    const Value v = probe_col.at(tuple[hash_pos]);
+    if (v == storage::kNullValue) continue;
+    auto it = hash.find(v);
+    if (it == hash.end()) continue;
+    for (RowId base_row : it->second) {
+      if (++pairs > kMaxCountedPairs) return false;
+      bool ok = true;
+      for (const auto& probe : residual) {
+        const Value lv = probe.left_col->at(tuple[probe.left_pos]);
+        if (lv == storage::kNullValue || lv != probe.right_col->at(base_row)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++total;
+    }
+  }
+  *count = total;
+  return true;
+}
+
+const Oracle::Intermediate* Oracle::Materialize(QueryMemo& memo,
+                                                const Query& q,
+                                                AliasMask mask) {
+  auto mat_it = memo.mats.find(mask);
+  if (mat_it != memo.mats.end()) return &mat_it->second;
+  auto card_it = memo.cards.find(mask);
+  if (card_it != memo.cards.end() && card_it->second.overflow) return nullptr;
+
+  if (std::popcount(mask) == 1) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(mask));
+    EnsureFiltered(memo, q, alias);
+    Intermediate base;
+    base.aliases = {alias};
+    base.data = memo.filtered[static_cast<size_t>(alias)];
+    base.rows = static_cast<int64_t>(base.data.size());
+    TrackBytes(base.bytes());
+    auto [it, inserted] = memo.mats.emplace(mask, std::move(base));
+    LQOLAB_CHECK(inserted);
+    EnforceBudget(memo, mask);
+    return &it->second;
+  }
+
+  // Fast path: extend a cached materialization of (mask minus one alias).
+  // The extension streams and is exact, so it cannot blow up beyond the
+  // subset's own result size.
+  AliasMask bits = mask;
+  while (bits != 0) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+    bits &= bits - 1;
+    const AliasMask rest = mask & ~query::MaskOf(alias);
+    if (!q.IsConnected(rest)) continue;
+    auto rest_it = memo.mats.find(rest);
+    if (rest_it == memo.mats.end()) continue;
+    EnsureFiltered(memo, q, alias);
+    Intermediate joined =
+        JoinWithBase(q, rest_it->second, alias,
+                     memo.filtered[static_cast<size_t>(alias)], mask);
+    if (joined.rows < 0) {
+      memo.cards[mask] = {0, true};
+      return nullptr;
+    }
+    memo.cards[mask] = {joined.rows, false};
+    TrackBytes(joined.bytes());
+    auto [it, inserted] = memo.mats.emplace(mask, std::move(joined));
+    LQOLAB_CHECK(inserted);
+    EnforceBudget(memo, mask);
+    return &it->second;
+  }
+
+  // Fresh evaluation: semi-join-reduce every member relation, then join
+  // greedily (smallest reduced base first) over the reduced row lists.
+  // After reduction, every partial tuple extends to at least one full
+  // tuple of the subset (exactly, for acyclic subsets), so intermediates
+  // stay near the subset's result size.
+  std::vector<std::vector<storage::RowId>> reduced =
+      SemiJoinReduce(memo, q, mask);
+  auto reduced_rows = [&](AliasId a) -> const std::vector<storage::RowId>& {
+    return reduced[static_cast<size_t>(a)];
+  };
+
+  std::vector<AliasId> members;
+  AliasMask bits2 = mask;
+  while (bits2 != 0) {
+    members.push_back(static_cast<AliasId>(std::countr_zero(bits2)));
+    bits2 &= bits2 - 1;
+  }
+  // Greedy connected order over reduced sizes.
+  AliasId start = members[0];
+  for (AliasId a : members) {
+    if (reduced_rows(a).size() < reduced_rows(start).size()) start = a;
+  }
+  Intermediate current;
+  current.aliases = {start};
+  current.data = reduced_rows(start);
+  current.rows = static_cast<int64_t>(current.data.size());
+  AliasMask covered = query::MaskOf(start);
+  while (covered != mask) {
+    AliasId next = -1;
+    for (AliasId a : members) {
+      if (covered & query::MaskOf(a)) continue;
+      if ((q.AdjacencyMask(a) & covered) == 0) continue;
+      if (next < 0 || reduced_rows(a).size() < reduced_rows(next).size()) {
+        next = a;
+      }
+    }
+    LQOLAB_CHECK_GE(next, 0);
+    Intermediate joined =
+        JoinWithBase(q, current, next, reduced_rows(next), mask);
+    if (joined.rows < 0) {
+      memo.cards[mask] = {0, true};
+      return nullptr;
+    }
+    current = std::move(joined);
+    covered |= query::MaskOf(next);
+  }
+  memo.cards[mask] = {current.rows, false};
+  TrackBytes(current.bytes());
+  auto [it, inserted] = memo.mats.emplace(mask, std::move(current));
+  LQOLAB_CHECK(inserted);
+  EnforceBudget(memo, mask);
+  return &it->second;
+}
+
+std::vector<std::vector<storage::RowId>> Oracle::SemiJoinReduce(
+    QueryMemo& memo, const Query& q, AliasMask mask) {
+  std::vector<std::vector<storage::RowId>> reduced(q.relations.size());
+  AliasMask bits = mask;
+  while (bits != 0) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+    bits &= bits - 1;
+    EnsureFiltered(memo, q, alias);
+    reduced[static_cast<size_t>(alias)] =
+        memo.filtered[static_cast<size_t>(alias)];
+  }
+  // Edges inside the mask.
+  std::vector<query::JoinEdge> edges;
+  for (const auto& edge : q.edges) {
+    if ((mask & query::MaskOf(edge.left_alias)) &&
+        (mask & query::MaskOf(edge.right_alias))) {
+      edges.push_back(edge);
+    }
+  }
+  // A few reduction passes (2 suffice for tree-shaped subsets when edges
+  // are swept in both directions; a 3rd catches most cycle effects).
+  for (int pass = 0; pass < 3; ++pass) {
+    bool changed = false;
+    auto reduce_side = [&](AliasId keep, catalog::ColumnId keep_col,
+                           AliasId probe, catalog::ColumnId probe_col) {
+      auto& keep_rows = reduced[static_cast<size_t>(keep)];
+      const auto& probe_rows = reduced[static_cast<size_t>(probe)];
+      const storage::Column& keep_values =
+          ctx_->table(q.relations[static_cast<size_t>(keep)].table)
+              .column(keep_col);
+      const storage::Column& probe_values =
+          ctx_->table(q.relations[static_cast<size_t>(probe)].table)
+              .column(probe_col);
+      std::unordered_set<Value> present;
+      present.reserve(probe_rows.size());
+      for (RowId r : probe_rows) {
+        const Value v = probe_values.at(r);
+        if (v != storage::kNullValue) present.insert(v);
+      }
+      std::vector<RowId> kept;
+      kept.reserve(keep_rows.size());
+      for (RowId r : keep_rows) {
+        const Value v = keep_values.at(r);
+        if (v != storage::kNullValue && present.count(v) > 0) {
+          kept.push_back(r);
+        }
+      }
+      if (kept.size() != keep_rows.size()) {
+        keep_rows = std::move(kept);
+        changed = true;
+      }
+    };
+    for (const auto& edge : edges) {
+      reduce_side(edge.left_alias, edge.left_column, edge.right_alias,
+                  edge.right_column);
+      reduce_side(edge.right_alias, edge.right_column, edge.left_alias,
+                  edge.left_column);
+    }
+    if (!changed) break;
+  }
+  return reduced;
+}
+
+Oracle::Intermediate Oracle::JoinWithBase(
+    const Query& q, const Intermediate& left, AliasId alias,
+    const std::vector<storage::RowId>& base_rows, AliasMask scope) {
+  AliasMask left_mask = 0;
+  for (AliasId a : left.aliases) left_mask |= query::MaskOf(a);
+  LQOLAB_DCHECK((left_mask & ~scope) == 0);
+  // Edges normalized so that left_alias is inside `left`.
+  const auto edges = q.EdgesBetween(left_mask, query::MaskOf(alias));
+  LQOLAB_CHECK(!edges.empty());
+
+  const storage::Table& base_table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+
+  // Hash the base relation on the first edge's column.
+  const auto& hash_edge = edges[0];
+  const storage::Column& base_key =
+      base_table.column(hash_edge.right_column);
+  std::unordered_map<Value, std::vector<RowId>> hash;
+  hash.reserve(base_rows.size());
+  for (RowId r : base_rows) {
+    const Value v = base_key.at(r);
+    if (v == storage::kNullValue) continue;
+    hash[v].push_back(r);
+  }
+
+  // Positions of the probe-side aliases within the left tuple layout.
+  const int32_t width = static_cast<int32_t>(left.aliases.size());
+  auto position_of = [&](AliasId a) {
+    for (int32_t i = 0; i < width; ++i) {
+      if (left.aliases[static_cast<size_t>(i)] == a) return i;
+    }
+    LQOLAB_CHECK_MSG(false, "alias not in intermediate");
+    return -1;
+  };
+  struct EdgeProbe {
+    int32_t left_pos;
+    const storage::Column* left_col;
+    const storage::Column* right_col;
+  };
+  std::vector<EdgeProbe> residual;
+  const int32_t hash_pos = position_of(hash_edge.left_alias);
+  const storage::Column& hash_probe_col =
+      ctx_->table(q.relations[static_cast<size_t>(hash_edge.left_alias)].table)
+          .column(hash_edge.left_column);
+  for (size_t e = 1; e < edges.size(); ++e) {
+    EdgeProbe probe;
+    probe.left_pos = position_of(edges[e].left_alias);
+    probe.left_col =
+        &ctx_->table(q.relations[static_cast<size_t>(edges[e].left_alias)].table)
+             .column(edges[e].left_column);
+    probe.right_col = &base_table.column(edges[e].right_column);
+    residual.push_back(probe);
+  }
+
+  // New layout: aliases sorted ascending with `alias` inserted.
+  Intermediate out;
+  out.aliases = left.aliases;
+  out.aliases.insert(
+      std::upper_bound(out.aliases.begin(), out.aliases.end(), alias), alias);
+  const int32_t out_width = width + 1;
+  const int32_t insert_pos = [&] {
+    for (int32_t i = 0; i < out_width; ++i) {
+      if (out.aliases[static_cast<size_t>(i)] == alias) return i;
+    }
+    return -1;
+  }();
+
+  for (int64_t row = 0; row < left.rows; ++row) {
+    const RowId* tuple = left.data.data() + row * width;
+    const Value probe_value =
+        hash_probe_col.at(tuple[hash_pos]);
+    if (probe_value == storage::kNullValue) continue;
+    auto it = hash.find(probe_value);
+    if (it == hash.end()) continue;
+    for (RowId base_row : it->second) {
+      bool ok = true;
+      for (const auto& probe : residual) {
+        const Value lv = probe.left_col->at(tuple[probe.left_pos]);
+        if (lv == storage::kNullValue ||
+            lv != probe.right_col->at(base_row)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (out.rows >= cost::kMaxIntermediateRows ||
+          out.rows * out_width >= cost::kMaxIntermediateCells) {
+        out.rows = -1;  // overflow
+        out.data.clear();
+        out.data.shrink_to_fit();
+        return out;
+      }
+      for (int32_t i = 0; i < out_width; ++i) {
+        if (i < insert_pos) {
+          out.data.push_back(tuple[i]);
+        } else if (i == insert_pos) {
+          out.data.push_back(base_row);
+        } else {
+          out.data.push_back(tuple[i - 1]);
+        }
+      }
+      ++out.rows;
+    }
+  }
+  return out;
+}
+
+void Oracle::TrackBytes(int64_t delta) { mat_bytes_ += delta; }
+
+void Oracle::EnforceBudget(QueryMemo& keep, AliasMask keep_mask) {
+  if (mat_bytes_ <= kMatBudgetBytes) return;
+  // Drop materializations of all other queries first, then (if still over)
+  // the current query's larger intermediates. Cardinalities are retained.
+  for (auto& [fp, memo] : memos_) {
+    if (&memo == &keep) continue;
+    for (auto& [mask, mat] : memo.mats) mat_bytes_ -= mat.bytes();
+    memo.mats.clear();
+  }
+  if (mat_bytes_ <= kMatBudgetBytes) return;
+  std::vector<std::pair<int64_t, AliasMask>> sized;
+  for (auto& [mask, mat] : keep.mats) sized.emplace_back(mat.bytes(), mask);
+  std::sort(sized.begin(), sized.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [bytes, mask] : sized) {
+    if (mat_bytes_ <= kMatBudgetBytes / 2) break;
+    if (mask == keep_mask) continue;
+    mat_bytes_ -= bytes;
+    keep.mats.erase(mask);
+  }
+}
+
+void Oracle::ReleaseMaterializations() {
+  for (auto& [fp, memo] : memos_) {
+    memo.mats.clear();
+  }
+  mat_bytes_ = 0;
+}
+
+}  // namespace lqolab::exec

@@ -1,0 +1,143 @@
+#ifndef LQOLAB_EXEC_ORACLE_H_
+#define LQOLAB_EXEC_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/db_context.h"
+#include "query/predicate_binding.h"
+#include "query/query.h"
+
+namespace lqolab::exec {
+
+/// Stable fingerprint of a query's full structure (relations, edges,
+/// predicates); used to key oracle memoization across repeated executions.
+uint64_t QueryFingerprint(const query::Query& q);
+
+/// True-cardinality oracle: computes the exact result sizes of filtered base
+/// relations and of connected join subsets by actually evaluating them over
+/// the data (hash joins over row-id tuples). Results are memoized per query
+/// fingerprint, so repeated plan executions during LQO training are cheap.
+///
+/// This is the core of the simulation substrate (DESIGN.md §4.1): the
+/// executor charges virtual time as a function of TRUE cardinalities, while
+/// the planner sees only the estimator — exactly the gap that separates good
+/// plans from bad ones on the real system.
+class Oracle {
+ public:
+  explicit Oracle(const DbContext* ctx);
+
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  /// Result of a cardinality request. `overflow` marks subsets whose
+  /// materialization exceeded cost::kMaxIntermediateRows; the executor
+  /// treats such plans as timed out.
+  struct CardResult {
+    int64_t rows = 0;
+    bool overflow = false;
+  };
+
+  /// Rows of `alias` passing all its predicates (ascending row ids).
+  const std::vector<storage::RowId>& FilteredRows(const query::Query& q,
+                                                  query::AliasId alias);
+
+  /// Filtered row count of a base relation.
+  int64_t TrueBaseRows(const query::Query& q, query::AliasId alias);
+
+  /// Rows of `alias` matching ONLY its `pred_index`-th predicate (used to
+  /// model index/bitmap scan page access).
+  const std::vector<storage::RowId>& SinglePredicateRows(const query::Query& q,
+                                                         query::AliasId alias,
+                                                         size_t pred_index);
+
+  /// True cardinality of the join over a connected alias subset.
+  CardResult TrueJoinRows(const query::Query& q, query::AliasMask mask);
+
+  /// Bound predicates of an alias (resolved dictionary codes).
+  const std::vector<query::BoundPredicate>& BoundPredicates(
+      const query::Query& q, query::AliasId alias);
+
+  /// Frees all materialized intermediates (cardinalities are kept).
+  void ReleaseMaterializations();
+
+  /// Total bytes currently held in materialized intermediates.
+  int64_t materialization_bytes() const { return mat_bytes_; }
+
+ private:
+  /// Materialized join result: tuples of row-ids, one per alias in
+  /// `aliases` (ascending), row-major in `data`.
+  struct Intermediate {
+    std::vector<query::AliasId> aliases;
+    std::vector<storage::RowId> data;
+    int64_t rows = 0;
+
+    int64_t bytes() const {
+      return static_cast<int64_t>(data.capacity()) *
+             static_cast<int64_t>(sizeof(storage::RowId));
+    }
+  };
+
+  struct QueryMemo {
+    bool bound = false;
+    std::vector<std::vector<query::BoundPredicate>> preds;   // per alias
+    std::vector<std::vector<storage::RowId>> filtered;       // per alias
+    std::vector<char> filtered_ready;
+    std::unordered_map<uint64_t, std::vector<storage::RowId>> single_pred;
+    std::unordered_map<query::AliasMask, CardResult> cards;
+    std::unordered_map<query::AliasMask, Intermediate> mats;
+  };
+
+  QueryMemo& Memo(const query::Query& q);
+  void EnsureFiltered(QueryMemo& memo, const query::Query& q,
+                      query::AliasId alias);
+
+  /// Returns the materialized subset or nullptr on overflow. Prefers
+  /// extending a cached submask materialization by one relation (exact and
+  /// blowup-free); otherwise evaluates the subset from scratch with
+  /// Yannakakis-style semi-join reduction, which bounds intermediates by
+  /// (roughly) the subset's own result size even for adversarial shapes.
+  const Intermediate* Materialize(QueryMemo& memo, const query::Query& q,
+                                  query::AliasMask mask);
+
+  /// Joins `left` with base rows of `alias` over all connecting edges
+  /// within `scope`. Returns overflow via `result.rows < 0`.
+  Intermediate JoinWithBase(const query::Query& q, const Intermediate& left,
+                            query::AliasId alias,
+                            const std::vector<storage::RowId>& base_rows,
+                            query::AliasMask scope);
+
+  /// Exact count of a TREE-shaped (acyclic) subset by message passing over
+  /// the join tree in O(sum of base rows) — no materialization, any result
+  /// size. Returns false when the subset's edges contain a cycle.
+  bool TreeCount(QueryMemo& memo, const query::Query& q,
+                 query::AliasMask mask, int64_t* count);
+
+  /// Streams the one-relation extension of `left` counting result rows
+  /// without storing them; returns false when the pair-iteration work cap
+  /// is exceeded. Used for subsets too large to materialize.
+  bool CountExtension(const query::Query& q, const Intermediate& left,
+                      query::AliasId alias,
+                      const std::vector<storage::RowId>& base_rows,
+                      int64_t* count);
+
+  /// Semi-join-reduces the filtered row lists of every alias in `mask`
+  /// (rows without a join partner on some edge inside `mask` are dropped;
+  /// sound for computing the join over `mask`).
+  std::vector<std::vector<storage::RowId>> SemiJoinReduce(
+      QueryMemo& memo, const query::Query& q, query::AliasMask mask);
+
+  void TrackBytes(int64_t delta);
+  /// Evicts materializations when over budget, never touching `keep_mask`
+  /// of `keep` (callers may hold a pointer into it).
+  void EnforceBudget(QueryMemo& keep, query::AliasMask keep_mask);
+
+  const DbContext* ctx_;
+  std::unordered_map<uint64_t, QueryMemo> memos_;
+  int64_t mat_bytes_ = 0;
+};
+
+}  // namespace lqolab::exec
+
+#endif  // LQOLAB_EXEC_ORACLE_H_

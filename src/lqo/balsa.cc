@@ -1,0 +1,150 @@
+#include "lqo/balsa.h"
+
+#include <algorithm>
+
+#include "exec/oracle.h"
+#include "lqo/plan_search.h"
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using query::Query;
+using util::VirtualNanos;
+
+BalsaOptimizer::BalsaOptimizer() : BalsaOptimizer(Options()) {}
+
+BalsaOptimizer::BalsaOptimizer(Options options) : options_(options) {}
+BalsaOptimizer::~BalsaOptimizer() = default;
+
+void BalsaOptimizer::EnsureModel(Database* db) {
+  if (net_ != nullptr) return;
+  const auto& ctx = db->context();
+  query_encoder_ = std::make_unique<QueryEncoder>(&ctx,
+                                                  &db->planner().estimator());
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &ctx, &db->planner().estimator(), PlanEncodingStyle::kWithTableIdentity);
+  net_ = std::make_unique<TreeValueNet>(plan_encoder_->node_dim(),
+                                        query_encoder_->dim(), options_.hidden,
+                                        options_.seed);
+  adam_ = std::make_unique<ml::Adam>(net_->Params(), options_.learning_rate);
+  rng_state_ = options_.seed ^ 0xb5297a4dULL;
+}
+
+void BalsaOptimizer::Fit(const std::vector<Sample>& samples, int32_t epochs,
+                         TrainReport* report) {
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::swap(order[i - 1], order[(rng_state_ >> 33) % i]);
+    }
+    for (size_t idx : order) {
+      const Sample& sample = samples[idx];
+      const std::vector<float> qenc = query_encoder_->Encode(sample.query);
+      net_->TrainRegression(qenc, sample.query, sample.plan, *plan_encoder_,
+                            sample.target, adam_.get());
+      ++report->nn_updates;
+    }
+  }
+}
+
+SearchResult BalsaOptimizer::SearchPlan(const Query& q, Database* db,
+                                        double epsilon) {
+  const std::vector<float> qenc = query_encoder_->Encode(q);
+  return GreedyBottomUpSearch(
+      q, db->planner().cost_model(),
+      [&](const optimizer::PhysicalPlan& candidate) {
+        double score = net_->Score(qenc, q, candidate, *plan_encoder_);
+        if (epsilon > 0.0) {
+          rng_state_ =
+              rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+          const double u =
+              static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+          score += (u - 0.5) * epsilon;
+        }
+        return score;
+      });
+}
+
+TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
+                                  Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+
+  // --- Phase 1: pretrain on the cost model (no execution, no expertise).
+  std::vector<Sample> pretrain;
+  for (const Query& q : train_set) {
+    for (int32_t s = 0; s < options_.pretrain_samples_per_query; ++s) {
+      optimizer::PhysicalPlan plan =
+          RandomPlan(q, db->planner().cost_model(), &rng_state_);
+      const double cost = db->planner().EstimatePlanCost(q, plan);
+      ++report.planner_calls;
+      pretrain.push_back(
+          {q, std::move(plan),
+           LatencyToTarget(static_cast<VirtualNanos>(
+               std::min(cost, 1.0e18)))});
+    }
+  }
+  Fit(pretrain, options_.pretrain_epochs, &report);
+
+  // --- Phase 2: on-policy fine-tuning with safe timeouts.
+  for (int32_t iter = 0; iter < options_.iterations; ++iter) {
+    std::vector<Sample> fresh;
+    for (const Query& q : train_set) {
+      const uint64_t fp = exec::QueryFingerprint(q);
+      for (int32_t c = 0; c <= options_.exploration_plans; ++c) {
+        const double epsilon = c == 0 ? 0.0 : 0.05;
+        SearchResult search = SearchPlan(q, db, epsilon);
+        report.nn_evals += search.evals;
+        VirtualNanos timeout = 0;
+        auto best = best_latency_.find(fp);
+        if (best != best_latency_.end()) {
+          timeout = static_cast<VirtualNanos>(
+              static_cast<double>(best->second) * options_.timeout_factor);
+          timeout = std::max<VirtualNanos>(timeout, util::kNanosPerMilli);
+        }
+        const engine::QueryRun run =
+            db->ExecutePlan(q, search.plan, 0, timeout);
+        ++report.plans_executed;
+        report.execution_ns += run.execution_ns;
+        if (!run.timed_out) {
+          auto [it, inserted] = best_latency_.emplace(fp, run.execution_ns);
+          if (!inserted && run.execution_ns < it->second) {
+            it->second = run.execution_ns;
+          }
+        }
+        fresh.push_back({q, std::move(search.plan),
+                         LatencyToTarget(run.execution_ns)});
+      }
+    }
+    // Balsa trains on the most recent data, not a replay buffer.
+    Fit(fresh, options_.train_epochs, &report);
+  }
+
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction BalsaOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  SearchResult search = SearchPlan(q, db, 0.0);
+  Prediction prediction;
+  prediction.plan = std::move(search.plan);
+  prediction.nn_evals = search.evals;
+  prediction.inference_ns = search.evals * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec BalsaOptimizer::encoding_spec() const {
+  return {"Balsa",    "yes",  "cardinality", "cardinality", "stacking",
+          "yes",      "yes",  "yes",         "-",           "Regression",
+          "Tree-CNN", "Plan", "Static",      "-"};
+}
+
+}  // namespace lqolab::lqo

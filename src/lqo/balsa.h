@@ -1,0 +1,71 @@
+#ifndef LQOLAB_LQO_BALSA_H_
+#define LQOLAB_LQO_BALSA_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lqo/encoding.h"
+#include "lqo/plan_search.h"
+#include "lqo/interface.h"
+#include "lqo/value_net.h"
+#include "ml/nn.h"
+
+namespace lqolab::lqo {
+
+/// Simplified Balsa (Yang et al., SIGMOD 2022): Neo's architecture but
+/// bootstrapped WITHOUT expert demonstrations — the value network pretrains
+/// on the DBMS cost model over sampled random plans, then fine-tunes
+/// on-policy, executing plans under safe timeouts (2x the best known
+/// latency per query) and training mostly on the most recent data. Balsa
+/// executes considerably more plans than Neo (paper §8.2.2).
+class BalsaOptimizer : public LearnedOptimizer {
+ public:
+  struct Options {
+    int32_t pretrain_samples_per_query = 15;
+    int32_t pretrain_epochs = 3;
+    int32_t iterations = 5;
+    int32_t exploration_plans = 1;  ///< extra exploratory plans per query
+    int32_t train_epochs = 20;
+    int32_t hidden = 64;
+    double learning_rate = 1e-3;
+    double timeout_factor = 2.0;
+    uint64_t seed = 2;
+  };
+
+  BalsaOptimizer();
+  explicit BalsaOptimizer(Options options);
+  ~BalsaOptimizer() override;
+
+  std::string name() const override { return "balsa"; }
+  TrainReport Train(const std::vector<query::Query>& train_set,
+                    engine::Database* db) override;
+  Prediction Plan(const query::Query& q, engine::Database* db) override;
+  EncodingSpec encoding_spec() const override;
+
+ private:
+  struct Sample {
+    query::Query query;
+    optimizer::PhysicalPlan plan;
+    float target = 0.0f;
+  };
+
+  void EnsureModel(engine::Database* db);
+  void Fit(const std::vector<Sample>& samples, int32_t epochs,
+           TrainReport* report);
+  SearchResult SearchPlan(const query::Query& q, engine::Database* db,
+                          double epsilon);
+
+  Options options_;
+  std::unique_ptr<QueryEncoder> query_encoder_;
+  std::unique_ptr<PlanEncoder> plan_encoder_;
+  std::unique_ptr<TreeValueNet> net_;
+  std::unique_ptr<ml::Adam> adam_;
+  /// Best observed latency per query fingerprint (drives safe timeouts).
+  std::unordered_map<uint64_t, util::VirtualNanos> best_latency_;
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_BALSA_H_

@@ -1,0 +1,171 @@
+#include "lqo/bao.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using engine::DbConfig;
+using query::Query;
+
+std::vector<HintSet> DefaultHintSets() {
+  std::vector<HintSet> sets(6);
+  sets[0].name = "all_on";
+  sets[1].name = "no_nestloop";
+  sets[1].enable_nestloop = false;
+  sets[2].name = "no_hashjoin";
+  sets[2].enable_hashjoin = false;
+  sets[3].name = "no_mergejoin";
+  sets[3].enable_mergejoin = false;
+  sets[4].name = "no_index";
+  sets[4].enable_indexscan = false;
+  sets[4].enable_bitmapscan = false;
+  sets[5].name = "no_nl_merge";
+  sets[5].enable_nestloop = false;
+  sets[5].enable_mergejoin = false;
+  return sets;
+}
+
+namespace {
+
+DbConfig ApplyHintSet(DbConfig config, const HintSet& hints) {
+  config.enable_nestloop = hints.enable_nestloop;
+  config.enable_hashjoin = hints.enable_hashjoin;
+  config.enable_mergejoin = hints.enable_mergejoin;
+  config.enable_indexscan = hints.enable_indexscan;
+  config.enable_bitmapscan = hints.enable_bitmapscan;
+  config.enable_seqscan = hints.enable_seqscan;
+  return config;
+}
+
+}  // namespace
+
+BaoOptimizer::BaoOptimizer() : BaoOptimizer(Options()) {}
+
+BaoOptimizer::BaoOptimizer(Options options)
+    : options_(options), hint_sets_(DefaultHintSets()) {}
+BaoOptimizer::~BaoOptimizer() = default;
+
+void BaoOptimizer::EnsureModel(Database* db) {
+  if (net_ != nullptr) return;
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &db->context(), &db->planner().estimator(),
+      PlanEncodingStyle::kCardinalityOnly);
+  // query_dim = 0: Bao has no query encoding (Table 1).
+  net_ = std::make_unique<TreeValueNet>(plan_encoder_->node_dim(), 0,
+                                        options_.hidden, options_.seed);
+  adam_ = std::make_unique<ml::Adam>(net_->Params(), options_.learning_rate);
+  rng_state_ = options_.seed ^ 0x2545f491ULL;
+}
+
+std::vector<BaoOptimizer::ArmCandidate> BaoOptimizer::PlanArms(
+    const Query& q, Database* db, TrainReport* report) {
+  const DbConfig saved = db->config();
+  std::vector<ArmCandidate> candidates;
+  candidates.reserve(hint_sets_.size());
+  for (const HintSet& hints : hint_sets_) {
+    db->SetConfig(ApplyHintSet(saved, hints));
+    Database::Planned planned = db->PlanQuery(q);
+    if (report != nullptr) ++report->planner_calls;
+    ArmCandidate candidate;
+    candidate.plan = std::move(planned.plan);
+    candidate.planning_ns = planned.planning_ns;
+    candidate.score = net_->Score({}, q, candidate.plan, *plan_encoder_);
+    candidates.push_back(std::move(candidate));
+  }
+  db->SetConfig(saved);
+  return candidates;
+}
+
+void BaoOptimizer::Fit(TrainReport* report) {
+  std::vector<size_t> order(experience_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::swap(order[i - 1], order[(rng_state_ >> 33) % i]);
+    }
+    for (size_t idx : order) {
+      const Sample& sample = experience_[idx];
+      net_->TrainRegression({}, sample.query, sample.plan, *plan_encoder_,
+                            sample.target, adam_.get());
+      ++report->nn_updates;
+    }
+  }
+}
+
+TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
+                                Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double epsilon =
+        options_.initial_epsilon / static_cast<double>(epoch + 1);
+    for (const Query& q : train_set) {
+      std::vector<ArmCandidate> candidates = PlanArms(q, db, &report);
+      report.nn_evals += static_cast<int64_t>(candidates.size());
+      size_t chosen = 0;
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double u = static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+      if (u < epsilon) {
+        chosen = (rng_state_ >> 33) % candidates.size();
+      } else {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          if (candidates[i].score < best) {
+            best = candidates[i].score;
+            chosen = i;
+          }
+        }
+      }
+      const engine::QueryRun run = db->ExecutePlan(q, candidates[chosen].plan);
+      ++report.plans_executed;
+      report.execution_ns += run.execution_ns;
+      experience_.push_back({q, std::move(candidates[chosen].plan),
+                             LatencyToTarget(run.execution_ns)});
+    }
+    Fit(&report);
+  }
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction BaoOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  std::vector<ArmCandidate> candidates = PlanArms(q, db, nullptr);
+  size_t chosen = 0;
+  double best = std::numeric_limits<double>::infinity();
+  util::VirtualNanos planning_total = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    planning_total += candidates[i].planning_ns;
+    if (candidates[i].score < best) {
+      best = candidates[i].score;
+      chosen = i;
+    }
+  }
+  Prediction prediction;
+  prediction.plan = std::move(candidates[chosen].plan);
+  prediction.nn_evals = static_cast<int64_t>(candidates.size());
+  // Bao runs inside the DBMS: model evaluation and the per-hint-set
+  // plannings are all reported as planning time (paper Fig. 5 note).
+  prediction.inference_ns = 0;
+  prediction.planning_ns =
+      planning_total +
+      static_cast<util::VirtualNanos>(candidates.size()) * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec BaoOptimizer::encoding_spec() const {
+  return {"Bao",      "-",        "-",   "-",           "-",
+          "yes",      "yes",      "-",   "yes",         "Regression",
+          "Tree-CNN", "Hint set", "Time Series", "yes"};
+}
+
+}  // namespace lqolab::lqo

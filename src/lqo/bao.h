@@ -1,0 +1,87 @@
+#ifndef LQOLAB_LQO_BAO_H_
+#define LQOLAB_LQO_BAO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lqo/encoding.h"
+#include "lqo/interface.h"
+#include "lqo/value_net.h"
+#include "ml/nn.h"
+
+namespace lqolab::lqo {
+
+/// A Bao hint set: a named subset of operators the native optimizer may not
+/// use. Applied as enable_* overlays on the session configuration.
+struct HintSet {
+  std::string name;
+  bool enable_nestloop = true;
+  bool enable_hashjoin = true;
+  bool enable_mergejoin = true;
+  bool enable_indexscan = true;
+  bool enable_bitmapscan = true;
+  bool enable_seqscan = true;
+};
+
+/// The hint sets used by this Bao reimplementation (the original ships 48
+/// and uses ~5 in practice).
+std::vector<HintSet> DefaultHintSets();
+
+/// Simplified Bao (Marcus et al., SIGMOD 2021): sits ON TOP of the native
+/// optimizer, choosing per query which hint set (disabled-operator subset)
+/// the optimizer plans under. The value model is a tree network over a
+/// cardinality/cost-only encoding with NO table identities (Table 1) — the
+/// property stressed by the covariate-shift experiment (Fig. 7). Runs as an
+/// "extension": its inference time is reported inside planning time.
+class BaoOptimizer : public LearnedOptimizer {
+ public:
+  struct Options {
+    int32_t epochs = 4;
+    int32_t train_epochs = 25;
+    int32_t hidden = 48;
+    double learning_rate = 1e-3;
+    double initial_epsilon = 0.5;
+    uint64_t seed = 3;
+  };
+
+  BaoOptimizer();
+  explicit BaoOptimizer(Options options);
+  ~BaoOptimizer() override;
+
+  std::string name() const override { return "bao"; }
+  TrainReport Train(const std::vector<query::Query>& train_set,
+                    engine::Database* db) override;
+  Prediction Plan(const query::Query& q, engine::Database* db) override;
+  EncodingSpec encoding_spec() const override;
+
+ private:
+  struct Sample {
+    query::Query query;
+    optimizer::PhysicalPlan plan;
+    float target = 0.0f;
+  };
+  struct ArmCandidate {
+    optimizer::PhysicalPlan plan;
+    util::VirtualNanos planning_ns = 0;
+    double score = 0.0;
+  };
+
+  void EnsureModel(engine::Database* db);
+  void Fit(TrainReport* report);
+  std::vector<ArmCandidate> PlanArms(const query::Query& q,
+                                     engine::Database* db,
+                                     TrainReport* report);
+
+  Options options_;
+  std::vector<HintSet> hint_sets_;
+  std::unique_ptr<PlanEncoder> plan_encoder_;
+  std::unique_ptr<TreeValueNet> net_;
+  std::unique_ptr<ml::Adam> adam_;
+  std::vector<Sample> experience_;
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_BAO_H_

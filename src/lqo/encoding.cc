@@ -1,0 +1,99 @@
+#include "lqo/encoding.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using optimizer::JoinAlgo;
+using optimizer::PhysicalPlan;
+using optimizer::PlanNode;
+using optimizer::ScanType;
+using query::Query;
+
+namespace {
+
+float LogFeature(double rows) {
+  return static_cast<float>(std::log1p(std::max(0.0, rows)) / 20.0);
+}
+
+}  // namespace
+
+QueryEncoder::QueryEncoder(const exec::DbContext* ctx,
+                           const stats::CardinalityEstimator* estimator)
+    : ctx_(ctx), estimator_(estimator) {
+  LQOLAB_CHECK(ctx != nullptr);
+  LQOLAB_CHECK(estimator != nullptr);
+}
+
+int32_t QueryEncoder::dim() const {
+  return 2 * ctx_->schema->table_count() + 2;
+}
+
+std::vector<float> QueryEncoder::Encode(const Query& q) const {
+  const int32_t tables = ctx_->schema->table_count();
+  std::vector<float> features(static_cast<size_t>(dim()), 0.0f);
+  for (query::AliasId a = 0; a < q.relation_count(); ++a) {
+    const catalog::TableId t = q.relations[static_cast<size_t>(a)].table;
+    features[static_cast<size_t>(t)] += 0.5f;  // alias count (0.5 per alias)
+    const double est = estimator_->EstimateBaseRows(q, a);
+    float& slot = features[static_cast<size_t>(tables + t)];
+    slot = std::max(slot, LogFeature(est));
+  }
+  features[static_cast<size_t>(2 * tables)] =
+      static_cast<float>(q.join_count()) / 16.0f;
+  features[static_cast<size_t>(2 * tables + 1)] =
+      static_cast<float>(q.edges.size()) / 20.0f;
+  return features;
+}
+
+PlanEncoder::PlanEncoder(const exec::DbContext* ctx,
+                         const stats::CardinalityEstimator* estimator,
+                         PlanEncodingStyle style)
+    : ctx_(ctx), estimator_(estimator), style_(style) {
+  LQOLAB_CHECK(ctx != nullptr);
+  LQOLAB_CHECK(estimator != nullptr);
+}
+
+int32_t PlanEncoder::node_dim() const {
+  // 4 join-algo one-hots + 4 scan-type one-hots + log est rows, then either
+  // a table identifier one-hot or a log estimated-cost slot.
+  const int32_t base = 4 + 4 + 1;
+  return style_ == PlanEncodingStyle::kWithTableIdentity
+             ? base + ctx_->schema->table_count()
+             : base + 1;
+}
+
+std::vector<float> PlanEncoder::EncodeNode(const Query& q,
+                                           const PhysicalPlan& plan,
+                                           int32_t node_index) const {
+  const PlanNode& node = plan.node(node_index);
+  std::vector<float> features(static_cast<size_t>(node_dim()), 0.0f);
+  if (node.type == PlanNode::Type::kJoin) {
+    features[static_cast<size_t>(node.algo)] = 1.0f;
+  } else {
+    features[4 + static_cast<size_t>(node.scan_type)] = 1.0f;
+  }
+  const double est_rows = estimator_->EstimateJoinRows(q, node.mask);
+  features[8] = LogFeature(est_rows);
+  if (style_ == PlanEncodingStyle::kWithTableIdentity) {
+    if (node.type == PlanNode::Type::kScan) {
+      const catalog::TableId t =
+          q.relations[static_cast<size_t>(node.alias)].table;
+      features[static_cast<size_t>(9 + t)] = 1.0f;
+    }
+  } else {
+    // Bao-style: estimated cost stands in for identity. A crude per-node
+    // cost proxy: rows scaled by an operator weight.
+    const double weight =
+        node.type == PlanNode::Type::kScan
+            ? 1.0
+            : (node.algo == JoinAlgo::kHash ? 2.0
+               : node.algo == JoinAlgo::kMerge ? 2.5 : 3.0);
+    features[9] = LogFeature(est_rows * weight * 40.0);
+  }
+  return features;
+}
+
+}  // namespace lqolab::lqo

@@ -1,0 +1,64 @@
+#ifndef LQOLAB_LQO_ENCODING_H_
+#define LQOLAB_LQO_ENCODING_H_
+
+#include <vector>
+
+#include "exec/db_context.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "stats/cardinality_estimator.h"
+
+namespace lqolab::lqo {
+
+/// Query-level encoding (the "global context" of §4.2): per-table alias
+/// counts, per-table log filtered-cardinality estimates, and join-graph
+/// summary features. Dimension = 2 * #tables + 2.
+class QueryEncoder {
+ public:
+  explicit QueryEncoder(const exec::DbContext* ctx,
+                        const stats::CardinalityEstimator* estimator);
+
+  int32_t dim() const;
+
+  std::vector<float> Encode(const query::Query& q) const;
+
+ private:
+  const exec::DbContext* ctx_;
+  const stats::CardinalityEstimator* estimator_;
+};
+
+/// Per-plan-node encoding style (Table 1 of the paper).
+enum class PlanEncodingStyle {
+  /// Full encoding with a one-hot table identifier per scan node (Neo,
+  /// Balsa, LEON style).
+  kWithTableIdentity,
+  /// Bao's schema-agnostic encoding: operator one-hots plus estimated
+  /// cardinality and cost only — no table identity. This is the property
+  /// the covariate-shift experiment (§8.3 / Fig. 7) stresses.
+  kCardinalityOnly,
+};
+
+/// Encodes physical plan nodes for tree-structured value networks.
+class PlanEncoder {
+ public:
+  PlanEncoder(const exec::DbContext* ctx,
+              const stats::CardinalityEstimator* estimator,
+              PlanEncodingStyle style);
+
+  int32_t node_dim() const;
+  PlanEncodingStyle style() const { return style_; }
+
+  /// Feature vector of one plan node within its query.
+  std::vector<float> EncodeNode(const query::Query& q,
+                                const optimizer::PhysicalPlan& plan,
+                                int32_t node_index) const;
+
+ private:
+  const exec::DbContext* ctx_;
+  const stats::CardinalityEstimator* estimator_;
+  PlanEncodingStyle style_;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_ENCODING_H_

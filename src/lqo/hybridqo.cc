@@ -1,0 +1,228 @@
+#include "lqo/hybridqo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "lqo/plan_search.h"
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using optimizer::PhysicalPlan;
+using query::AliasId;
+using query::AliasMask;
+using query::Query;
+
+HybridQoOptimizer::HybridQoOptimizer() : HybridQoOptimizer(Options()) {}
+HybridQoOptimizer::HybridQoOptimizer(Options options) : options_(options) {}
+HybridQoOptimizer::~HybridQoOptimizer() = default;
+
+void HybridQoOptimizer::EnsureModel(Database* db) {
+  if (latency_net_ != nullptr) return;
+  const auto& ctx = db->context();
+  query_encoder_ = std::make_unique<QueryEncoder>(&ctx,
+                                                  &db->planner().estimator());
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &ctx, &db->planner().estimator(), PlanEncodingStyle::kWithTableIdentity);
+  latency_net_ = std::make_unique<TreeValueNet>(
+      plan_encoder_->node_dim(), query_encoder_->dim(), options_.hidden,
+      options_.seed);
+  adam_ = std::make_unique<ml::Adam>(latency_net_->Params(),
+                                     options_.learning_rate);
+  rng_state_ = options_.seed ^ 0x27bb2ee6ULL;
+}
+
+std::vector<PhysicalPlan> HybridQoOptimizer::CandidatesFromMcts(
+    const Query& q, Database* db, int64_t* cost_calls) {
+  const int32_t depth =
+      std::min<int32_t>(options_.prefix_depth, q.relation_count());
+
+  // MCTS node statistics keyed by the order prefix.
+  struct NodeStats {
+    double total_reward = 0.0;
+    int32_t visits = 0;
+  };
+  std::map<std::vector<AliasId>, NodeStats> stats;
+  auto uniform = [&]() {
+    rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(rng_state_ >> 11) * 0x1.0p-53;
+  };
+  auto children_of = [&](const std::vector<AliasId>& prefix) {
+    std::vector<AliasId> children;
+    AliasMask mask = 0;
+    for (AliasId a : prefix) mask |= query::MaskOf(a);
+    for (AliasId a = 0; a < q.relation_count(); ++a) {
+      if ((mask & query::MaskOf(a)) == 0 &&
+          (mask == 0 || (q.AdjacencyMask(a) & mask) != 0)) {
+        children.push_back(a);
+      }
+    }
+    return children;
+  };
+
+  // Reward: negative log of the cost of the engine-completed prefix
+  // (higher is better), normalized into roughly [0, 1].
+  auto rollout_reward = [&](const std::vector<AliasId>& prefix) {
+    const double cost = db->planner().CostJoinOrder(
+        q, ExtendGreedily(q, prefix), nullptr, nullptr);
+    ++*cost_calls;
+    return 1.0 / (1.0 + std::log1p(std::max(0.0, cost) / 1e6));
+  };
+
+  for (int32_t iter = 0; iter < options_.mcts_iterations; ++iter) {
+    // Selection/expansion down to `depth` using UCB over child prefixes.
+    std::vector<AliasId> prefix;
+    while (static_cast<int32_t>(prefix.size()) < depth) {
+      const auto children = children_of(prefix);
+      if (children.empty()) break;
+      AliasId chosen = children[0];
+      double best_ucb = -std::numeric_limits<double>::infinity();
+      const double parent_visits =
+          std::max(1.0, static_cast<double>(stats[prefix].visits));
+      for (AliasId child : children) {
+        std::vector<AliasId> next = prefix;
+        next.push_back(child);
+        const NodeStats& ns = stats[next];
+        const double exploit =
+            ns.visits > 0 ? ns.total_reward / ns.visits : 0.0;
+        const double explore =
+            ns.visits > 0
+                ? options_.ucb_constant *
+                      std::sqrt(std::log(parent_visits) / ns.visits)
+                : 10.0 + uniform();  // unvisited first, tie-broken randomly
+        if (exploit + explore > best_ucb) {
+          best_ucb = exploit + explore;
+          chosen = child;
+        }
+      }
+      prefix.push_back(chosen);
+    }
+    // Simulation + backpropagation.
+    const double reward = rollout_reward(prefix);
+    for (size_t len = 0; len <= prefix.size(); ++len) {
+      std::vector<AliasId> node(prefix.begin(),
+                                prefix.begin() + static_cast<long>(len));
+      NodeStats& ns = stats[node];
+      ns.total_reward += reward;
+      ++ns.visits;
+    }
+  }
+
+  // Top prefixes by mean reward among depth-`depth` nodes.
+  std::vector<std::pair<double, std::vector<AliasId>>> ranked;
+  for (const auto& [prefix, ns] : stats) {
+    if (static_cast<int32_t>(prefix.size()) != depth || ns.visits == 0) {
+      continue;
+    }
+    ranked.emplace_back(ns.total_reward / ns.visits, prefix);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::vector<PhysicalPlan> candidates;
+  for (const auto& [reward, prefix] : ranked) {
+    if (static_cast<int32_t>(candidates.size()) >= options_.top_prefixes) {
+      break;
+    }
+    PhysicalPlan plan;
+    const double cost = db->planner().CostJoinOrder(
+        q, ExtendGreedily(q, prefix), &plan, nullptr);
+    ++*cost_calls;
+    if (cost >= optimizer::kImpossibleCost) continue;
+    candidates.push_back(std::move(plan));
+  }
+  LQOLAB_CHECK(!candidates.empty());
+  return candidates;
+}
+
+TrainReport HybridQoOptimizer::Train(const std::vector<Query>& train_set,
+                                     Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Query& q : train_set) {
+      // Cost-guided MCTS proposes candidates; execute the latency-net pick
+      // (first epoch: the cost-best candidate) and learn its latency.
+      std::vector<PhysicalPlan> candidates =
+          CandidatesFromMcts(q, db, &report.planner_calls);
+      const std::vector<float> qenc = query_encoder_->Encode(q);
+      size_t chosen = 0;
+      if (epoch > 0) {
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < candidates.size(); ++i) {
+          const double score =
+              latency_net_->Score(qenc, q, candidates[i], *plan_encoder_);
+          ++report.nn_evals;
+          if (score < best) {
+            best = score;
+            chosen = i;
+          }
+        }
+      }
+      const engine::QueryRun run = db->ExecutePlan(q, candidates[chosen]);
+      ++report.plans_executed;
+      report.execution_ns += run.execution_ns;
+      replay_.push_back({q, std::move(candidates[chosen]),
+                         LatencyToTarget(run.execution_ns)});
+    }
+    // Fit the latency model.
+    std::vector<size_t> idx(replay_.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (int32_t te = 0; te < options_.train_epochs; ++te) {
+      for (size_t i = idx.size(); i > 1; --i) {
+        rng_state_ =
+            rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::swap(idx[i - 1], idx[(rng_state_ >> 33) % i]);
+      }
+      for (size_t i : idx) {
+        const Sample& sample = replay_[i];
+        latency_net_->TrainRegression(query_encoder_->Encode(sample.query),
+                                      sample.query, sample.plan,
+                                      *plan_encoder_, sample.target,
+                                      adam_.get());
+        ++report.nn_updates;
+      }
+    }
+  }
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction HybridQoOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  Prediction prediction;
+  int64_t cost_calls = 0;
+  std::vector<PhysicalPlan> candidates =
+      CandidatesFromMcts(q, db, &cost_calls);
+  const std::vector<float> qenc = query_encoder_->Encode(q);
+  size_t chosen = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const double score =
+        latency_net_->Score(qenc, q, candidates[i], *plan_encoder_);
+    ++prediction.nn_evals;
+    if (score < best) {
+      best = score;
+      chosen = i;
+    }
+  }
+  prediction.plan = std::move(candidates[chosen]);
+  // Inference = MCTS cost rollouts + latency-net evaluations.
+  prediction.inference_ns = cost_calls * 2'000'000 +  // 2 ms per rollout
+                            prediction.nn_evals * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec HybridQoOptimizer::encoding_spec() const {
+  return {"HybridQO",  "yes",  "cardinality", "cardinality", "stacking + FC",
+          "yes",       "yes",  "yes",         "yes",         "Regression",
+          "Tree-LSTM", "Plan", "Static",      "-"};
+}
+
+}  // namespace lqolab::lqo

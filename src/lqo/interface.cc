@@ -1,0 +1,27 @@
+#include "lqo/interface.h"
+
+#include "lqo/balsa.h"
+#include "lqo/bao.h"
+#include "lqo/leon.h"
+#include "lqo/hybridqo.h"
+#include "lqo/lero.h"
+#include "lqo/loger.h"
+#include "lqo/neo.h"
+#include "lqo/rtos.h"
+
+namespace lqolab::lqo {
+
+std::vector<EncodingSpec> Table1EncodingSpecs() {
+  std::vector<EncodingSpec> rows;
+  rows.push_back(NeoOptimizer().encoding_spec());
+  rows.push_back(RtosOptimizer().encoding_spec());
+  rows.push_back(BaoOptimizer().encoding_spec());
+  rows.push_back(BalsaOptimizer().encoding_spec());
+  rows.push_back(LeroOptimizer().encoding_spec());
+  rows.push_back(LeonOptimizer().encoding_spec());
+  rows.push_back(LogerOptimizer().encoding_spec());
+  rows.push_back(HybridQoOptimizer().encoding_spec());
+  return rows;
+}
+
+}  // namespace lqolab::lqo

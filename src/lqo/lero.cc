@@ -1,0 +1,136 @@
+#include "lqo/lero.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using engine::DbConfig;
+using optimizer::PhysicalPlan;
+using query::Query;
+using util::VirtualNanos;
+
+LeroOptimizer::LeroOptimizer() : LeroOptimizer(Options()) {}
+LeroOptimizer::LeroOptimizer(Options options) : options_(std::move(options)) {}
+LeroOptimizer::~LeroOptimizer() = default;
+
+void LeroOptimizer::EnsureModel(Database* db) {
+  if (net_ != nullptr) return;
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &db->context(), &db->planner().estimator(),
+      PlanEncodingStyle::kWithTableIdentity);
+  // No query encoding (Table 1): the comparator sees plans only.
+  net_ = std::make_unique<TreeValueNet>(plan_encoder_->node_dim(), 0,
+                                        options_.hidden, options_.seed);
+  adam_ = std::make_unique<ml::Adam>(net_->Params(), options_.learning_rate);
+  rng_state_ = options_.seed ^ 0x6c078965ULL;
+}
+
+std::vector<LeroOptimizer::Candidate> LeroOptimizer::GenerateCandidates(
+    const Query& q, Database* db, TrainReport* report) {
+  const DbConfig saved = db->config();
+  std::vector<Candidate> candidates;
+  std::set<std::string> seen;
+  for (double factor : options_.scale_factors) {
+    DbConfig config = saved;
+    config.join_selectivity_scale = factor;
+    db->SetConfig(config);
+    Database::Planned planned = db->PlanQuery(q);
+    if (report != nullptr) ++report->planner_calls;
+    if (!seen.insert(planned.plan.ToString(q)).second) continue;
+    Candidate candidate;
+    candidate.plan = std::move(planned.plan);
+    candidate.planning_ns = planned.planning_ns;
+    candidates.push_back(std::move(candidate));
+  }
+  db->SetConfig(saved);
+  LQOLAB_CHECK(!candidates.empty());
+  return candidates;
+}
+
+bool LeroOptimizer::Prefer(const Query& q, const PhysicalPlan& a,
+                           const PhysicalPlan& b) {
+  return net_->Score({}, q, a, *plan_encoder_) <
+         net_->Score({}, q, b, *plan_encoder_);
+}
+
+TrainReport LeroOptimizer::Train(const std::vector<Query>& train_set,
+                                 Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+  for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Query& q : train_set) {
+      std::vector<Candidate> candidates = GenerateCandidates(q, db, &report);
+      // Execute every distinct candidate (Lero explores its candidate set
+      // during training) and record pairwise labels by measured latency.
+      std::vector<std::pair<VirtualNanos, size_t>> measured;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        const engine::QueryRun run = db->ExecutePlan(q, candidates[i].plan);
+        ++report.plans_executed;
+        report.execution_ns += run.execution_ns;
+        measured.emplace_back(run.execution_ns, i);
+      }
+      std::sort(measured.begin(), measured.end());
+      for (size_t i = 0; i + 1 < measured.size(); ++i) {
+        // Adjacent ranks give clean comparator pairs.
+        pairs_.push_back({q, candidates[measured[i].second].plan,
+                          candidates[measured[i + 1].second].plan});
+      }
+    }
+    // Comparator training over accumulated pairs.
+    std::vector<size_t> idx(pairs_.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (int32_t pe = 0; pe < options_.pair_epochs; ++pe) {
+      for (size_t i = idx.size(); i > 1; --i) {
+        rng_state_ =
+            rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::swap(idx[i - 1], idx[(rng_state_ >> 33) % i]);
+      }
+      for (size_t i : idx) {
+        const Pair& pair = pairs_[i];
+        net_->TrainPairwise({}, pair.query, pair.better, pair.worse,
+                            *plan_encoder_, adam_.get());
+        ++report.nn_updates;
+      }
+    }
+  }
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction LeroOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  std::vector<Candidate> candidates = GenerateCandidates(q, db, nullptr);
+  // Tournament by pairwise comparison (the plan comparator module).
+  size_t best = 0;
+  int64_t evals = 0;
+  VirtualNanos planning_total = candidates[0].planning_ns;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    planning_total += candidates[i].planning_ns;
+    if (Prefer(q, candidates[i].plan, candidates[best].plan)) best = i;
+    evals += 2;
+  }
+  Prediction prediction;
+  prediction.plan = std::move(candidates[best].plan);
+  prediction.nn_evals = evals;
+  // DBMS-integrated like Bao: candidate plannings + comparisons count as
+  // planning time.
+  prediction.inference_ns = 0;
+  prediction.planning_ns = planning_total + evals * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec LeroOptimizer::encoding_spec() const {
+  return {"Lero",     "-",    "-",      "-",   "-",
+          "yes",      "yes",  "yes",    "yes", "LTR",
+          "Tree-CNN", "Plan", "Static", "yes"};
+}
+
+}  // namespace lqolab::lqo

@@ -1,0 +1,73 @@
+#ifndef LQOLAB_LQO_LERO_H_
+#define LQOLAB_LQO_LERO_H_
+
+#include <memory>
+#include <vector>
+
+#include "lqo/encoding.h"
+#include "lqo/interface.h"
+#include "lqo/value_net.h"
+#include "ml/nn.h"
+
+namespace lqolab::lqo {
+
+/// Simplified Lero (Zhu et al., VLDB 2023): a learning-to-rank optimizer
+/// that generates candidate plans from the NATIVE optimizer by sweeping the
+/// engine's internal cardinality estimates (join_selectivity_scale — Lero's
+/// row-count scaling factors), then lets a pairwise plan comparator pick
+/// the best candidate. Like Bao it has no query encoding (Table 1), but it
+/// keeps table identities and outputs full plans. DBMS-integrated: its
+/// candidate generation runs inside the engine.
+class LeroOptimizer : public LearnedOptimizer {
+ public:
+  struct Options {
+    /// Selectivity scaling sweep used to diversify candidates.
+    std::vector<double> scale_factors = {0.01, 0.1, 1.0, 10.0, 100.0};
+    int32_t epochs = 3;
+    int32_t pair_epochs = 10;
+    int32_t hidden = 48;
+    double learning_rate = 1e-3;
+    uint64_t seed = 6;
+  };
+
+  LeroOptimizer();
+  explicit LeroOptimizer(Options options);
+  ~LeroOptimizer() override;
+
+  std::string name() const override { return "lero"; }
+  TrainReport Train(const std::vector<query::Query>& train_set,
+                    engine::Database* db) override;
+  Prediction Plan(const query::Query& q, engine::Database* db) override;
+  EncodingSpec encoding_spec() const override;
+
+ private:
+  struct Candidate {
+    optimizer::PhysicalPlan plan;
+    util::VirtualNanos planning_ns = 0;
+  };
+  struct Pair {
+    query::Query query;
+    optimizer::PhysicalPlan better;
+    optimizer::PhysicalPlan worse;
+  };
+
+  void EnsureModel(engine::Database* db);
+  /// Plans the query under every scaling factor; deduplicates plans.
+  std::vector<Candidate> GenerateCandidates(const query::Query& q,
+                                            engine::Database* db,
+                                            TrainReport* report);
+  /// Comparator: true when `a` is predicted faster than `b`.
+  bool Prefer(const query::Query& q, const optimizer::PhysicalPlan& a,
+              const optimizer::PhysicalPlan& b);
+
+  Options options_;
+  std::unique_ptr<PlanEncoder> plan_encoder_;
+  std::unique_ptr<TreeValueNet> net_;
+  std::unique_ptr<ml::Adam> adam_;
+  std::vector<Pair> pairs_;
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_LERO_H_

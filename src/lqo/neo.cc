@@ -1,0 +1,176 @@
+#include "lqo/neo.h"
+
+#include <algorithm>
+
+#include "lqo/plan_search.h"
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using query::Query;
+
+NeoOptimizer::NeoOptimizer() : NeoOptimizer(Options()) {}
+
+NeoOptimizer::NeoOptimizer(Options options) : options_(options) {}
+NeoOptimizer::~NeoOptimizer() = default;
+
+void NeoOptimizer::EnsureModel(Database* db) {
+  if (net_ != nullptr) return;
+  const auto& ctx = db->context();
+  query_encoder_ = std::make_unique<QueryEncoder>(&ctx,
+                                                  &db->planner().estimator());
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &ctx, &db->planner().estimator(), PlanEncodingStyle::kWithTableIdentity);
+  net_ = std::make_unique<TreeValueNet>(plan_encoder_->node_dim(),
+                                        query_encoder_->dim(), options_.hidden,
+                                        options_.seed);
+  adam_ = std::make_unique<ml::Adam>(net_->Params(), options_.learning_rate);
+  shuffle_state_ = options_.seed ^ 0x5deece66dULL;
+}
+
+void NeoOptimizer::FitReplay(Database* db, int32_t epochs,
+                             TrainReport* report) {
+  (void)db;
+  if (replay_.empty()) return;
+  std::vector<size_t> order(replay_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+    // Deterministic Fisher-Yates.
+    for (size_t i = order.size(); i > 1; --i) {
+      shuffle_state_ =
+          shuffle_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::swap(order[i - 1], order[(shuffle_state_ >> 33) % i]);
+    }
+    for (size_t idx : order) {
+      const Sample& sample = replay_[idx];
+      const std::vector<float> qenc = query_encoder_->Encode(sample.query);
+      net_->TrainRegression(qenc, sample.query, sample.plan, *plan_encoder_,
+                            sample.target, adam_.get());
+      ++report->nn_updates;
+    }
+  }
+}
+
+SearchResult NeoOptimizer::SearchPlan(const Query& q, Database* db) {
+  const std::vector<float> qenc = query_encoder_->Encode(q);
+  return GreedyBottomUpSearch(
+      q, db->planner().cost_model(),
+      [&](const optimizer::PhysicalPlan& candidate) {
+        return net_->Score(qenc, q, candidate, *plan_encoder_);
+      });
+}
+
+double NeoOptimizer::HoldoutLoss(const std::vector<Sample>& holdout) {
+  if (holdout.empty()) return 0.0;
+  double total = 0.0;
+  for (const Sample& sample : holdout) {
+    const double predicted =
+        net_->Score(query_encoder_->Encode(sample.query), sample.query,
+                    sample.plan, *plan_encoder_);
+    total += (predicted - sample.target) * (predicted - sample.target);
+  }
+  return total / static_cast<double>(holdout.size());
+}
+
+TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
+                                Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+  holdout_losses_.clear();
+  iterations_run_ = 0;
+
+  // A FIXED holdout (paper §5.1: comparable measurements require a fixed
+  // validation set): every k-th training query, never trained on.
+  std::vector<Query> effective_train;
+  std::vector<Sample> holdout;
+  const int32_t holdout_every =
+      options_.holdout_fraction > 0.0
+          ? std::max<int32_t>(2, static_cast<int32_t>(
+                                     1.0 / options_.holdout_fraction))
+          : 0;
+  for (size_t i = 0; i < train_set.size(); ++i) {
+    const Query& q = train_set[i];
+    if (holdout_every > 0 &&
+        static_cast<int32_t>(i) % holdout_every == holdout_every - 1) {
+      const Database::Planned planned = db->PlanQuery(q);
+      ++report.planner_calls;
+      const engine::QueryRun run = db->ExecutePlan(q, planned.plan);
+      ++report.plans_executed;
+      report.execution_ns += run.execution_ns;
+      holdout.push_back({q, planned.plan, LatencyToTarget(run.execution_ns)});
+    } else {
+      effective_train.push_back(q);
+    }
+  }
+
+  // Bootstrap with the native optimizer's plans (expert demonstrations).
+  for (const Query& q : effective_train) {
+    const Database::Planned planned = db->PlanQuery(q);
+    ++report.planner_calls;
+    const engine::QueryRun run = db->ExecutePlan(q, planned.plan);
+    ++report.plans_executed;
+    report.execution_ns += run.execution_ns;
+    replay_.push_back({q, planned.plan, LatencyToTarget(run.execution_ns)});
+  }
+
+  double best_holdout = 1e30;
+  int32_t worse_streak = 0;
+  for (int32_t iter = 0; iter < options_.iterations; ++iter) {
+    ++iterations_run_;
+    FitReplay(db, options_.train_epochs, &report);
+    if (!holdout.empty()) {
+      const double loss = HoldoutLoss(holdout);
+      report.nn_evals += static_cast<int64_t>(holdout.size());
+      holdout_losses_.push_back(loss);
+      if (loss < best_holdout) {
+        best_holdout = loss;
+        worse_streak = 0;
+      } else if (++worse_streak >= options_.patience) {
+        break;  // early stopping on the fixed holdout
+      }
+    }
+    // On-policy collection: plan with the current network, execute, learn.
+    for (const Query& q : effective_train) {
+      SearchResult search = SearchPlan(q, db);
+      report.nn_evals += search.evals;
+      const engine::QueryRun run = db->ExecutePlan(q, search.plan);
+      ++report.plans_executed;
+      report.execution_ns += run.execution_ns;
+      replay_.push_back(
+          {q, std::move(search.plan), LatencyToTarget(run.execution_ns)});
+      if (static_cast<int64_t>(replay_.size()) > options_.replay_capacity) {
+        replay_.erase(replay_.begin(),
+                      replay_.begin() +
+                          (static_cast<long>(replay_.size()) -
+                           options_.replay_capacity));
+      }
+    }
+  }
+  FitReplay(db, options_.train_epochs, &report);
+
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction NeoOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  SearchResult search = SearchPlan(q, db);
+  Prediction prediction;
+  prediction.plan = std::move(search.plan);
+  prediction.nn_evals = search.evals;
+  prediction.inference_ns = search.evals * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec NeoOptimizer::encoding_spec() const {
+  return {"Neo",       "yes",      "cardinality", "word2vec",  "stacking",
+          "yes",       "yes",      "yes",         "-",         "Regression",
+          "Tree-CNN",  "Plan",     "Static",      "-"};
+}
+
+}  // namespace lqolab::lqo

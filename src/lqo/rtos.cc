@@ -1,0 +1,206 @@
+#include "lqo/rtos.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace lqolab::lqo {
+
+using engine::Database;
+using optimizer::PhysicalPlan;
+using query::AliasId;
+using query::AliasMask;
+using query::Query;
+
+RtosOptimizer::RtosOptimizer() : RtosOptimizer(Options()) {}
+RtosOptimizer::RtosOptimizer(Options options) : options_(options) {}
+RtosOptimizer::~RtosOptimizer() = default;
+
+void RtosOptimizer::EnsureModel(Database* db) {
+  if (net_ != nullptr) return;
+  const auto& ctx = db->context();
+  query_encoder_ = std::make_unique<QueryEncoder>(&ctx,
+                                                  &db->planner().estimator());
+  plan_encoder_ = std::make_unique<PlanEncoder>(
+      &ctx, &db->planner().estimator(), PlanEncodingStyle::kWithTableIdentity);
+  net_ = std::make_unique<TreeValueNet>(plan_encoder_->node_dim(),
+                                        query_encoder_->dim(), options_.hidden,
+                                        options_.seed);
+  adam_ = std::make_unique<ml::Adam>(net_->Params(), options_.learning_rate);
+  rng_state_ = options_.seed ^ 0x7f4a7c15ULL;
+}
+
+PhysicalPlan RtosOptimizer::PlanForOrder(
+    const Query& q, Database* db,
+    const std::vector<AliasId>& order) const {
+  PhysicalPlan plan;
+  const double cost =
+      db->planner().CostJoinOrder(q, order, &plan, nullptr);
+  LQOLAB_CHECK_LT(cost, optimizer::kImpossibleCost);
+  return plan;
+}
+
+std::vector<AliasId> RtosOptimizer::SearchOrder(const Query& q, Database* db,
+                                                int64_t* evals) {
+  const std::vector<float> qenc = query_encoder_->Encode(q);
+  std::vector<AliasId> order;
+  AliasMask mask = 0;
+  // First relation: the smallest estimated base (RTOS also starts from the
+  // filtered relation).
+  AliasId start = 0;
+  double best_rows = std::numeric_limits<double>::infinity();
+  for (AliasId a = 0; a < q.relation_count(); ++a) {
+    const double rows = db->planner().estimator().EstimateBaseRows(q, a);
+    if (rows < best_rows) {
+      best_rows = rows;
+      start = a;
+    }
+  }
+  order.push_back(start);
+  mask = query::MaskOf(start);
+  while (static_cast<int32_t>(order.size()) < q.relation_count()) {
+    AliasId best = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (AliasId a = 0; a < q.relation_count(); ++a) {
+      if ((mask & query::MaskOf(a)) != 0 ||
+          (q.AdjacencyMask(a) & mask) == 0) {
+        continue;
+      }
+      std::vector<AliasId> candidate = order;
+      candidate.push_back(a);
+      // Score the engine-completed plan for this prefix (the value net
+      // predicts final latency given the partial decision, Neo-style).
+      PhysicalPlan partial;
+      const double cost = db->planner().CostJoinOrder(
+          q, ExtendGreedily(q, candidate), &partial, nullptr);
+      (void)cost;
+      const double score = net_->Score(qenc, q, partial, *plan_encoder_);
+      ++*evals;
+      if (score < best_score) {
+        best_score = score;
+        best = a;
+      }
+    }
+    LQOLAB_CHECK_GE(best, 0);
+    order.push_back(best);
+    mask |= query::MaskOf(best);
+  }
+  return order;
+}
+
+double RtosOptimizer::TrainOn(const std::vector<Sample>& samples, Database* db,
+                              int32_t epochs, TrainReport* report) {
+  double last_loss = 0.0;
+  std::vector<size_t> idx(samples.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (int32_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t i = idx.size(); i > 1; --i) {
+      rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      std::swap(idx[i - 1], idx[(rng_state_ >> 33) % i]);
+    }
+    for (size_t i : idx) {
+      const Sample& sample = samples[i];
+      const PhysicalPlan plan = PlanForOrder(sample.query, db, sample.order);
+      last_loss = net_->TrainRegression(query_encoder_->Encode(sample.query),
+                                        sample.query, plan, *plan_encoder_,
+                                        sample.target, adam_.get());
+      if (report != nullptr) ++report->nn_updates;
+    }
+  }
+  return last_loss;
+}
+
+TrainReport RtosOptimizer::Train(const std::vector<Query>& train_set,
+                                 Database* db) {
+  EnsureModel(db);
+  TrainReport report;
+
+  // Bootstrap orders from the native planner's plans (their leaf order).
+  for (const Query& q : train_set) {
+    const auto planned = db->PlanQuery(q);
+    ++report.planner_calls;
+    std::vector<AliasId> order;
+    for (const auto& node : planned.plan.nodes) {
+      if (node.type == optimizer::PlanNode::Type::kScan) {
+        order.push_back(node.alias);
+      }
+    }
+    // The leaf sequence of a plan is not always a valid left-deep order;
+    // repair by greedy connectivity.
+    order = RepairOrder(q, order);
+    const engine::QueryRun run = db->ExecutePlan(q, PlanForOrder(q, db, order));
+    ++report.plans_executed;
+    report.execution_ns += run.execution_ns;
+    replay_.push_back({q, std::move(order),
+                       LatencyToTarget(run.execution_ns)});
+  }
+
+  for (int32_t iter = 0; iter < options_.iterations; ++iter) {
+    TrainOn(replay_, db, options_.train_epochs, &report);
+    for (const Query& q : train_set) {
+      int64_t evals = 0;
+      std::vector<AliasId> order = SearchOrder(q, db, &evals);
+      report.nn_evals += evals;
+      const engine::QueryRun run =
+          db->ExecutePlan(q, PlanForOrder(q, db, order));
+      ++report.plans_executed;
+      report.execution_ns += run.execution_ns;
+      replay_.push_back({q, std::move(order),
+                         LatencyToTarget(run.execution_ns)});
+    }
+  }
+  TrainOn(replay_, db, options_.train_epochs, &report);
+
+  // Table 1: RTOS measures final aggregated performance via
+  // cross-validation. Compute a k-fold holdout loss over the replay data.
+  double cv_total = 0.0;
+  const int32_t folds = std::max<int32_t>(2, options_.cv_folds);
+  int32_t measured = 0;
+  for (int32_t fold = 0; fold < folds; ++fold) {
+    double fold_loss = 0.0;
+    int32_t fold_count = 0;
+    for (size_t i = static_cast<size_t>(fold); i < replay_.size();
+         i += static_cast<size_t>(folds)) {
+      const Sample& sample = replay_[i];
+      const PhysicalPlan plan = PlanForOrder(sample.query, db, sample.order);
+      const double predicted = net_->Score(
+          query_encoder_->Encode(sample.query), sample.query, plan,
+          *plan_encoder_);
+      ++report.nn_evals;
+      fold_loss += (predicted - sample.target) * (predicted - sample.target);
+      ++fold_count;
+    }
+    if (fold_count > 0) {
+      cv_total += fold_loss / fold_count;
+      ++measured;
+    }
+  }
+  last_cv_loss_ = measured > 0 ? cv_total / measured : 0.0;
+
+  report.training_time_ns =
+      report.execution_ns +
+      report.plans_executed * timing::kTrainPlanOverheadNs +
+      report.nn_updates * timing::kNnUpdateNs +
+      report.nn_evals * timing::kNnEvalNs;
+  return report;
+}
+
+Prediction RtosOptimizer::Plan(const Query& q, Database* db) {
+  EnsureModel(db);
+  Prediction prediction;
+  int64_t evals = 0;
+  const std::vector<AliasId> order = SearchOrder(q, db, &evals);
+  prediction.plan = PlanForOrder(q, db, order);
+  prediction.nn_evals = evals;
+  prediction.inference_ns = evals * timing::kNnEvalNs;
+  return prediction;
+}
+
+EncodingSpec RtosOptimizer::encoding_spec() const {
+  return {"RTOS",      "yes",  "filters", "cardinality", "FC + pooling",
+          "-",         "-",    "yes",     "-",           "Regression",
+          "Tree-LSTM", "Plan", "CV",      "-"};
+}
+
+}  // namespace lqolab::lqo

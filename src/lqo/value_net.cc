@@ -1,0 +1,126 @@
+#include "lqo/value_net.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lqolab::lqo {
+
+using ml::Graph;
+using ml::Matrix;
+using ml::NodeId;
+using optimizer::PhysicalPlan;
+using optimizer::PlanNode;
+using query::Query;
+
+float LatencyToTarget(util::VirtualNanos latency) {
+  const double ms =
+      static_cast<double>(latency) / static_cast<double>(util::kNanosPerMilli);
+  return static_cast<float>(std::log1p(std::max(0.0, ms)) / 10.0);
+}
+
+util::VirtualNanos TargetToLatency(float target) {
+  const double ms = std::expm1(static_cast<double>(target) * 10.0);
+  return static_cast<util::VirtualNanos>(
+      std::max(0.0, ms) * static_cast<double>(util::kNanosPerMilli));
+}
+
+namespace {
+
+util::Rng MakeRng(uint64_t seed) { return util::Rng(seed); }
+
+}  // namespace
+
+TreeValueNet::TreeValueNet(int32_t node_dim, int32_t query_dim, int32_t hidden,
+                           uint64_t seed)
+    : node_dim_(node_dim),
+      query_dim_(query_dim),
+      leaf_([&] {
+        util::Rng rng = MakeRng(seed);
+        return ml::Linear(node_dim, hidden, &rng);
+      }()),
+      join_([&] {
+        util::Rng rng = MakeRng(seed ^ 0x9e3779b9ULL);
+        return ml::Linear(node_dim + 2 * hidden, hidden, &rng);
+      }()),
+      head_([&] {
+        util::Rng rng = MakeRng(seed ^ 0x85ebca6bULL);
+        return ml::Mlp({query_dim + hidden, 64, 32, 1}, &rng);
+      }()) {}
+
+NodeId TreeValueNet::EmbedNode(Graph* g, const Query& q,
+                               const PhysicalPlan& plan, int32_t node_index,
+                               const PlanEncoder& encoder) {
+  const PlanNode& node = plan.node(node_index);
+  const NodeId features =
+      g->Input(Matrix::RowVector(encoder.EncodeNode(q, plan, node_index)));
+  if (node.type == PlanNode::Type::kScan) {
+    return g->Relu(leaf_.Apply(g, features));
+  }
+  const NodeId left = EmbedNode(g, q, plan, node.left, encoder);
+  const NodeId right = EmbedNode(g, q, plan, node.right, encoder);
+  const NodeId concat =
+      g->ConcatCols(g->ConcatCols(features, left), right);
+  return g->Relu(join_.Apply(g, concat));
+}
+
+NodeId TreeValueNet::BuildScore(Graph* g, const std::vector<float>& query_enc,
+                                const Query& q, const PhysicalPlan& plan,
+                                const PlanEncoder& encoder) {
+  ++eval_count_;
+  LQOLAB_CHECK(!plan.empty());
+  NodeId embedding = EmbedNode(g, q, plan, plan.root, encoder);
+  if (query_dim_ > 0) {
+    LQOLAB_CHECK_EQ(static_cast<int32_t>(query_enc.size()), query_dim_);
+    embedding =
+        g->ConcatCols(g->Input(Matrix::RowVector(query_enc)), embedding);
+  }
+  return head_.Apply(g, embedding);
+}
+
+double TreeValueNet::Score(const std::vector<float>& query_enc, const Query& q,
+                           const PhysicalPlan& plan,
+                           const PlanEncoder& encoder) {
+  Graph g;
+  return g.scalar(BuildScore(&g, query_enc, q, plan, encoder));
+}
+
+double TreeValueNet::TrainRegression(const std::vector<float>& query_enc,
+                                     const Query& q, const PhysicalPlan& plan,
+                                     const PlanEncoder& encoder, float target,
+                                     ml::Adam* optimizer) {
+  Graph g;
+  const NodeId score = BuildScore(&g, query_enc, q, plan, encoder);
+  const NodeId loss =
+      ml::MseLoss(&g, score, g.Input(Matrix::RowVector({target})));
+  const double loss_value = g.scalar(loss);
+  g.Backward(loss);
+  optimizer->Step();
+  return loss_value;
+}
+
+double TreeValueNet::TrainPairwise(const std::vector<float>& query_enc,
+                                   const Query& q, const PhysicalPlan& better,
+                                   const PhysicalPlan& worse,
+                                   const PlanEncoder& encoder,
+                                   ml::Adam* optimizer) {
+  Graph g;
+  const NodeId score_better = BuildScore(&g, query_enc, q, better, encoder);
+  const NodeId score_worse = BuildScore(&g, query_enc, q, worse, encoder);
+  const NodeId loss = ml::PairwiseRankLoss(&g, score_better, score_worse);
+  const double loss_value = g.scalar(loss);
+  g.Backward(loss);
+  optimizer->Step();
+  return loss_value;
+}
+
+std::vector<ml::Param*> TreeValueNet::Params() {
+  std::vector<ml::Param*> params;
+  leaf_.CollectParams(&params);
+  join_.CollectParams(&params);
+  for (ml::Param* p : head_.Params()) params.push_back(p);
+  return params;
+}
+
+}  // namespace lqolab::lqo

@@ -1,0 +1,76 @@
+#ifndef LQOLAB_LQO_VALUE_NET_H_
+#define LQOLAB_LQO_VALUE_NET_H_
+
+#include <vector>
+
+#include "lqo/encoding.h"
+#include "ml/nn.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::lqo {
+
+/// Converts a latency into the network's regression target
+/// (log-milliseconds, scaled to ~[0, 2]).
+float LatencyToTarget(util::VirtualNanos latency);
+/// Inverse of LatencyToTarget.
+util::VirtualNanos TargetToLatency(float target);
+
+/// Tree-structured value network: a recursive embedding over plan nodes
+/// (leaf = ReLU(W_l x), internal = ReLU(W_j [x; emb_left; emb_right])) — the
+/// simplified stand-in for Tree-CNN / Tree-LSTM plan processing (Table 1) —
+/// followed by an MLP head over [query encoding; root embedding].
+/// A query_dim of 0 drops the query encoding (Bao-style plan-only models,
+/// §4.2's "missing the query encoding part").
+class TreeValueNet {
+ public:
+  TreeValueNet(int32_t node_dim, int32_t query_dim, int32_t hidden,
+               uint64_t seed);
+
+  /// Builds the score subgraph for a plan; callers compose losses on top.
+  ml::NodeId BuildScore(ml::Graph* g, const std::vector<float>& query_enc,
+                        const query::Query& q,
+                        const optimizer::PhysicalPlan& plan,
+                        const PlanEncoder& encoder);
+
+  /// Predicted target (LatencyToTarget scale) for one plan.
+  double Score(const std::vector<float>& query_enc, const query::Query& q,
+               const optimizer::PhysicalPlan& plan,
+               const PlanEncoder& encoder);
+
+  /// One regression step (MSE against `target`); returns the loss.
+  double TrainRegression(const std::vector<float>& query_enc,
+                         const query::Query& q,
+                         const optimizer::PhysicalPlan& plan,
+                         const PlanEncoder& encoder, float target,
+                         ml::Adam* optimizer);
+
+  /// One pairwise step: pushes score(better) below score(worse).
+  double TrainPairwise(const std::vector<float>& query_enc,
+                       const query::Query& q,
+                       const optimizer::PhysicalPlan& better,
+                       const optimizer::PhysicalPlan& worse,
+                       const PlanEncoder& encoder, ml::Adam* optimizer);
+
+  std::vector<ml::Param*> Params();
+
+  int32_t query_dim() const { return query_dim_; }
+
+  /// Cumulative forward evaluations (drives modeled inference time).
+  int64_t eval_count() const { return eval_count_; }
+
+ private:
+  ml::NodeId EmbedNode(ml::Graph* g, const query::Query& q,
+                       const optimizer::PhysicalPlan& plan, int32_t node_index,
+                       const PlanEncoder& encoder);
+
+  int32_t node_dim_;
+  int32_t query_dim_;
+  ml::Linear leaf_;
+  ml::Linear join_;
+  ml::Mlp head_;
+  int64_t eval_count_ = 0;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_VALUE_NET_H_

@@ -1,0 +1,399 @@
+#include "ml/autodiff.h"
+
+#include <cmath>
+
+namespace lqolab::ml {
+
+namespace {
+
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  LQOLAB_CHECK_EQ(a.cols(), b.rows());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    for (int32_t k = 0; k < a.cols(); ++k) {
+      const float av = a.at(i, k);
+      if (av == 0.0f) continue;
+      for (int32_t j = 0; j < b.cols(); ++j) {
+        out->at(i, j) += av * b.at(k, j);
+      }
+    }
+  }
+}
+
+/// out += a * b^T  (used for dA = dOut * B^T).
+void MatMulTransposeBInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  LQOLAB_CHECK_EQ(a.cols(), b.cols());
+  for (int32_t i = 0; i < a.rows(); ++i) {
+    for (int32_t j = 0; j < b.rows(); ++j) {
+      float acc = 0.0f;
+      for (int32_t k = 0; k < a.cols(); ++k) acc += a.at(i, k) * b.at(j, k);
+      out->at(i, j) += acc;
+    }
+  }
+}
+
+/// out += a^T * b  (used for dB = A^T * dOut).
+void MatMulTransposeAInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  LQOLAB_CHECK_EQ(a.rows(), b.rows());
+  for (int32_t i = 0; i < a.cols(); ++i) {
+    for (int32_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (int32_t k = 0; k < a.rows(); ++k) acc += a.at(k, i) * b.at(k, j);
+      out->at(i, j) += acc;
+    }
+  }
+}
+
+float StableSoftplus(float x) {
+  if (x > 20.0f) return x;
+  if (x < -20.0f) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+}  // namespace
+
+NodeId Graph::Emplace(Node node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+const Matrix& Graph::value(NodeId id) const {
+  return nodes_[static_cast<size_t>(id)].value;
+}
+
+float Graph::scalar(NodeId id) const {
+  const Matrix& v = value(id);
+  LQOLAB_CHECK_EQ(v.rows(), 1);
+  LQOLAB_CHECK_EQ(v.cols(), 1);
+  return v.at(0, 0);
+}
+
+Matrix& Graph::grad(NodeId id) {
+  Node& node = nodes_[static_cast<size_t>(id)];
+  if (node.grad.rows() == 0 && node.value.rows() != 0) {
+    node.grad = Matrix(node.value.rows(), node.value.cols());
+  }
+  return node.grad;
+}
+
+NodeId Graph::Input(Matrix value) {
+  Node node;
+  node.op = Op::kInput;
+  node.value = std::move(value);
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Parameter(const Matrix* value, Matrix* grad) {
+  LQOLAB_CHECK(value != nullptr);
+  LQOLAB_CHECK(grad != nullptr);
+  LQOLAB_CHECK(value->SameShape(*grad));
+  Node node;
+  node.op = Op::kParameter;
+  node.value = *value;
+  node.param_grad = grad;
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::MatMul(NodeId a, NodeId b) {
+  Node node;
+  node.op = Op::kMatMul;
+  node.a = a;
+  node.b = b;
+  node.value = Matrix(value(a).rows(), value(b).cols());
+  MatMulInto(value(a), value(b), &node.value);
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Add(NodeId a, NodeId b) {
+  const Matrix& va = value(a);
+  const Matrix& vb = value(b);
+  Node node;
+  node.a = a;
+  node.b = b;
+  node.value = va;
+  if (va.SameShape(vb)) {
+    node.op = Op::kAdd;
+    for (int64_t i = 0; i < va.size(); ++i) {
+      node.value.data()[static_cast<size_t>(i)] +=
+          vb.data()[static_cast<size_t>(i)];
+    }
+  } else {
+    LQOLAB_CHECK_EQ(vb.rows(), 1);
+    LQOLAB_CHECK_EQ(vb.cols(), va.cols());
+    node.op = Op::kAddBroadcast;
+    for (int32_t r = 0; r < va.rows(); ++r) {
+      for (int32_t c = 0; c < va.cols(); ++c) {
+        node.value.at(r, c) += vb.at(0, c);
+      }
+    }
+  }
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Sub(NodeId a, NodeId b) {
+  const Matrix& va = value(a);
+  const Matrix& vb = value(b);
+  LQOLAB_CHECK(va.SameShape(vb));
+  Node node;
+  node.op = Op::kSub;
+  node.a = a;
+  node.b = b;
+  node.value = va;
+  for (int64_t i = 0; i < va.size(); ++i) {
+    node.value.data()[static_cast<size_t>(i)] -=
+        vb.data()[static_cast<size_t>(i)];
+  }
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Mul(NodeId a, NodeId b) {
+  const Matrix& va = value(a);
+  const Matrix& vb = value(b);
+  LQOLAB_CHECK(va.SameShape(vb));
+  Node node;
+  node.op = Op::kMul;
+  node.a = a;
+  node.b = b;
+  node.value = va;
+  for (int64_t i = 0; i < va.size(); ++i) {
+    node.value.data()[static_cast<size_t>(i)] *=
+        vb.data()[static_cast<size_t>(i)];
+  }
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Relu(NodeId a) {
+  Node node;
+  node.op = Op::kRelu;
+  node.a = a;
+  node.value = value(a);
+  for (float& x : node.value.data()) x = x > 0.0f ? x : 0.0f;
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Tanh(NodeId a) {
+  Node node;
+  node.op = Op::kTanh;
+  node.a = a;
+  node.value = value(a);
+  for (float& x : node.value.data()) x = std::tanh(x);
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Sigmoid(NodeId a) {
+  Node node;
+  node.op = Op::kSigmoid;
+  node.a = a;
+  node.value = value(a);
+  for (float& x : node.value.data()) x = 1.0f / (1.0f + std::exp(-x));
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Softplus(NodeId a) {
+  Node node;
+  node.op = Op::kSoftplus;
+  node.a = a;
+  node.value = value(a);
+  for (float& x : node.value.data()) x = StableSoftplus(x);
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::ConcatCols(NodeId a, NodeId b) {
+  const Matrix& va = value(a);
+  const Matrix& vb = value(b);
+  LQOLAB_CHECK_EQ(va.rows(), vb.rows());
+  Node node;
+  node.op = Op::kConcatCols;
+  node.a = a;
+  node.b = b;
+  node.value = Matrix(va.rows(), va.cols() + vb.cols());
+  for (int32_t r = 0; r < va.rows(); ++r) {
+    for (int32_t c = 0; c < va.cols(); ++c) node.value.at(r, c) = va.at(r, c);
+    for (int32_t c = 0; c < vb.cols(); ++c) {
+      node.value.at(r, va.cols() + c) = vb.at(r, c);
+    }
+  }
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Sum(NodeId a) {
+  Node node;
+  node.op = Op::kSum;
+  node.a = a;
+  node.value = Matrix(1, 1);
+  for (float x : value(a).data()) node.value.at(0, 0) += x;
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::Mean(NodeId a) {
+  Node node;
+  node.op = Op::kMean;
+  node.a = a;
+  node.value = Matrix(1, 1);
+  const Matrix& va = value(a);
+  LQOLAB_CHECK_GT(va.size(), 0);
+  for (float x : va.data()) node.value.at(0, 0) += x;
+  node.value.at(0, 0) /= static_cast<float>(va.size());
+  return Emplace(std::move(node));
+}
+
+NodeId Graph::MeanRows(NodeId a) {
+  const Matrix& va = value(a);
+  LQOLAB_CHECK_GT(va.rows(), 0);
+  Node node;
+  node.op = Op::kMeanRows;
+  node.a = a;
+  node.value = Matrix(1, va.cols());
+  for (int32_t r = 0; r < va.rows(); ++r) {
+    for (int32_t c = 0; c < va.cols(); ++c) {
+      node.value.at(0, c) += va.at(r, c);
+    }
+  }
+  for (int32_t c = 0; c < va.cols(); ++c) {
+    node.value.at(0, c) /= static_cast<float>(va.rows());
+  }
+  return Emplace(std::move(node));
+}
+
+void Graph::Backward(NodeId loss) {
+  LQOLAB_CHECK_EQ(value(loss).rows(), 1);
+  LQOLAB_CHECK_EQ(value(loss).cols(), 1);
+  grad(loss).at(0, 0) = 1.0f;
+
+  for (NodeId id = loss; id >= 0; --id) {
+    Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.grad.rows() == 0) continue;  // not on any path to the loss
+    const Matrix& g = node.grad;
+    switch (node.op) {
+      case Op::kInput:
+        break;
+      case Op::kParameter:
+        for (int64_t i = 0; i < g.size(); ++i) {
+          node.param_grad->data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)];
+        }
+        break;
+      case Op::kMatMul:
+        MatMulTransposeBInto(g, value(node.b), &grad(node.a));
+        MatMulTransposeAInto(value(node.a), g, &grad(node.b));
+        break;
+      case Op::kAdd: {
+        Matrix& ga = grad(node.a);
+        Matrix& gb = grad(node.b);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[static_cast<size_t>(i)] += g.data()[static_cast<size_t>(i)];
+          gb.data()[static_cast<size_t>(i)] += g.data()[static_cast<size_t>(i)];
+        }
+        break;
+      }
+      case Op::kAddBroadcast: {
+        Matrix& ga = grad(node.a);
+        Matrix& gb = grad(node.b);
+        for (int32_t r = 0; r < g.rows(); ++r) {
+          for (int32_t c = 0; c < g.cols(); ++c) {
+            ga.at(r, c) += g.at(r, c);
+            gb.at(0, c) += g.at(r, c);
+          }
+        }
+        break;
+      }
+      case Op::kSub: {
+        Matrix& ga = grad(node.a);
+        Matrix& gb = grad(node.b);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[static_cast<size_t>(i)] += g.data()[static_cast<size_t>(i)];
+          gb.data()[static_cast<size_t>(i)] -= g.data()[static_cast<size_t>(i)];
+        }
+        break;
+      }
+      case Op::kMul: {
+        Matrix& ga = grad(node.a);
+        Matrix& gb = grad(node.b);
+        const Matrix& va = value(node.a);
+        const Matrix& vb = value(node.b);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          ga.data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)] *
+              vb.data()[static_cast<size_t>(i)];
+          gb.data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)] *
+              va.data()[static_cast<size_t>(i)];
+        }
+        break;
+      }
+      case Op::kRelu: {
+        Matrix& ga = grad(node.a);
+        const Matrix& va = value(node.a);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          if (va.data()[static_cast<size_t>(i)] > 0.0f) {
+            ga.data()[static_cast<size_t>(i)] +=
+                g.data()[static_cast<size_t>(i)];
+          }
+        }
+        break;
+      }
+      case Op::kTanh: {
+        Matrix& ga = grad(node.a);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          const float y = node.value.data()[static_cast<size_t>(i)];
+          ga.data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)] * (1.0f - y * y);
+        }
+        break;
+      }
+      case Op::kSigmoid: {
+        Matrix& ga = grad(node.a);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          const float y = node.value.data()[static_cast<size_t>(i)];
+          ga.data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)] * y * (1.0f - y);
+        }
+        break;
+      }
+      case Op::kSoftplus: {
+        Matrix& ga = grad(node.a);
+        const Matrix& va = value(node.a);
+        for (int64_t i = 0; i < g.size(); ++i) {
+          const float x = va.data()[static_cast<size_t>(i)];
+          const float s = 1.0f / (1.0f + std::exp(-x));
+          ga.data()[static_cast<size_t>(i)] +=
+              g.data()[static_cast<size_t>(i)] * s;
+        }
+        break;
+      }
+      case Op::kConcatCols: {
+        Matrix& ga = grad(node.a);
+        Matrix& gb = grad(node.b);
+        for (int32_t r = 0; r < g.rows(); ++r) {
+          for (int32_t c = 0; c < ga.cols(); ++c) ga.at(r, c) += g.at(r, c);
+          for (int32_t c = 0; c < gb.cols(); ++c) {
+            gb.at(r, c) += g.at(r, ga.cols() + c);
+          }
+        }
+        break;
+      }
+      case Op::kSum: {
+        Matrix& ga = grad(node.a);
+        for (float& x : ga.data()) x += g.at(0, 0);
+        break;
+      }
+      case Op::kMean: {
+        Matrix& ga = grad(node.a);
+        const float scale = g.at(0, 0) / static_cast<float>(ga.size());
+        for (float& x : ga.data()) x += scale;
+        break;
+      }
+      case Op::kMeanRows: {
+        Matrix& ga = grad(node.a);
+        const float scale = 1.0f / static_cast<float>(ga.rows());
+        for (int32_t r = 0; r < ga.rows(); ++r) {
+          for (int32_t c = 0; c < ga.cols(); ++c) {
+            ga.at(r, c) += g.at(0, c) * scale;
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lqolab::ml

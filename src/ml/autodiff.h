@@ -1,0 +1,91 @@
+#ifndef LQOLAB_ML_AUTODIFF_H_
+#define LQOLAB_ML_AUTODIFF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace lqolab::ml {
+
+/// Node handle within a Graph.
+using NodeId = int32_t;
+
+/// Define-by-run reverse-mode autodiff over matrices. Each training step
+/// builds a fresh Graph (tree-structured plan networks have per-example
+/// topology), computes values eagerly on construction, and calls Backward()
+/// once; gradients accumulate into the Matrix buffers registered through
+/// Parameter().
+class Graph {
+ public:
+  Graph() = default;
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Constant leaf (no gradient).
+  NodeId Input(Matrix value);
+
+  /// Trainable leaf: `value` is read at creation; gradients accumulate into
+  /// `*grad` (same shape) during Backward. Both must outlive the graph.
+  NodeId Parameter(const Matrix* value, Matrix* grad);
+
+  /// out = a * b (matrix product).
+  NodeId MatMul(NodeId a, NodeId b);
+  /// out = a + b; b may be a 1 x n row vector broadcast over a's rows.
+  NodeId Add(NodeId a, NodeId b);
+  /// out = a - b (same shapes).
+  NodeId Sub(NodeId a, NodeId b);
+  /// Elementwise product (same shapes).
+  NodeId Mul(NodeId a, NodeId b);
+  /// Elementwise max(0, x).
+  NodeId Relu(NodeId a);
+  /// Elementwise tanh.
+  NodeId Tanh(NodeId a);
+  /// Elementwise logistic sigmoid.
+  NodeId Sigmoid(NodeId a);
+  /// Elementwise softplus log(1 + e^x) (numerically stabilized).
+  NodeId Softplus(NodeId a);
+  /// Concatenation of two row-compatible matrices along columns.
+  NodeId ConcatCols(NodeId a, NodeId b);
+  /// Sum of all entries (1x1).
+  NodeId Sum(NodeId a);
+  /// Mean of all entries (1x1).
+  NodeId Mean(NodeId a);
+  /// Row-wise mean: n x c -> 1 x c.
+  NodeId MeanRows(NodeId a);
+
+  const Matrix& value(NodeId id) const;
+
+  /// Scalar value of a 1x1 node.
+  float scalar(NodeId id) const;
+
+  /// Reverse pass from a scalar (1x1) node; seeds d(loss)/d(loss) = 1 and
+  /// accumulates parameter gradients.
+  void Backward(NodeId loss);
+
+  int64_t node_count() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  enum class Op {
+    kInput, kParameter, kMatMul, kAdd, kAddBroadcast, kSub, kMul, kRelu,
+    kTanh, kSigmoid, kSoftplus, kConcatCols, kSum, kMean, kMeanRows,
+  };
+  struct Node {
+    Op op;
+    NodeId a = -1;
+    NodeId b = -1;
+    Matrix value;
+    Matrix grad;        // allocated lazily during Backward
+    Matrix* param_grad = nullptr;
+  };
+
+  NodeId Emplace(Node node);
+  Matrix& grad(NodeId id);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace lqolab::ml
+
+#endif  // LQOLAB_ML_AUTODIFF_H_

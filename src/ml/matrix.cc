@@ -1,0 +1,26 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace lqolab::ml {
+
+Matrix Matrix::KaimingUniform(int32_t rows, int32_t cols, int32_t fan_in,
+                              util::Rng* rng) {
+  Matrix m(rows, cols);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(std::max(1, fan_in)));
+  for (float& x : m.data()) {
+    x = static_cast<float>(rng->Uniform() * 2.0 - 1.0) * bound;
+  }
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<float>& values) {
+  Matrix m(1, static_cast<int32_t>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    m.at(0, static_cast<int32_t>(i)) = values[i];
+  }
+  return m;
+}
+
+}  // namespace lqolab::ml

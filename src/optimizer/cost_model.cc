@@ -1,0 +1,227 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/cost_constants.h"
+#include "util/check.h"
+
+namespace lqolab::optimizer {
+
+namespace cost = exec::cost;
+using query::AliasId;
+using query::AliasMask;
+using query::Predicate;
+using query::Query;
+
+namespace {
+
+double SafeLog2(double x) { return x < 2.0 ? 1.0 : std::log2(x); }
+
+}  // namespace
+
+CostModel::CostModel(const exec::DbContext* ctx,
+                     const stats::CardinalityEstimator* estimator)
+    : ctx_(ctx), estimator_(estimator) {
+  LQOLAB_CHECK(ctx != nullptr);
+  LQOLAB_CHECK(estimator != nullptr);
+}
+
+double CostModel::CachedFraction() const {
+  int64_t db_pages = 0;
+  for (const auto& table : ctx_->tables) db_pages += table->page_count();
+  if (db_pages == 0) return 1.0;
+  const int64_t cache_pages =
+      engine::ScaledBytes(ctx_->config.effective_cache_size_mb) /
+      storage::kPageSizeBytes;
+  return std::min(1.0, static_cast<double>(cache_pages) /
+                           static_cast<double>(db_pages));
+}
+
+double CostModel::EstimatedPageCost(bool sequential) const {
+  const double cached = CachedFraction();
+  const double miss_cost = static_cast<double>(
+      sequential ? cost::kDiskSeqReadNs : cost::kDiskReadNs);
+  return cached * static_cast<double>(cost::kSharedHitNs) +
+         (1.0 - cached) * miss_cost;
+}
+
+ScanChoice CostModel::ScanCost(const Query& q, AliasId alias,
+                               ScanType type) const {
+  const catalog::TableId table_id =
+      q.relations[static_cast<size_t>(alias)].table;
+  const storage::Table& table = ctx_->table(table_id);
+  const auto preds = q.PredicatesFor(alias);
+  const double total_rows = static_cast<double>(table.row_count());
+  const double pages = static_cast<double>(table.page_count());
+  const auto& cfg = ctx_->config;
+
+  ScanChoice choice;
+  choice.type = type;
+
+  switch (type) {
+    case ScanType::kSeq: {
+      choice.cost = pages * EstimatedPageCost(/*sequential=*/true) +
+                    total_rows * static_cast<double>(
+                                     cost::kScanTupleNs +
+                                     static_cast<int64_t>(preds.size()) *
+                                         cost::kPredEvalNs);
+      if (!cfg.enable_seqscan) choice.cost += kDisabledPathCost;
+      return choice;
+    }
+    case ScanType::kIndex:
+    case ScanType::kBitmap: {
+      // Pick the most selective indexed predicate as the driver.
+      double best_driver_cost = kImpossibleCost;
+      for (const Predicate* pred : preds) {
+        if (pred->kind == Predicate::Kind::kIsNull ||
+            pred->kind == Predicate::Kind::kNotNull) {
+          continue;
+        }
+        const storage::Index* index = ctx_->FindIndex(table_id, pred->column);
+        if (index == nullptr) continue;
+        const double sel = estimator_->PredicateSelectivity(q, *pred);
+        const double matches = std::max(1.0, sel * total_rows);
+        double c = static_cast<double>(index->height() *
+                                       cost::kIndexDescentNs);
+        c += std::max(1.0, matches / 256.0) *
+             EstimatedPageCost(/*sequential=*/true);  // leaf pages
+        if (type == ScanType::kIndex) {
+          // Random heap fetch per match.
+          c += matches * (static_cast<double>(cost::kIndexRowFetchNs) +
+                          EstimatedPageCost(/*sequential=*/false));
+        } else {
+          // Bitmap: page-ordered heap access over distinct pages.
+          const double heap_pages = std::min(pages, matches);
+          c += matches * static_cast<double>(cost::kBitmapBuildNs +
+                                             cost::kBitmapRowFetchNs);
+          c += heap_pages * EstimatedPageCost(/*sequential=*/true);
+        }
+        c += matches * static_cast<double>(preds.size() - 1) *
+             static_cast<double>(cost::kPredEvalNs);
+        if (c < best_driver_cost) {
+          best_driver_cost = c;
+          choice.index_column = pred->column;
+        }
+      }
+      if (best_driver_cost >= kImpossibleCost) return choice;  // impossible
+      choice.cost = best_driver_cost;
+      const bool enabled = type == ScanType::kIndex ? cfg.enable_indexscan
+                                                    : cfg.enable_bitmapscan;
+      if (!enabled) choice.cost += kDisabledPathCost;
+      return choice;
+    }
+    case ScanType::kTid: {
+      for (const Predicate* pred : preds) {
+        if (pred->column == 0 && (pred->kind == Predicate::Kind::kEq ||
+                                  pred->kind == Predicate::Kind::kIn)) {
+          const double matches = std::max(
+              1.0, static_cast<double>(pred->int_values.size() +
+                                       pred->str_values.size()));
+          choice.cost = matches * (static_cast<double>(cost::kTidFetchNs) +
+                                   EstimatedPageCost(/*sequential=*/false));
+          if (!cfg.enable_tidscan) choice.cost += kDisabledPathCost;
+          return choice;
+        }
+      }
+      return choice;  // impossible
+    }
+  }
+  return choice;
+}
+
+ScanChoice CostModel::BestScan(const Query& q, AliasId alias) const {
+  ScanChoice best;
+  for (ScanType type : {ScanType::kSeq, ScanType::kIndex, ScanType::kBitmap,
+                        ScanType::kTid}) {
+    const ScanChoice candidate = ScanCost(q, alias, type);
+    if (candidate.cost < best.cost) best = candidate;
+  }
+  LQOLAB_CHECK_LT(best.cost, kImpossibleCost);
+  return best;
+}
+
+bool CostModel::CanIndexNlj(const Query& q, AliasMask outer_mask,
+                            AliasId inner,
+                            catalog::ColumnId* probe_column) const {
+  const auto edges = q.EdgesBetween(outer_mask, query::MaskOf(inner));
+  if (edges.empty()) return false;
+  const catalog::TableId inner_table =
+      q.relations[static_cast<size_t>(inner)].table;
+  for (const auto& edge : edges) {
+    if (ctx_->FindIndex(inner_table, edge.right_column) != nullptr) {
+      if (probe_column != nullptr) *probe_column = edge.right_column;
+      return true;
+    }
+  }
+  return false;
+}
+
+double CostModel::JoinCost(const Query& q, JoinAlgo algo, double rows_left,
+                           double rows_right, double rows_out,
+                           AliasId inner_alias,
+                           catalog::ColumnId probe_column) const {
+  const auto& cfg = ctx_->config;
+  const double work_mem_bytes =
+      static_cast<double>(engine::ScaledBytes(cfg.work_mem_mb));
+  double c = rows_out * static_cast<double>(cost::kJoinOutputNs);
+  switch (algo) {
+    case JoinAlgo::kHash: {
+      c += rows_right * static_cast<double>(cost::kHashBuildNs) +
+           rows_left * static_cast<double>(cost::kHashProbeNs);
+      const double batches = std::max(
+          1.0, rows_right * cost::kBytesPerTupleSlot / work_mem_bytes);
+      if (batches > 1.0) {
+        c *= 1.0 + cost::kSpillPassPenalty * SafeLog2(batches);
+        c += 2.0 * (rows_left + rows_right) / storage::kRowsPerPage *
+             static_cast<double>(cost::kDiskSeqReadNs);
+      }
+      if (!cfg.enable_hashjoin) c += kDisabledPathCost;
+      return c;
+    }
+    case JoinAlgo::kNestLoop: {
+      c += rows_left * rows_right * static_cast<double>(cost::kNlCompareNs);
+      if (!cfg.enable_nestloop) c += kDisabledPathCost;
+      return c;
+    }
+    case JoinAlgo::kIndexNlj: {
+      LQOLAB_CHECK_GE(inner_alias, 0);
+      const catalog::TableId inner_table =
+          q.relations[static_cast<size_t>(inner_alias)].table;
+      if (probe_column == catalog::kInvalidColumn) return kImpossibleCost;
+      const storage::Index* index = ctx_->FindIndex(inner_table, probe_column);
+      LQOLAB_CHECK(index != nullptr);
+      const auto& cs = ctx_->column_stats(inner_table, probe_column);
+      const double avg_matches =
+          cs.n_distinct > 0
+              ? static_cast<double>(index->entry_count()) /
+                    static_cast<double>(cs.n_distinct)
+              : 1.0;
+      const double fetched = std::max(rows_out, rows_left * avg_matches);
+      c += rows_left * static_cast<double>(index->height() *
+                                           cost::kIndexDescentNs);
+      c += fetched * (static_cast<double>(cost::kIndexRowFetchNs) +
+                      EstimatedPageCost(/*sequential=*/false));
+      if (!cfg.enable_nestloop) c += kDisabledPathCost;
+      return c;
+    }
+    case JoinAlgo::kMerge: {
+      auto sort_cost = [&](double rows) {
+        double s = rows * SafeLog2(rows) * cost::kSortItemNs;
+        if (rows * cost::kBytesPerTupleSlot > work_mem_bytes) {
+          s *= 1.0 + cost::kSpillPassPenalty;
+          s += 2.0 * rows / storage::kRowsPerPage *
+               static_cast<double>(cost::kDiskSeqReadNs);
+        }
+        return s;
+      };
+      c += sort_cost(rows_left) + sort_cost(rows_right);
+      c += (rows_left + rows_right) * static_cast<double>(cost::kMergeStepNs);
+      if (!cfg.enable_mergejoin) c += kDisabledPathCost;
+      return c;
+    }
+  }
+  return kImpossibleCost;
+}
+
+}  // namespace lqolab::optimizer

@@ -1,0 +1,407 @@
+#include "optimizer/planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "exec/oracle.h"  // QueryFingerprint for GEQO seeding
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lqolab::optimizer {
+
+using query::AliasId;
+using query::AliasMask;
+using query::Query;
+
+namespace {
+
+/// DP table entry for one connected subset.
+struct DpEntry {
+  bool valid = false;
+  double cost = kImpossibleCost;
+  double rows = 0.0;
+  // Join reconstruction.
+  AliasMask left = 0;
+  AliasMask right = 0;
+  JoinAlgo algo = JoinAlgo::kHash;
+  catalog::ColumnId probe_column = catalog::kInvalidColumn;
+  // Scan reconstruction (singletons).
+  ScanChoice scan;
+};
+
+int32_t BuildPlanFromDp(const std::vector<DpEntry>& dp, const Query& q,
+                        AliasMask mask, PhysicalPlan* plan) {
+  const DpEntry& entry = dp[mask];
+  LQOLAB_CHECK(entry.valid);
+  if (std::popcount(mask) == 1) {
+    const AliasId alias = static_cast<AliasId>(std::countr_zero(mask));
+    return plan->AddScan(alias, entry.scan.type, entry.scan.index_column);
+  }
+  const int32_t left = BuildPlanFromDp(dp, q, entry.left, plan);
+  int32_t right;
+  if (entry.algo == JoinAlgo::kIndexNlj) {
+    const AliasId inner =
+        static_cast<AliasId>(std::countr_zero(entry.right));
+    right = plan->AddScan(inner, ScanType::kIndex, entry.probe_column);
+  } else {
+    right = BuildPlanFromDp(dp, q, entry.right, plan);
+  }
+  return plan->AddJoin(entry.algo, left, right);
+}
+
+}  // namespace
+
+Planner::Planner(const exec::DbContext* ctx)
+    : ctx_(ctx), estimator_(ctx), cost_model_(ctx, &estimator_) {}
+
+PlanningResult Planner::Plan(const Query& q) const {
+  const auto& cfg = ctx_->config;
+  if (q.relation_count() >= 2 && cfg.join_collapse_limit <= 1) {
+    // Join order follows the FROM clause.
+    std::vector<AliasId> order(static_cast<size_t>(q.relation_count()));
+    for (AliasId a = 0; a < q.relation_count(); ++a) {
+      order[static_cast<size_t>(a)] = a;
+    }
+    PlanningResult result;
+    result.estimated_cost =
+        CostJoinOrder(q, order, &result.plan, &result.planner_steps);
+    LQOLAB_CHECK_LT(result.estimated_cost, kImpossibleCost);
+    return result;
+  }
+  if (cfg.geqo && q.relation_count() >= cfg.geqo_threshold) {
+    return PlanGenetic(q, GeqoParams{});
+  }
+  return PlanDynamicProgramming(q, cfg.enable_bushy);
+}
+
+PlanningResult Planner::PlanDynamicProgramming(const Query& q,
+                                               bool bushy) const {
+  const int32_t n = q.relation_count();
+  LQOLAB_CHECK_GE(n, 1);
+  LQOLAB_CHECK_LE(n, 22);  // DP is exponential; GEQO covers larger queries.
+  const AliasMask full = q.FullMask();
+  std::vector<DpEntry> dp(static_cast<size_t>(full) + 1);
+  PlanningResult result;
+
+  // Base relations.
+  for (AliasId a = 0; a < n; ++a) {
+    DpEntry& entry = dp[query::MaskOf(a)];
+    entry.valid = true;
+    entry.scan = cost_model_.BestScan(q, a);
+    entry.cost = entry.scan.cost;
+    entry.rows = estimator_.EstimateBaseRows(q, a);
+    ++result.planner_steps;
+  }
+
+  for (AliasMask mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) < 2 || !q.IsConnected(mask)) continue;
+    DpEntry& entry = dp[mask];
+    const double rows_out = estimator_.EstimateJoinRows(q, mask);
+
+    auto consider = [&](AliasMask s1, AliasMask s2) {
+      const DpEntry& left = dp[s1];
+      const DpEntry& right = dp[s2];
+      if (!left.valid || !right.valid) return;
+      if (!q.HasEdgeBetween(s1, s2)) return;
+      ++result.planner_steps;
+      for (JoinAlgo algo :
+           {JoinAlgo::kHash, JoinAlgo::kNestLoop, JoinAlgo::kMerge}) {
+        const double cost =
+            left.cost + right.cost +
+            cost_model_.JoinCost(q, algo, left.rows, right.rows, rows_out);
+        if (cost < entry.cost) {
+          entry.valid = true;
+          entry.cost = cost;
+          entry.rows = rows_out;
+          entry.left = s1;
+          entry.right = s2;
+          entry.algo = algo;
+          entry.probe_column = catalog::kInvalidColumn;
+        }
+      }
+      if (std::popcount(s2) == 1) {
+        const AliasId inner = static_cast<AliasId>(std::countr_zero(s2));
+        catalog::ColumnId probe_column = catalog::kInvalidColumn;
+        if (cost_model_.CanIndexNlj(q, s1, inner, &probe_column)) {
+          const double cost =
+              left.cost + cost_model_.JoinCost(q, JoinAlgo::kIndexNlj,
+                                               left.rows, right.rows, rows_out,
+                                               inner, probe_column);
+          if (cost < entry.cost) {
+            entry.valid = true;
+            entry.cost = cost;
+            entry.rows = rows_out;
+            entry.left = s1;
+            entry.right = s2;
+            entry.algo = JoinAlgo::kIndexNlj;
+            entry.probe_column = probe_column;
+          }
+        }
+      }
+    };
+
+    if (bushy) {
+      // All connected complementary pairs; both (s1,s2) role orders come up
+      // naturally as the submask enumeration visits each side.
+      for (AliasMask s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+        const AliasMask s2 = mask ^ s1;
+        if (s2 == 0) continue;
+        consider(s1, s2);
+      }
+    } else {
+      // Left-deep: extend by a single relation on the right; also consider
+      // the single relation on the left for the first join.
+      AliasMask bits = mask;
+      while (bits != 0) {
+        const AliasId alias = static_cast<AliasId>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const AliasMask single = query::MaskOf(alias);
+        const AliasMask rest = mask ^ single;
+        consider(rest, single);
+        if (std::popcount(rest) == 1) consider(single, rest);
+      }
+    }
+  }
+
+  const DpEntry& top = dp[full];
+  LQOLAB_CHECK_MSG(top.valid, "no DP plan for " << q.id);
+  result.estimated_cost = top.cost;
+  if (n == 1) {
+    result.plan.AddScan(0, top.scan.type, top.scan.index_column);
+  } else {
+    BuildPlanFromDp(dp, q, full, &result.plan);
+  }
+  result.plan.Validate(q);
+  return result;
+}
+
+double Planner::CostJoinOrder(const Query& q,
+                              const std::vector<AliasId>& order,
+                              PhysicalPlan* plan_out, int64_t* steps) const {
+  LQOLAB_CHECK_EQ(order.size(), static_cast<size_t>(q.relation_count()));
+  PhysicalPlan plan;
+  const ScanChoice first = cost_model_.BestScan(q, order[0]);
+  int32_t current = plan.AddScan(order[0], first.type, first.index_column);
+  double total = first.cost;
+  AliasMask mask = query::MaskOf(order[0]);
+  double rows_left = estimator_.EstimateBaseRows(q, order[0]);
+
+  for (size_t i = 1; i < order.size(); ++i) {
+    const AliasId next = order[i];
+    const AliasMask next_mask = query::MaskOf(next);
+    if (!q.HasEdgeBetween(mask, next_mask)) return kImpossibleCost;
+    const double rows_right = estimator_.EstimateBaseRows(q, next);
+    const double rows_out = estimator_.EstimateJoinRows(q, mask | next_mask);
+    const ScanChoice scan = cost_model_.BestScan(q, next);
+    if (steps != nullptr) ++*steps;
+
+    double best_cost = kImpossibleCost;
+    JoinAlgo best_algo = JoinAlgo::kHash;
+    catalog::ColumnId best_probe = catalog::kInvalidColumn;
+    for (JoinAlgo algo :
+         {JoinAlgo::kHash, JoinAlgo::kNestLoop, JoinAlgo::kMerge}) {
+      const double cost =
+          scan.cost +
+          cost_model_.JoinCost(q, algo, rows_left, rows_right, rows_out);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_algo = algo;
+      }
+    }
+    catalog::ColumnId probe_column = catalog::kInvalidColumn;
+    if (cost_model_.CanIndexNlj(q, mask, next, &probe_column)) {
+      const double cost = cost_model_.JoinCost(
+          q, JoinAlgo::kIndexNlj, rows_left, rows_right, rows_out, next,
+          probe_column);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_algo = JoinAlgo::kIndexNlj;
+        best_probe = probe_column;
+      }
+    }
+    const int32_t right =
+        best_algo == JoinAlgo::kIndexNlj
+            ? plan.AddScan(next, ScanType::kIndex, best_probe)
+            : plan.AddScan(next, scan.type, scan.index_column);
+    current = plan.AddJoin(best_algo, current, right);
+    total += best_cost;
+    mask |= next_mask;
+    rows_left = rows_out;
+  }
+  if (plan_out != nullptr) {
+    plan.root = current;
+    *plan_out = std::move(plan);
+  }
+  return total;
+}
+
+PlanningResult Planner::PlanGenetic(const Query& q,
+                                    const GeqoParams& params) const {
+  const int32_t n = q.relation_count();
+  LQOLAB_CHECK_GE(n, 2);
+  util::Rng rng(params.seed ^ exec::QueryFingerprint(q));
+  PlanningResult result;
+  result.used_geqo = true;
+
+  // A random connected order: start anywhere, extend by a random adjacent
+  // unvisited relation.
+  auto random_order = [&]() {
+    std::vector<AliasId> order;
+    order.push_back(
+        static_cast<AliasId>(rng.UniformInt(0, n - 1)));
+    AliasMask mask = query::MaskOf(order[0]);
+    while (static_cast<int32_t>(order.size()) < n) {
+      std::vector<AliasId> candidates;
+      for (AliasId a = 0; a < n; ++a) {
+        if ((mask & query::MaskOf(a)) == 0 &&
+            (q.AdjacencyMask(a) & mask) != 0) {
+          candidates.push_back(a);
+        }
+      }
+      LQOLAB_CHECK(!candidates.empty());
+      const AliasId pick = candidates[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+      order.push_back(pick);
+      mask |= query::MaskOf(pick);
+    }
+    return order;
+  };
+
+  // Turns a preference sequence into a valid connected order: repeatedly
+  // take the earliest preferred relation adjacent to the current prefix.
+  auto repair = [&](const std::vector<AliasId>& preference) {
+    std::vector<AliasId> order;
+    std::vector<char> used(static_cast<size_t>(n), 0);
+    order.push_back(preference[0]);
+    used[static_cast<size_t>(preference[0])] = 1;
+    AliasMask mask = query::MaskOf(preference[0]);
+    while (static_cast<int32_t>(order.size()) < n) {
+      AliasId chosen = -1;
+      for (AliasId a : preference) {
+        if (!used[static_cast<size_t>(a)] &&
+            (q.AdjacencyMask(a) & mask) != 0) {
+          chosen = a;
+          break;
+        }
+      }
+      LQOLAB_CHECK_GE(chosen, 0);
+      order.push_back(chosen);
+      used[static_cast<size_t>(chosen)] = 1;
+      mask |= query::MaskOf(chosen);
+    }
+    return order;
+  };
+
+  struct Individual {
+    std::vector<AliasId> order;
+    double fitness = kImpossibleCost;
+  };
+  auto evaluate = [&](Individual* ind) {
+    ind->fitness = CostJoinOrder(q, ind->order, nullptr,
+                                 &result.planner_steps);
+  };
+
+  std::vector<Individual> population(
+      static_cast<size_t>(params.pool_size));
+  for (auto& ind : population) {
+    ind.order = random_order();
+    evaluate(&ind);
+  }
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::sort(population.begin(), population.end(), by_fitness);
+
+  for (int32_t gen = 0; gen < params.generations; ++gen) {
+    const size_t survivors = population.size() / 2;
+    for (size_t i = survivors; i < population.size(); ++i) {
+      // Order crossover with connectivity repair: child prefers a prefix of
+      // parent A, then parent B's order.
+      const auto& pa =
+          population[static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(survivors) - 1))]
+              .order;
+      const auto& pb =
+          population[static_cast<size_t>(rng.UniformInt(
+                         0, static_cast<int64_t>(survivors) - 1))]
+              .order;
+      const size_t cut =
+          static_cast<size_t>(rng.UniformInt(1, n - 1));
+      std::vector<AliasId> preference(pa.begin(),
+                                      pa.begin() + static_cast<long>(cut));
+      for (AliasId a : pb) {
+        if (std::find(preference.begin(), preference.end(), a) ==
+            preference.end()) {
+          preference.push_back(a);
+        }
+      }
+      Individual child;
+      child.order = repair(preference);
+      if (rng.Uniform() < params.mutation_rate) {
+        const size_t x = static_cast<size_t>(rng.UniformInt(0, n - 1));
+        const size_t y = static_cast<size_t>(rng.UniformInt(0, n - 1));
+        std::swap(child.order[x], child.order[y]);
+        child.order = repair(child.order);
+      }
+      evaluate(&child);
+      population[i] = std::move(child);
+    }
+    std::sort(population.begin(), population.end(), by_fitness);
+  }
+
+  const Individual& best = population.front();
+  LQOLAB_CHECK_LT(best.fitness, kImpossibleCost);
+  result.estimated_cost =
+      CostJoinOrder(q, best.order, &result.plan, nullptr);
+  result.plan.Validate(q);
+  return result;
+}
+
+double Planner::EstimatePlanCost(const Query& q,
+                                 const PhysicalPlan& plan) const {
+  LQOLAB_CHECK(!plan.empty());
+  double total = 0.0;
+  // Inner scans of index-NLJ joins are probed, not scanned.
+  std::vector<char> skip(plan.nodes.size(), 0);
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.type == PlanNode::Type::kJoin && node.algo == JoinAlgo::kIndexNlj) {
+      skip[static_cast<size_t>(node.right)] = 1;
+    }
+  }
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const PlanNode& node = plan.nodes[i];
+    if (node.type == PlanNode::Type::kScan) {
+      if (skip[i]) continue;
+      const ScanChoice choice = cost_model_.ScanCost(q, node.alias,
+                                                     node.scan_type);
+      if (choice.cost >= kImpossibleCost) return kImpossibleCost;
+      total += choice.cost;
+      continue;
+    }
+    const PlanNode& left = plan.node(node.left);
+    const PlanNode& right = plan.node(node.right);
+    const double rows_left = estimator_.EstimateJoinRows(q, left.mask);
+    const double rows_right = estimator_.EstimateJoinRows(q, right.mask);
+    const double rows_out = estimator_.EstimateJoinRows(q, node.mask);
+    if (node.algo == JoinAlgo::kIndexNlj) {
+      LQOLAB_CHECK(right.type == PlanNode::Type::kScan);
+      catalog::ColumnId probe_column = catalog::kInvalidColumn;
+      if (!cost_model_.CanIndexNlj(q, left.mask, right.alias, &probe_column)) {
+        return kImpossibleCost;
+      }
+      total += cost_model_.JoinCost(q, JoinAlgo::kIndexNlj, rows_left,
+                                    rows_right, rows_out, right.alias,
+                                    probe_column);
+    } else {
+      total += cost_model_.JoinCost(q, node.algo, rows_left, rows_right,
+                                    rows_out);
+    }
+  }
+  return total;
+}
+
+}  // namespace lqolab::optimizer

@@ -1,0 +1,79 @@
+#ifndef LQOLAB_OPTIMIZER_PLANNER_H_
+#define LQOLAB_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/db_context.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "stats/cardinality_estimator.h"
+
+namespace lqolab::optimizer {
+
+/// Output of query planning.
+struct PlanningResult {
+  PhysicalPlan plan;
+  /// Estimated total cost (virtual nanoseconds under the cost model).
+  double estimated_cost = 0.0;
+  /// DP subproblems / GEQO evaluations performed; drives the modeled
+  /// planning time.
+  int64_t planner_steps = 0;
+  bool used_geqo = false;
+};
+
+/// GEQO tuning knobs (pglite's equivalent of geqo_pool_size/geqo_generations).
+struct GeqoParams {
+  int32_t pool_size = 40;
+  int32_t generations = 60;
+  double mutation_rate = 0.15;
+  uint64_t seed = 0;  ///< Combined with the query fingerprint.
+};
+
+/// The pglite query planner: System-R style dynamic programming over
+/// connected subgraphs (bushy or left-deep), switching to the genetic
+/// optimizer (GEQO) at config.geqo_threshold relations, exactly like
+/// PostgreSQL. All decisions are made on ESTIMATED cardinalities.
+class Planner {
+ public:
+  explicit Planner(const exec::DbContext* ctx);
+
+  /// Plans under the context's configuration (DP / GEQO / FROM-order
+  /// depending on geqo, geqo_threshold and join_collapse_limit).
+  PlanningResult Plan(const query::Query& q) const;
+
+  /// Exhaustive DP (bushy trees when `bushy`).
+  PlanningResult PlanDynamicProgramming(const query::Query& q,
+                                        bool bushy) const;
+
+  /// Genetic planning over left-deep join orders.
+  PlanningResult PlanGenetic(const query::Query& q,
+                             const GeqoParams& params) const;
+
+  /// Greedily picks physical operators for a fixed left-deep join order and
+  /// returns its estimated cost (kImpossibleCost when the order contains a
+  /// cross product). Used by GEQO fitness and by learned-optimizer search
+  /// spaces.
+  double CostJoinOrder(const query::Query& q,
+                       const std::vector<query::AliasId>& order,
+                       PhysicalPlan* plan_out, int64_t* steps) const;
+
+  /// Estimated cost of an arbitrary physical plan (the cost model applied
+  /// node by node over estimated cardinalities). Used by LQOs that pretrain
+  /// on costs (Balsa) or rank subplans (LEON).
+  double EstimatePlanCost(const query::Query& q,
+                          const PhysicalPlan& plan) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const stats::CardinalityEstimator& estimator() const { return estimator_; }
+
+ private:
+  const exec::DbContext* ctx_;
+  stats::CardinalityEstimator estimator_;
+  CostModel cost_model_;
+};
+
+}  // namespace lqolab::optimizer
+
+#endif  // LQOLAB_OPTIMIZER_PLANNER_H_

@@ -1,0 +1,1326 @@
+#include "query/job_workload.h"
+
+#include <string>
+
+#include "catalog/imdb_schema.h"
+#include "util/check.h"
+
+namespace lqolab::query {
+
+namespace {
+
+using catalog::Schema;
+using catalog::TableId;
+using catalog::imdb::Table;
+
+constexpr storage::Value kOpenLo = -2000000000;
+constexpr storage::Value kOpenHi = 2000000000;
+
+/// Small builder used by the template definitions below.
+class QB {
+ public:
+  QB(const Schema& schema, int32_t template_id, char variant)
+      : schema_(schema) {
+    query_.template_id = template_id;
+    query_.variant = variant;
+    query_.id = std::to_string(template_id) + variant;
+  }
+
+  /// Adds a FROM item; the alias defaults to the conventional short alias.
+  AliasId R(TableId table, const char* alias = nullptr) {
+    QueryRelation rel;
+    rel.table = table;
+    rel.alias = alias != nullptr ? alias : catalog::ImdbShortAlias(table);
+    query_.relations.push_back(rel);
+    return static_cast<AliasId>(query_.relations.size()) - 1;
+  }
+
+  /// Adds a join edge a.col_a = b.col_b.
+  QB& J(AliasId a, const char* col_a, AliasId b, const char* col_b) {
+    JoinEdge edge;
+    edge.left_alias = a;
+    edge.left_column = Col(a, col_a);
+    edge.right_alias = b;
+    edge.right_column = Col(b, col_b);
+    query_.edges.push_back(edge);
+    return *this;
+  }
+
+  QB& EqS(AliasId a, const char* col, const std::string& value) {
+    Predicate p = Base(a, col, Predicate::Kind::kEq);
+    p.str_values = {value};
+    query_.predicates.push_back(std::move(p));
+    return *this;
+  }
+
+  QB& EqI(AliasId a, const char* col, storage::Value value) {
+    Predicate p = Base(a, col, Predicate::Kind::kEq);
+    p.int_values = {value};
+    query_.predicates.push_back(std::move(p));
+    return *this;
+  }
+
+  QB& InS(AliasId a, const char* col, std::vector<std::string> values) {
+    Predicate p = Base(a, col, Predicate::Kind::kIn);
+    p.str_values = std::move(values);
+    query_.predicates.push_back(std::move(p));
+    return *this;
+  }
+
+  QB& InI(AliasId a, const char* col, std::vector<storage::Value> values) {
+    Predicate p = Base(a, col, Predicate::Kind::kIn);
+    p.int_values = std::move(values);
+    query_.predicates.push_back(std::move(p));
+    return *this;
+  }
+
+  QB& Between(AliasId a, const char* col, storage::Value lo,
+              storage::Value hi) {
+    Predicate p = Base(a, col, Predicate::Kind::kRange);
+    p.int_values = {lo, hi};
+    query_.predicates.push_back(std::move(p));
+    return *this;
+  }
+
+  QB& Gt(AliasId a, const char* col, storage::Value lo) {
+    return Between(a, col, lo + 1, kOpenHi);
+  }
+
+  QB& Lt(AliasId a, const char* col, storage::Value hi) {
+    return Between(a, col, kOpenLo, hi - 1);
+  }
+
+  QB& Null(AliasId a, const char* col) {
+    query_.predicates.push_back(Base(a, col, Predicate::Kind::kIsNull));
+    return *this;
+  }
+
+  QB& NotNull(AliasId a, const char* col) {
+    query_.predicates.push_back(Base(a, col, Predicate::Kind::kNotNull));
+    return *this;
+  }
+
+  Query Build() {
+    LQOLAB_CHECK_MSG(query_.IsConnected(query_.FullMask()),
+                     "query " << query_.id << " join graph not connected");
+    return std::move(query_);
+  }
+
+ private:
+  catalog::ColumnId Col(AliasId alias, const char* name) const {
+    const TableId table =
+        query_.relations[static_cast<size_t>(alias)].table;
+    const catalog::ColumnId col = schema_.table(table).FindColumn(name);
+    LQOLAB_CHECK_MSG(col != catalog::kInvalidColumn,
+                     schema_.table(table).name << "." << name);
+    return col;
+  }
+
+  Predicate Base(AliasId alias, const char* col, Predicate::Kind kind) const {
+    Predicate p;
+    p.alias = alias;
+    p.column = Col(alias, col);
+    p.kind = kind;
+    return p;
+  }
+
+  const Schema& schema_;
+  Query query_;
+};
+
+int VariantIndex(char variant) { return variant - 'a'; }
+
+/// Cyclic pick from a per-template option list.
+template <typename T>
+const T& Pick(const std::vector<T>& options, char variant) {
+  return options[static_cast<size_t>(VariantIndex(variant)) % options.size()];
+}
+
+struct YearRange {
+  storage::Value lo;
+  storage::Value hi;
+};
+
+// Shared option lists (values must exist in the generated data pools).
+const std::vector<YearRange> kYearRanges = {
+    {1950, 2010}, {1995, 2015}, {2005, kOpenHi}, {1980, 2005},
+    {2010, kOpenHi}, {kOpenLo, 2000}};
+const std::vector<std::string> kHeadKeywords = {"kw_0", "kw_1", "kw_2",
+                                                "kw_3", "kw_5"};
+const std::vector<std::vector<std::string>> kKeywordSets = {
+    {"kw_1", "kw_4", "kw_9"},
+    {"kw_0", "kw_12"},
+    {"kw_5", "kw_200", "kw_311", "kw_977"},
+    {"kw_2", "kw_6", "kw_30", "kw_88"},
+    {"kw_0", "kw_7", "kw_5000"},
+    {"kw_3", "kw_41", "kw_11"}};
+const std::vector<std::vector<std::string>> kGenreSets = {
+    {"drama", "comedy", "romance", "family"},
+    {"horror", "thriller", "crime", "mystery"},
+    {"documentary", "biography", "history", "short"},
+    {"action", "adventure", "sci-fi", "fantasy"},
+    {"drama", "thriller", "crime"},
+    {"comedy", "music", "musical", "animation"}};
+const std::vector<std::string> kCountries = {"[us]", "[gb]", "[de]", "[fr]",
+                                             "[jp]", "[it]"};
+const std::vector<std::vector<std::string>> kCountrySets = {
+    {"[us]"},
+    {"[de]", "[fr]", "[it]", "[es]"},
+    {"[jp]", "[kr]", "[cn]", "[hk]"},
+    {"[gb]", "[ie]", "[au]", "[ca]"},
+    {"[se]", "[dk]", "[no]", "[fi]"}};
+const std::vector<std::vector<std::string>> kRatingSets = {
+    {"rating_5", "rating_6", "rating_7", "rating_8", "rating_9"},
+    {"rating_0", "rating_1", "rating_2", "rating_3", "rating_4"},
+    {"rating_4", "rating_5", "rating_6", "rating_7"},
+    {"rating_7", "rating_8", "rating_9"}};
+const std::vector<std::vector<std::string>> kVotesSets = {
+    {"votes_6", "votes_7", "votes_8", "votes_9", "votes_10", "votes_11"},
+    {"votes_0", "votes_1", "votes_2", "votes_3", "votes_4", "votes_5"},
+    {"votes_3", "votes_4", "votes_5", "votes_6", "votes_7", "votes_8"},
+    {"votes_9", "votes_10", "votes_11"}};
+const std::vector<std::string> kMovieLangs = {"lang_0", "lang_1", "lang_2",
+                                              "lang_4", "lang_7"};
+const std::vector<std::string> kMovieCountries = {
+    "country_0", "country_1", "country_2", "country_3", "country_8"};
+const std::vector<std::string> kPcodes = {"np_0", "np_1", "np_3", "np_7",
+                                          "np_15", "np_40"};
+const std::vector<std::string> kLinkTypes = {"follows", "remake of",
+                                             "features", "references"};
+const std::vector<std::vector<std::string>> kLinkSets = {
+    {"follows", "followed by"},
+    {"remake of", "remade as"},
+    {"features", "featured in"},
+    {"references", "referenced in"}};
+const std::vector<std::string> kCastNotes = {"(voice)", "(uncredited)",
+                                             "(credit only)",
+                                             "(archive footage)"};
+const std::vector<std::string> kKinds = {"movie", "episode", "tv series",
+                                         "tv movie", "video movie"};
+
+}  // namespace
+
+const std::vector<int32_t>& JobVariantCounts() {
+  // Family sizes of the real JOB (113 queries over 33 templates).
+  static const std::vector<int32_t> counts = {
+      4, 4, 3, 3, 3, 6, 3, 4, 4, 3,  // 1-10
+      4, 3, 4, 3, 4, 4, 6, 3, 4, 3,  // 11-20
+      3, 4, 3, 2, 3, 3, 3, 3, 3, 3,  // 21-30
+      3, 2, 3};                      // 31-33
+  return counts;
+}
+
+Query BuildJobQuery(const catalog::Schema& schema, int32_t template_id,
+                    char variant) {
+  QB b(schema, template_id, variant);
+  const char v = variant;
+  switch (template_id) {
+    case 1: {  // 5 relations: production-company movies by ranking info.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it = b.R(Table::kInfoType);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it, "id");
+      b.EqS(ct, "kind", "production companies");
+      const std::vector<std::string> infos = {"top 250 rank", "votes",
+                                              "rating", "votes"};
+      b.EqS(it, "info", Pick(infos, v));
+      if (v == 'a' || v == 'c') b.NotNull(mc, "note");
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 2: {  // 5 relations: keyworded movies by company country.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(mc, "movie_id", mk, "movie_id");  // cycle edge, as in JOB 2
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      b.EqS(k, "keyword", Pick(kHeadKeywords, v));
+      break;
+    }
+    case 3: {  // 4 relations (3 joins): genre movies with a keyword.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId mi = b.R(Table::kMovieInfo);
+      b.J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", mi, "movie_id");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.Gt(t, "production_year", 1990 + 10 * VariantIndex(v));
+      break;
+    }
+    case 4: {  // 5 relations: rated keyworded movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it = b.R(Table::kInfoType);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(it, "info", "rating");
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      break;
+    }
+    case 5: {  // 5 relations: language of production-company releases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it = b.R(Table::kInfoType);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it, "id");
+      const std::vector<std::string> ct_kinds = {"production companies",
+                                                 "distributors",
+                                                 "production companies"};
+      b.EqS(ct, "kind", Pick(ct_kinds, v));
+      b.EqS(it, "info", "languages");
+      b.EqS(mi, "info", Pick(kMovieLangs, v));
+      if (v == 'b') b.NotNull(mc, "note");
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 6: {  // 5 relations: cast of keyworded movies (6 variants).
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(n, "name_pcode_cf", Pick(kPcodes, v));
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 7: {  // 8 relations: biographies of people in linked movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId pi = b.R(Table::kPersonInfo);
+      AliasId it = b.R(Table::kInfoType);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(n, "id", pi, "person_id")
+          .J(pi, "info_type_id", it, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id");
+      b.EqS(it, "info", "mini biography");
+      b.EqS(lt, "link", Pick(kLinkTypes, v));
+      const std::vector<std::string> genders = {"m", "f", "m"};
+      b.EqS(n, "gender", Pick(genders, v));
+      b.Gt(t, "production_year", 1975 + 15 * VariantIndex(v));
+      break;
+    }
+    case 8: {  // 7 relations: roles in company-backed movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id");
+      const std::vector<std::string> roles = {"actress", "actor", "writer",
+                                              "producer"};
+      b.EqS(rt, "role", Pick(roles, v));
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      if (v == 'a' || v == 'd') b.EqS(ci, "note", "(voice)");
+      break;
+    }
+    case 9: {  // 8 relations: characters played by gendered actors.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id");
+      b.EqS(rt, "role", v == 'b' ? "actor" : "actress");
+      b.EqS(n, "gender", v == 'b' ? "m" : "f");
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 10: {  // 7 relations: voiced characters in typed companies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId cn = b.R(Table::kCompanyName);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(mc, "company_id", cn, "id");
+      b.EqS(ci, "note", Pick(kCastNotes, v));
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      const std::vector<std::string> roles = {"actor", "actress", "producer"};
+      b.EqS(rt, "role", Pick(roles, v));
+      break;
+    }
+    case 11: {  // 8 relations: linked keyworded movies by company.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id");
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      b.Gt(t, "production_year", 1950 + 20 * VariantIndex(v));
+      break;
+    }
+    case 12: {  // 8 relations: genre + rating with two info_type aliases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(mi, "movie_id", midx, "movie_id");  // cycle edge
+      b.EqS(it1, "info", "genres");
+      b.EqS(it2, "info", "rating");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      break;
+    }
+    case 13: {  // 9 relations: template 12 + kind_type.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id");
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      b.EqS(it1, "info", "release dates");
+      b.EqS(it2, "info", "rating");
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      b.EqS(ct, "kind", "production companies");
+      break;
+    }
+    case 14: {  // 8 relations: rated genre movies of a kind.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      b.EqS(it1, "info", "countries");
+      b.EqS(it2, "info", "rating");
+      b.InS(mi, "info", {Pick(kMovieCountries, v)});
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      break;
+    }
+    case 15: {  // 9 relations: releases with alternate titles (cycle edge).
+      AliasId t = b.R(Table::kTitle);
+      AliasId at = b.R(Table::kAkaTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ct = b.R(Table::kCompanyType);
+      b.J(t, "id", at, "movie_id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(mc, "movie_id", mi, "movie_id");  // cycle edge
+      b.EqS(cn, "country_code", "[us]");
+      b.EqS(it1, "info", "release dates");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 16: {  // 8 relations: episodes by cast and keyword.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      if (v == 'a' || v == 'c') {
+        b.Between(t, "episode_nr", 1, 10);
+      } else {
+        b.Gt(t, "season_nr", 2);
+      }
+      break;
+    }
+    case 17: {  // 9 relations: characters in keyworded company movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId n = b.R(Table::kName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "person_id", n, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(n, "name_pcode_cf", Pick(kPcodes, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      break;
+    }
+    case 18: {  // 7 relations: votes for gendered casts.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id");
+      b.EqS(n, "gender", v == 'b' ? "f" : "m");
+      b.EqS(it1, "info", "genres");
+      b.EqS(it2, "info", "votes");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.InS(midx, "info", Pick(kVotesSets, v));
+      break;
+    }
+    case 19: {  // 10 relations: voiced actresses in US releases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it = b.R(Table::kInfoType);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it, "id");
+      b.EqS(it, "info", "release dates");
+      b.EqS(n, "gender", "f");
+      b.EqS(rt, "role", "actress");
+      b.EqS(cn, "country_code", Pick(kCountries, v));
+      if (v == 'a') b.EqS(ci, "note", "(voice)");
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 20: {  // 10 relations: complete casts of kind-typed movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId cct2 = b.R(Table::kCompCastType, "cct2");
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId n = b.R(Table::kName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(cc, "status_id", cct2, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "person_id", n, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(kt, "kind", "movie");
+      b.EqS(cct1, "kind", v == 'c' ? "crew" : "cast");
+      b.EqS(cct2, "kind", v == 'b' ? "complete+verified" : "complete");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      break;
+    }
+    case 21: {  // 10 relations: linked movies of companies with info.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      AliasId mi = b.R(Table::kMovieInfo);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id")
+          .J(t, "id", mi, "movie_id");
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      b.InS(mi, "info", {Pick(kMovieCountries, v)});
+      break;
+    }
+    case 22: {  // 11 relations: rated genre movies of companies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(mi, "movie_id", mc, "movie_id");  // cycle edge
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      b.EqS(it1, "info", "countries");
+      b.EqS(it2, "info", "votes");
+      b.InS(mi, "info", {Pick(kMovieCountries, v)});
+      b.InS(midx, "info", Pick(kVotesSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.Gt(t, "production_year", 1970 + 5 * VariantIndex(v));
+      break;
+    }
+    case 23: {  // 11 relations: complete casts of US releases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", cc, "movie_id")
+          .J(cc, "status_id", cct1, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(cct1, "kind", "complete");
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      b.EqS(it1, "info", "release dates");
+      b.EqS(cn, "country_code", "[us]");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.Gt(t, "production_year", 1985 + 5 * VariantIndex(v));
+      break;
+    }
+    case 24: {  // 12 relations (GEQO range): cast of keyworded US releases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it = b.R(Table::kInfoType);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(n, "name_pcode_cf", Pick(kPcodes, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(rt, "role", v == 'b' ? "actor" : "actress");
+      b.EqS(it, "info", "release dates");
+      b.EqS(cn, "country_code", "[us]");
+      b.Gt(t, "production_year", 1990);
+      break;
+    }
+    case 25: {  // 12 relations: horror casts with ratings.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(it1, "info", "genres");
+      b.EqS(it2, "info", "rating");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(n, "gender", "m");
+      break;
+    }
+    case 26: {  // 12 relations: complete casts of rated kind movies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId n = b.R(Table::kName);
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", cc, "movie_id")
+          .J(cc, "status_id", cct1, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "person_id", n, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", mc, "movie_id");
+      b.EqS(cct1, "kind", v == 'b' ? "complete" : "complete+verified");
+      b.EqS(kt, "kind", "movie");
+      b.EqS(it2, "info", "rating");
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      break;
+    }
+    case 27: {  // 13 relations: linked complete-cast movies of companies.
+      AliasId t = b.R(Table::kTitle);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId cct2 = b.R(Table::kCompCastType, "cct2");
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      b.J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(cc, "status_id", cct2, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id");
+      b.EqS(cct1, "kind", "cast");
+      b.EqS(cct2, "kind", "complete");
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      b.InS(mi, "info", {Pick(kMovieLangs, v)});
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 28: {  // 13 relations: votes for complete-cast releases.
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId cct2 = b.R(Table::kCompCastType, "cct2");
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId ct = b.R(Table::kCompanyType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(cc, "status_id", cct2, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(mc, "company_type_id", ct, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(mi, "movie_id", midx, "movie_id");  // cycle edge
+      b.InS(kt, "kind", {"movie", "episode"});
+      b.EqS(cct1, "kind", "crew");
+      b.EqS(cct2, "kind", v == 'a' ? "complete" : "complete+verified");
+      b.EqS(it1, "info", "countries");
+      b.InS(mi, "info", {Pick(kMovieCountries, v)});
+      b.InS(midx, "info", Pick(kVotesSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.Gt(t, "production_year", 1985 + 5 * VariantIndex(v));
+      break;
+    }
+    case 29: {  // 17 relations: the giant query (like JOB 29a).
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId cct2 = b.R(Table::kCompCastType, "cct2");
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId pi = b.R(Table::kPersonInfo);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(cc, "status_id", cct2, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(n, "id", an, "person_id")
+          .J(n, "id", pi, "person_id")
+          .J(pi, "info_type_id", it2, "id");
+      b.EqS(cct1, "kind", "cast");
+      b.EqS(cct2, "kind", "complete");
+      b.EqS(it1, "info", "release dates");
+      b.EqS(it2, "info", "mini biography");
+      b.EqS(cn, "country_code", "[us]");
+      b.EqS(n, "gender", "f");
+      b.EqS(rt, "role", "actress");
+      // Like JOB's 29a ("Shrek 2"), the title side is filtered to a narrow
+      // window, which keeps the 17-relation join tractable.
+      b.EqS(k, "keyword", v == 'a' ? "kw_0" : (v == 'b' ? "kw_1" : "kw_2"));
+      const std::vector<YearRange> narrow = {
+          {2016, 2024}, {2010, 2015}, {2000, 2009}};
+      const YearRange year = Pick(narrow, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 30: {  // 14 relations: the slow family (like JOB 30).
+      AliasId t = b.R(Table::kTitle);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId cct2 = b.R(Table::kCompCastType, "cct2");
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(cc, "status_id", cct2, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(cct1, "kind", "cast");
+      b.EqS(cct2, "kind", "complete");
+      b.EqS(it1, "info", "genres");
+      b.EqS(it2, "info", "rating");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(n, "gender", "m");
+      break;
+    }
+    case 31: {  // 14 relations: like 30 with companies instead of casts.
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it1 = b.R(Table::kInfoType, "it1");
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it1, "id")
+          .J(t, "id", midx, "movie_id")
+          .J(midx, "info_type_id", it2, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(it1, "info", "genres");
+      b.EqS(it2, "info", "rating");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.InS(midx, "info", Pick(kRatingSets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.EqS(n, "gender", "m");
+      break;
+    }
+    case 32: {  // 6 relations: movie links by keyword.
+      AliasId t = b.R(Table::kTitle);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      b.J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id");
+      b.EqS(k, "keyword", v == 'a' ? "kw_0" : "kw_42");
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      break;
+    }
+    case 33: {  // 10 relations: two linked movie subtrees (self-join heavy).
+      AliasId t1 = b.R(Table::kTitle, "t1");
+      AliasId mc1 = b.R(Table::kMovieCompanies, "mc1");
+      AliasId cn1 = b.R(Table::kCompanyName, "cn1");
+      AliasId kt1 = b.R(Table::kKindType, "kt1");
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      AliasId mc2 = b.R(Table::kMovieCompanies, "mc2");
+      AliasId cn2 = b.R(Table::kCompanyName, "cn2");
+      AliasId kt2 = b.R(Table::kKindType, "kt2");
+      b.J(t1, "id", mc1, "movie_id")
+          .J(mc1, "company_id", cn1, "id")
+          .J(t1, "kind_id", kt1, "id")
+          .J(t1, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id")
+          .J(t2, "id", mc2, "movie_id")
+          .J(mc2, "company_id", cn2, "id")
+          .J(t2, "kind_id", kt2, "id");
+      b.EqS(cn1, "country_code", Pick(kCountries, v));
+      b.EqS(kt1, "kind", "movie");
+      b.InS(kt2, "kind", {"movie", "episode", "tv series"});
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      break;
+    }
+    default:
+      LQOLAB_CHECK_MSG(false, "unknown template " << template_id);
+  }
+  return b.Build();
+}
+
+std::vector<Query> BuildJobLiteWorkload(const catalog::Schema& schema) {
+  std::vector<Query> workload;
+  workload.reserve(kJobQueryCount);
+  const auto& counts = JobVariantCounts();
+  LQOLAB_CHECK_EQ(static_cast<int32_t>(counts.size()), kJobTemplateCount);
+  for (int32_t t = 1; t <= kJobTemplateCount; ++t) {
+    for (int32_t i = 0; i < counts[static_cast<size_t>(t - 1)]; ++i) {
+      workload.push_back(
+          BuildJobQuery(schema, t, static_cast<char>('a' + i)));
+    }
+  }
+  LQOLAB_CHECK_EQ(static_cast<int32_t>(workload.size()), kJobQueryCount);
+  return workload;
+}
+
+
+namespace {
+
+/// One Ext-JOB template (ids 101+). These join shapes do not occur in the
+/// base workload, so no split of JOB leaks their structure.
+Query BuildExtTemplate(const catalog::Schema& schema, int32_t ext_id,
+                       char v) {
+  QB b(schema, 100 + ext_id, v);
+  switch (ext_id) {
+    case 1: {  // person -> credits -> movie -> alternate title + kind (5)
+      AliasId n = b.R(Table::kName);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId t = b.R(Table::kTitle);
+      AliasId at = b.R(Table::kAkaTitle);
+      AliasId kt = b.R(Table::kKindType);
+      b.J(n, "id", ci, "person_id")
+          .J(ci, "movie_id", t, "id")
+          .J(t, "id", at, "movie_id")
+          .J(t, "kind_id", kt, "id");
+      b.EqS(n, "gender", v == 'a' ? "f" : "m");
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    case 2: {  // person-centric, no title at all (6)
+      AliasId n = b.R(Table::kName);
+      AliasId pi = b.R(Table::kPersonInfo);
+      AliasId it = b.R(Table::kInfoType);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId rt = b.R(Table::kRoleType);
+      b.J(n, "id", pi, "person_id")
+          .J(pi, "info_type_id", it, "id")
+          .J(n, "id", an, "person_id")
+          .J(n, "id", ci, "person_id")
+          .J(ci, "role_id", rt, "id");
+      b.EqS(it, "info", v == 'a' ? "mini biography" : "birth date");
+      b.EqS(rt, "role", v == 'a' ? "actor" : "producer");
+      b.EqS(n, "name_pcode_cf", Pick(kPcodes, v));
+      break;
+    }
+    case 3: {  // keyworded movie -> link -> target's alternate titles (7)
+      AliasId t = b.R(Table::kTitle);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType);
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      AliasId at = b.R(Table::kAkaTitle);
+      b.J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id")
+          .J(t2, "id", at, "movie_id");
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      break;
+    }
+    case 4: {  // two-hop movie-link chain (8), a shape JOB never uses
+      AliasId t = b.R(Table::kTitle);
+      AliasId ml = b.R(Table::kMovieLink);
+      AliasId lt = b.R(Table::kLinkType, "lt1");
+      AliasId t2 = b.R(Table::kTitle, "t2");
+      AliasId ml2 = b.R(Table::kMovieLink, "ml2");
+      AliasId lt2 = b.R(Table::kLinkType, "lt2");
+      AliasId t3 = b.R(Table::kTitle, "t3");
+      AliasId kt = b.R(Table::kKindType);
+      b.J(t, "id", ml, "movie_id")
+          .J(ml, "link_type_id", lt, "id")
+          .J(ml, "linked_movie_id", t2, "id")
+          .J(t2, "id", ml2, "movie_id")
+          .J(ml2, "link_type_id", lt2, "id")
+          .J(ml2, "linked_movie_id", t3, "id")
+          .J(t3, "kind_id", kt, "id");
+      b.InS(lt, "link", Pick(kLinkSets, v));
+      b.EqS(kt, "kind", "movie");
+      b.Gt(t, "production_year", v == 'a' ? 1990 : 2005);
+      break;
+    }
+    case 5: {  // complete-cast movies with alternate titles and votes (6)
+      AliasId t = b.R(Table::kTitle);
+      AliasId cc = b.R(Table::kCompleteCast);
+      AliasId cct1 = b.R(Table::kCompCastType, "cct1");
+      AliasId at = b.R(Table::kAkaTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId midx = b.R(Table::kMovieInfoIdx);
+      b.J(t, "id", cc, "movie_id")
+          .J(cc, "subject_id", cct1, "id")
+          .J(t, "id", at, "movie_id")
+          .J(t, "kind_id", kt, "id")
+          .J(t, "id", midx, "movie_id");
+      b.EqS(cct1, "kind", v == 'a' ? "cast" : "crew");
+      b.InS(midx, "info", Pick(kVotesSets, v));
+      b.EqS(kt, "kind", "movie");
+      break;
+    }
+    case 6: {  // company & keyword & language star without info_type dims (7)
+      AliasId t = b.R(Table::kTitle);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId at = b.R(Table::kAkaTitle);
+      b.J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(t, "id", at, "movie_id")
+          .J(mk, "movie_id", mi, "movie_id");  // cycle edge
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      break;
+    }
+    case 7: {  // episodes of a season range with cast and keywords (9)
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId chn = b.R(Table::kCharName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      AliasId pi = b.R(Table::kPersonInfo);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(ci, "person_role_id", chn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id")
+          .J(n, "id", pi, "person_id");
+      b.EqS(kt, "kind", "episode");
+      b.Between(t, "season_nr", 1, v == 'a' ? 3 : 10);
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.EqS(rt, "role", v == 'a' ? "guest" : "actor");
+      break;
+    }
+    case 8: {  // person double-fact: credits AND info, with movie genre (8)
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId pi = b.R(Table::kPersonInfo);
+      AliasId it = b.R(Table::kInfoType, "it1");
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId t = b.R(Table::kTitle);
+      AliasId mi = b.R(Table::kMovieInfo);
+      AliasId it2 = b.R(Table::kInfoType, "it2");
+      b.J(n, "id", an, "person_id")
+          .J(n, "id", pi, "person_id")
+          .J(pi, "info_type_id", it, "id")
+          .J(n, "id", ci, "person_id")
+          .J(ci, "movie_id", t, "id")
+          .J(t, "id", mi, "movie_id")
+          .J(mi, "info_type_id", it2, "id");
+      b.EqS(it, "info", "height");
+      b.EqS(it2, "info", "genres");
+      b.InS(mi, "info", Pick(kGenreSets, v));
+      b.EqS(n, "gender", v == 'a' ? "f" : "m");
+      break;
+    }
+    case 9: {  // broad 11-relation star with person and company sides
+      AliasId t = b.R(Table::kTitle);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId pi = b.R(Table::kPersonInfo);
+      AliasId it = b.R(Table::kInfoType, "it1");
+      AliasId rt = b.R(Table::kRoleType);
+      AliasId mc = b.R(Table::kMovieCompanies);
+      AliasId cn = b.R(Table::kCompanyName);
+      AliasId mk = b.R(Table::kMovieKeyword);
+      AliasId k = b.R(Table::kKeyword);
+      b.J(t, "kind_id", kt, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", pi, "person_id")
+          .J(pi, "info_type_id", it, "id")
+          .J(ci, "role_id", rt, "id")
+          .J(t, "id", mc, "movie_id")
+          .J(mc, "company_id", cn, "id")
+          .J(t, "id", mk, "movie_id")
+          .J(mk, "keyword_id", k, "id");
+      b.EqS(it, "info", "mini biography");
+      b.EqS(kt, "kind", Pick(kKinds, v));
+      b.InS(k, "keyword", Pick(kKeywordSets, v));
+      b.InS(cn, "country_code", Pick(kCountrySets, v));
+      break;
+    }
+    case 10: {  // aka-title to aka-name bridge (7): unusual dimension mix
+      AliasId at = b.R(Table::kAkaTitle);
+      AliasId t = b.R(Table::kTitle);
+      AliasId ci = b.R(Table::kCastInfo);
+      AliasId n = b.R(Table::kName);
+      AliasId an = b.R(Table::kAkaName);
+      AliasId kt = b.R(Table::kKindType);
+      AliasId chn = b.R(Table::kCharName);
+      b.J(at, "movie_id", t, "id")
+          .J(t, "id", ci, "movie_id")
+          .J(ci, "person_id", n, "id")
+          .J(n, "id", an, "person_id")
+          .J(at, "kind_id", kt, "id")
+          .J(ci, "person_role_id", chn, "id");
+      b.EqS(kt, "kind", v == 'a' ? "movie" : "episode");
+      const YearRange year = Pick(kYearRanges, v);
+      b.Between(t, "production_year", year.lo, year.hi);
+      break;
+    }
+    default:
+      LQOLAB_CHECK_MSG(false, "unknown ext template " << ext_id);
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+std::vector<Query> BuildExtJobWorkload(const catalog::Schema& schema) {
+  std::vector<Query> workload;
+  for (int32_t ext_id = 1; ext_id <= 10; ++ext_id) {
+    for (char v : {'a', 'b'}) {
+      Query q = BuildExtTemplate(schema, ext_id, v);
+      q.id = "e" + std::to_string(ext_id) + v;
+      workload.push_back(std::move(q));
+    }
+  }
+  return workload;
+}
+
+}  // namespace lqolab::query

@@ -1,0 +1,40 @@
+#ifndef LQOLAB_QUERY_JOB_WORKLOAD_H_
+#define LQOLAB_QUERY_JOB_WORKLOAD_H_
+
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+
+namespace lqolab::query {
+
+/// Number of base-query templates and total queries in the JOB-lite
+/// workload; these match the real Join Order Benchmark (33 templates whose
+/// 2-6 filter variants add up to 113 queries, paper §7.2).
+constexpr int32_t kJobTemplateCount = 33;
+constexpr int32_t kJobQueryCount = 113;
+
+/// Number of variants of each template (index 0 = template 1). Matches the
+/// real JOB's family sizes.
+const std::vector<int32_t>& JobVariantCounts();
+
+/// Builds the full JOB-lite workload against the IMDB schema: 33 join
+/// templates over 3-16 joins (up to 17 aliased tables in template 29, like
+/// JOB's 29a), each with 2-6 filter variants, 113 queries total. Queries are
+/// named "1a".."33c" and are deterministic.
+std::vector<Query> BuildJobLiteWorkload(const catalog::Schema& schema);
+
+/// Builds a single query by template id (1-based) and variant letter.
+Query BuildJobQuery(const catalog::Schema& schema, int32_t template_id,
+                    char variant);
+
+/// Ext-JOB-lite: previously UNSEEN query templates for generalization
+/// testing (paper §6.1 discusses Neo's Ext-JOB; this is the equivalent
+/// harder-than-base-query-split level: entirely novel join shapes, e.g.
+/// person-centric queries without `title` and two-hop movie-link chains).
+/// Templates are numbered 101+, query ids "e1a".."e10b".
+std::vector<Query> BuildExtJobWorkload(const catalog::Schema& schema);
+
+}  // namespace lqolab::query
+
+#endif  // LQOLAB_QUERY_JOB_WORKLOAD_H_

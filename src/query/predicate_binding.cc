@@ -1,0 +1,69 @@
+#include "query/predicate_binding.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lqolab::query {
+
+using storage::kNullValue;
+using storage::Value;
+
+bool BoundPredicate::Matches(Value value) const {
+  switch (kind) {
+    case Predicate::Kind::kIsNull:
+      return value == kNullValue;
+    case Predicate::Kind::kNotNull:
+      return value != kNullValue;
+    case Predicate::Kind::kRange:
+      return value != kNullValue && value >= lo && value <= hi;
+    case Predicate::Kind::kEq:
+    case Predicate::Kind::kIn:
+      return value != kNullValue &&
+             std::binary_search(values.begin(), values.end(), value);
+  }
+  return false;
+}
+
+BoundPredicate BindPredicate(const Predicate& pred,
+                             const storage::Table& table) {
+  BoundPredicate bound;
+  bound.column = pred.column;
+  bound.kind = pred.kind;
+  switch (pred.kind) {
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kNotNull:
+      break;
+    case Predicate::Kind::kRange:
+      LQOLAB_CHECK_EQ(pred.int_values.size(), 2u);
+      bound.lo = pred.int_values[0];
+      bound.hi = pred.int_values[1];
+      break;
+    case Predicate::Kind::kEq:
+    case Predicate::Kind::kIn: {
+      bound.values = pred.int_values;
+      const storage::Column& column = table.column(pred.column);
+      for (const auto& text : pred.str_values) {
+        const Value code = column.LookupString(text);
+        if (code != kNullValue) bound.values.push_back(code);
+      }
+      std::sort(bound.values.begin(), bound.values.end());
+      bound.values.erase(
+          std::unique(bound.values.begin(), bound.values.end()),
+          bound.values.end());
+      break;
+    }
+  }
+  return bound;
+}
+
+std::vector<BoundPredicate> BindAliasPredicates(const Query& q, AliasId alias,
+                                                const storage::Table& table) {
+  std::vector<BoundPredicate> bound;
+  for (const Predicate* pred : q.PredicatesFor(alias)) {
+    bound.push_back(BindPredicate(*pred, table));
+  }
+  return bound;
+}
+
+}  // namespace lqolab::query

@@ -1,0 +1,36 @@
+#ifndef LQOLAB_QUERY_PREDICATE_BINDING_H_
+#define LQOLAB_QUERY_PREDICATE_BINDING_H_
+
+#include <vector>
+
+#include "query/query.h"
+#include "storage/table.h"
+
+namespace lqolab::query {
+
+/// A predicate bound to a concrete table: string literals are resolved to
+/// dictionary codes, so evaluation is pure integer comparison. Literals
+/// absent from the dictionary resolve to an empty match set — the correct
+/// semantics for a value that does not occur in the data.
+struct BoundPredicate {
+  catalog::ColumnId column = catalog::kInvalidColumn;
+  Predicate::Kind kind = Predicate::Kind::kEq;
+  storage::Value lo = 0;               ///< kRange only
+  storage::Value hi = 0;               ///< kRange only
+  std::vector<storage::Value> values;  ///< kEq/kIn, sorted
+
+  /// Whether a stored value satisfies the predicate.
+  bool Matches(storage::Value value) const;
+};
+
+/// Binds `pred` against `table`'s dictionaries.
+BoundPredicate BindPredicate(const Predicate& pred,
+                             const storage::Table& table);
+
+/// Binds all predicates of `alias` in `q`.
+std::vector<BoundPredicate> BindAliasPredicates(const Query& q, AliasId alias,
+                                                const storage::Table& table);
+
+}  // namespace lqolab::query
+
+#endif  // LQOLAB_QUERY_PREDICATE_BINDING_H_

@@ -1,0 +1,154 @@
+#include "query/query.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lqolab::query {
+
+std::string Predicate::Signature() const {
+  std::ostringstream os;
+  os << alias << "." << column << ":" << static_cast<int>(kind) << ":";
+  for (storage::Value v : int_values) os << v << ",";
+  for (const auto& s : str_values) os << s << ",";
+  return os.str();
+}
+
+AliasMask Query::AdjacencyMask(AliasId alias) const {
+  AliasMask mask = 0;
+  for (const auto& edge : edges) {
+    if (edge.left_alias == alias) mask |= MaskOf(edge.right_alias);
+    if (edge.right_alias == alias) mask |= MaskOf(edge.left_alias);
+  }
+  return mask;
+}
+
+bool Query::IsConnected(AliasMask mask) const {
+  if (mask == 0) return false;
+  // BFS over bits starting from the lowest set bit.
+  const AliasMask start = mask & (~mask + 1);
+  AliasMask visited = start;
+  AliasMask frontier = start;
+  while (frontier != 0) {
+    AliasMask next = 0;
+    AliasMask bits = frontier;
+    while (bits != 0) {
+      const AliasId alias = static_cast<AliasId>(__builtin_ctz(bits));
+      bits &= bits - 1;
+      next |= AdjacencyMask(alias) & mask & ~visited;
+    }
+    visited |= next;
+    frontier = next;
+  }
+  return visited == mask;
+}
+
+bool Query::HasEdgeBetween(AliasMask a, AliasMask b) const {
+  LQOLAB_DCHECK((a & b) == 0);
+  for (const auto& edge : edges) {
+    const AliasMask l = MaskOf(edge.left_alias);
+    const AliasMask r = MaskOf(edge.right_alias);
+    if (((l & a) && (r & b)) || ((l & b) && (r & a))) return true;
+  }
+  return false;
+}
+
+std::vector<JoinEdge> Query::EdgesBetween(AliasMask a, AliasMask b) const {
+  std::vector<JoinEdge> out;
+  for (const auto& edge : edges) {
+    const AliasMask l = MaskOf(edge.left_alias);
+    const AliasMask r = MaskOf(edge.right_alias);
+    if ((l & a) && (r & b)) {
+      out.push_back(edge);
+    } else if ((l & b) && (r & a)) {
+      // Normalize so that the left side is in `a`.
+      JoinEdge flipped;
+      flipped.left_alias = edge.right_alias;
+      flipped.left_column = edge.right_column;
+      flipped.right_alias = edge.left_alias;
+      flipped.right_column = edge.left_column;
+      out.push_back(flipped);
+    }
+  }
+  return out;
+}
+
+std::vector<const Predicate*> Query::PredicatesFor(AliasId alias) const {
+  std::vector<const Predicate*> out;
+  for (const auto& pred : predicates) {
+    if (pred.alias == alias) out.push_back(&pred);
+  }
+  return out;
+}
+
+std::string Query::ToSql(const catalog::Schema& schema) const {
+  std::ostringstream os;
+  os << "SELECT COUNT(*) FROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << schema.table(relations[i].table).name << " AS "
+       << relations[i].alias;
+  }
+  os << " WHERE ";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) os << " AND ";
+    first = false;
+  };
+  for (const auto& edge : edges) {
+    sep();
+    os << relations[static_cast<size_t>(edge.left_alias)].alias << "."
+       << schema.table(relations[static_cast<size_t>(edge.left_alias)].table)
+              .columns[static_cast<size_t>(edge.left_column)]
+              .name
+       << " = "
+       << relations[static_cast<size_t>(edge.right_alias)].alias << "."
+       << schema.table(relations[static_cast<size_t>(edge.right_alias)].table)
+              .columns[static_cast<size_t>(edge.right_column)]
+              .name;
+  }
+  for (const auto& pred : predicates) {
+    sep();
+    const auto& rel = relations[static_cast<size_t>(pred.alias)];
+    os << rel.alias << "."
+       << schema.table(rel.table).columns[static_cast<size_t>(pred.column)].name;
+    switch (pred.kind) {
+      case Predicate::Kind::kEq:
+        if (!pred.str_values.empty()) {
+          os << " = '" << pred.str_values[0] << "'";
+        } else {
+          os << " = " << pred.int_values[0];
+        }
+        break;
+      case Predicate::Kind::kIn: {
+        os << " IN (";
+        bool first_value = true;
+        for (const auto& s : pred.str_values) {
+          if (!first_value) os << ", ";
+          first_value = false;
+          os << "'" << s << "'";
+        }
+        for (storage::Value v : pred.int_values) {
+          if (!first_value) os << ", ";
+          first_value = false;
+          os << v;
+        }
+        os << ")";
+        break;
+      }
+      case Predicate::Kind::kRange:
+        os << " BETWEEN " << pred.int_values[0] << " AND "
+           << pred.int_values[1];
+        break;
+      case Predicate::Kind::kIsNull:
+        os << " IS NULL";
+        break;
+      case Predicate::Kind::kNotNull:
+        os << " IS NOT NULL";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lqolab::query

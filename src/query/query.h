@@ -1,0 +1,102 @@
+#ifndef LQOLAB_QUERY_QUERY_H_
+#define LQOLAB_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/column.h"
+
+namespace lqolab::query {
+
+/// Index of a relation (alias) within one query; queries have at most 32
+/// aliases, so relation subsets are uint32_t bitmasks.
+using AliasId = int32_t;
+using AliasMask = uint32_t;
+
+inline AliasMask MaskOf(AliasId alias) { return 1u << alias; }
+
+/// One FROM item: a base table under an alias (self-joins use the same
+/// table under two aliases, as in JOB's `title t, title t2`).
+struct QueryRelation {
+  catalog::TableId table = catalog::kInvalidTable;
+  std::string alias;
+};
+
+/// Equi-join predicate `left_alias.left_column = right_alias.right_column`.
+struct JoinEdge {
+  AliasId left_alias = -1;
+  catalog::ColumnId left_column = catalog::kInvalidColumn;
+  AliasId right_alias = -1;
+  catalog::ColumnId right_column = catalog::kInvalidColumn;
+};
+
+/// Single-relation filter predicate. String literals are stored as text and
+/// resolved against a concrete database's dictionary at bind time, so the
+/// same workload runs against both the full and the subsampled database.
+struct Predicate {
+  enum class Kind {
+    kEq,       ///< column = literal
+    kIn,       ///< column IN (literals)
+    kRange,    ///< int_lo <= column <= int_hi (integer columns only)
+    kIsNull,   ///< column IS NULL
+    kNotNull,  ///< column IS NOT NULL
+  };
+
+  AliasId alias = -1;
+  catalog::ColumnId column = catalog::kInvalidColumn;
+  Kind kind = Kind::kEq;
+
+  /// For kEq/kIn on integer columns; for kRange: {lo, hi} inclusive.
+  std::vector<storage::Value> int_values;
+  /// For kEq/kIn on string columns.
+  std::vector<std::string> str_values;
+
+  /// Stable textual signature used as a memoization key.
+  std::string Signature() const;
+};
+
+/// A join query: SELECT COUNT(*) over a connected equi-join graph with
+/// per-relation filters. This mirrors the JOB queries, which are star/chain
+/// joins around `title` with conjunctive filters.
+struct Query {
+  std::string id;          ///< e.g. "13a"
+  int32_t template_id = 0; ///< base-query family, e.g. 13
+  char variant = 'a';      ///< variant letter within the family
+  std::vector<QueryRelation> relations;
+  std::vector<JoinEdge> edges;
+  std::vector<Predicate> predicates;
+
+  int32_t relation_count() const {
+    return static_cast<int32_t>(relations.size());
+  }
+
+  /// "Number of joins" as the paper counts it (FROM items minus one).
+  int32_t join_count() const { return relation_count() - 1; }
+
+  /// Mask containing every relation.
+  AliasMask FullMask() const { return (1u << relation_count()) - 1; }
+
+  /// Aliases adjacent to `alias` in the join graph.
+  AliasMask AdjacencyMask(AliasId alias) const;
+
+  /// True when the relations in `mask` form a connected join subgraph.
+  bool IsConnected(AliasMask mask) const;
+
+  /// True when some join edge connects `a` and `b` (disjoint masks).
+  bool HasEdgeBetween(AliasMask a, AliasMask b) const;
+
+  /// Edges with one side in `a` and the other in `b`.
+  std::vector<JoinEdge> EdgesBetween(AliasMask a, AliasMask b) const;
+
+  /// Predicates that apply to `alias`.
+  std::vector<const Predicate*> PredicatesFor(AliasId alias) const;
+
+  /// SQL rendering (display only; the engine consumes the structure).
+  std::string ToSql(const catalog::Schema& schema) const;
+};
+
+}  // namespace lqolab::query
+
+#endif  // LQOLAB_QUERY_QUERY_H_

@@ -1,0 +1,42 @@
+#ifndef LQOLAB_STATS_CARDINALITY_ESTIMATOR_H_
+#define LQOLAB_STATS_CARDINALITY_ESTIMATOR_H_
+
+#include "exec/db_context.h"
+#include "query/predicate_binding.h"
+#include "query/query.h"
+
+namespace lqolab::stats {
+
+/// PostgreSQL-style cardinality estimator: per-column statistics with
+/// attribute-independence and join-uniformity assumptions. The estimator is
+/// deliberately "classical" — on the correlated synthetic data it makes the
+/// same kinds of errors the paper's PostgreSQL baseline makes on IMDB, which
+/// is the gap learned optimizers try to exploit.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const exec::DbContext* ctx);
+
+  /// Selectivity of one predicate on its alias's table.
+  double PredicateSelectivity(const query::Query& q,
+                              const query::Predicate& pred) const;
+
+  /// Estimated row count of `alias` after all its filters (independence
+  /// across predicates; >= 1).
+  double EstimateBaseRows(const query::Query& q, query::AliasId alias) const;
+
+  /// Selectivity of an equi-join edge: (1-nullfrac_l)(1-nullfrac_r) /
+  /// max(nd_l, nd_r).
+  double EdgeSelectivity(const query::Query& q,
+                         const query::JoinEdge& edge) const;
+
+  /// Estimated cardinality of the join over a connected subset: product of
+  /// base estimates times the selectivity of every internal edge (>= 1).
+  double EstimateJoinRows(const query::Query& q, query::AliasMask mask) const;
+
+ private:
+  const exec::DbContext* ctx_;
+};
+
+}  // namespace lqolab::stats
+
+#endif  // LQOLAB_STATS_CARDINALITY_ESTIMATOR_H_

@@ -1,0 +1,155 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace lqolab::stats {
+
+using storage::kNullValue;
+using storage::Value;
+
+namespace {
+
+/// Fraction of histogram mass inside [lo, hi], linearly interpolated within
+/// buckets (PostgreSQL's ineq_histogram_selectivity approach).
+double HistogramRangeFraction(const std::vector<Value>& bounds, Value lo,
+                              Value hi) {
+  if (bounds.size() < 2) return 0.0;
+  const double buckets = static_cast<double>(bounds.size() - 1);
+  auto position = [&](double v) {
+    // Returns the fractional bucket position of v in [0, buckets].
+    if (v <= bounds.front()) return 0.0;
+    if (v >= bounds.back()) return buckets;
+    const auto it = std::upper_bound(bounds.begin(), bounds.end(),
+                                     static_cast<Value>(v));
+    const size_t b = static_cast<size_t>(it - bounds.begin()) - 1;
+    const double width = static_cast<double>(bounds[b + 1]) -
+                         static_cast<double>(bounds[b]);
+    const double frac =
+        width <= 0.0 ? 0.5 : (v - static_cast<double>(bounds[b])) / width;
+    return static_cast<double>(b) + std::min(1.0, std::max(0.0, frac));
+  };
+  const double span = position(static_cast<double>(hi) + 0.5) -
+                      position(static_cast<double>(lo) - 0.5);
+  return std::max(0.0, span / buckets);
+}
+
+}  // namespace
+
+double ColumnStats::EqSelectivity(Value value) const {
+  if (row_count == 0) return 0.0;
+  if (value == kNullValue) return 0.0;  // = NULL never matches
+  for (size_t i = 0; i < mcv_values.size(); ++i) {
+    if (mcv_values[i] == value) return mcv_freqs[i];
+  }
+  if (value < min_value || value > max_value) return 0.0;
+  // Non-MCV value: spread the histogram mass over the remaining distincts.
+  const double remaining_distinct =
+      static_cast<double>(n_distinct) - static_cast<double>(mcv_values.size());
+  if (remaining_distinct <= 0.0) return 1.0 / static_cast<double>(row_count);
+  return histogram_fraction / remaining_distinct;
+}
+
+double ColumnStats::InSelectivity(const std::vector<Value>& values) const {
+  double total = 0.0;
+  for (Value v : values) total += EqSelectivity(v);
+  return std::min(1.0, total);
+}
+
+double ColumnStats::RangeSelectivity(Value lo, Value hi) const {
+  if (row_count == 0 || lo > hi) return 0.0;
+  double selectivity = 0.0;
+  for (size_t i = 0; i < mcv_values.size(); ++i) {
+    if (mcv_values[i] >= lo && mcv_values[i] <= hi) selectivity += mcv_freqs[i];
+  }
+  selectivity +=
+      histogram_fraction * HistogramRangeFraction(histogram_bounds, lo, hi);
+  return std::min(1.0, selectivity);
+}
+
+double ColumnStats::NullSelectivity() const { return null_fraction(); }
+
+double ColumnStats::NotNullSelectivity() const { return 1.0 - null_fraction(); }
+
+TableStats Analyze(const storage::Table& table) {
+  TableStats stats;
+  stats.columns.reserve(static_cast<size_t>(table.column_count()));
+  for (int32_t c = 0; c < table.column_count(); ++c) {
+    const storage::Column& column = table.column(c);
+    ColumnStats cs;
+    cs.row_count = column.size();
+
+    std::vector<Value> non_null;
+    non_null.reserve(static_cast<size_t>(column.size()));
+    for (Value v : column.values()) {
+      if (v == kNullValue) {
+        ++cs.null_count;
+      } else {
+        non_null.push_back(v);
+      }
+    }
+    if (non_null.empty()) {
+      stats.columns.push_back(cs);
+      continue;
+    }
+    std::sort(non_null.begin(), non_null.end());
+    cs.min_value = non_null.front();
+    cs.max_value = non_null.back();
+
+    // Count distincts and frequencies in one pass over the sorted values.
+    std::vector<std::pair<int64_t, Value>> freq;  // (count, value)
+    for (size_t i = 0; i < non_null.size();) {
+      size_t j = i;
+      while (j < non_null.size() && non_null[j] == non_null[i]) ++j;
+      freq.emplace_back(static_cast<int64_t>(j - i), non_null[i]);
+      i = j;
+    }
+    cs.n_distinct = static_cast<int64_t>(freq.size());
+
+    // MCVs: values appearing more than ~1.25x the average frequency, capped
+    // at kMcvTarget (mirrors analyze.c's "common enough" rule).
+    const double avg_freq = static_cast<double>(non_null.size()) /
+                            static_cast<double>(freq.size());
+    std::sort(freq.begin(), freq.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<bool> is_mcv_rank(freq.size(), false);
+    for (size_t i = 0; i < freq.size() && i < kMcvTarget; ++i) {
+      if (static_cast<double>(freq[i].first) <= 1.25 * avg_freq && i > 0) break;
+      cs.mcv_values.push_back(freq[i].second);
+      cs.mcv_freqs.push_back(static_cast<double>(freq[i].first) /
+                             static_cast<double>(cs.row_count));
+      is_mcv_rank[i] = true;
+    }
+
+    // Histogram over non-MCV values.
+    std::vector<Value> hist_values;
+    if (cs.mcv_values.empty()) {
+      hist_values = non_null;
+    } else {
+      std::vector<Value> mcv_sorted = cs.mcv_values;
+      std::sort(mcv_sorted.begin(), mcv_sorted.end());
+      for (Value v : non_null) {
+        if (!std::binary_search(mcv_sorted.begin(), mcv_sorted.end(), v)) {
+          hist_values.push_back(v);
+        }
+      }
+    }
+    cs.histogram_fraction = static_cast<double>(hist_values.size()) /
+                            static_cast<double>(cs.row_count);
+    if (hist_values.size() >= 2) {
+      const size_t buckets = std::min<size_t>(
+          kHistogramBuckets, hist_values.size() - 1);
+      cs.histogram_bounds.reserve(buckets + 1);
+      for (size_t b = 0; b <= buckets; ++b) {
+        const size_t idx = b * (hist_values.size() - 1) / buckets;
+        cs.histogram_bounds.push_back(hist_values[idx]);
+      }
+    }
+    stats.columns.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace lqolab::stats

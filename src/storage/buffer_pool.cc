@@ -1,0 +1,47 @@
+#include "storage/buffer_pool.h"
+
+namespace lqolab::storage {
+
+BufferPool::BufferPool(int64_t shared_pages, int64_t os_pages)
+    : shared_(shared_pages), os_(os_pages) {}
+
+uint64_t BufferPool::PageKey(catalog::TableId table, PageKind kind,
+                             catalog::ColumnId index_column, int64_t page_no) {
+  // Layout: [table:8][kind:2][column:6][page:48].
+  const uint64_t table_bits = static_cast<uint64_t>(table) & 0xffu;
+  const uint64_t kind_bits = static_cast<uint64_t>(kind) & 0x3u;
+  const uint64_t column_bits =
+      static_cast<uint64_t>(index_column < 0 ? 63 : index_column) & 0x3fu;
+  const uint64_t page_bits = static_cast<uint64_t>(page_no) & 0xffffffffffffULL;
+  return (table_bits << 56) | (kind_bits << 54) | (column_bits << 48) |
+         page_bits;
+}
+
+AccessTier BufferPool::Access(uint64_t page_key) {
+  if (shared_.Touch(page_key)) {
+    ++shared_hits_;
+    // Keep the OS tier's recency roughly in sync: a page hot in shared
+    // buffers stays resident in the OS cache model as well.
+    os_.Touch(page_key);
+    return AccessTier::kSharedHit;
+  }
+  // Missed shared buffers; Touch() above already inserted it there.
+  if (os_.Touch(page_key)) {
+    ++os_hits_;
+    return AccessTier::kOsHit;
+  }
+  ++disk_reads_;
+  return AccessTier::kDisk;
+}
+
+void BufferPool::DropCaches() {
+  shared_.Clear();
+  os_.Clear();
+}
+
+void BufferPool::Resize(int64_t shared_pages, int64_t os_pages) {
+  shared_.Resize(shared_pages);
+  os_.Resize(os_pages);
+}
+
+}  // namespace lqolab::storage

@@ -1,0 +1,69 @@
+#ifndef LQOLAB_STORAGE_BUFFER_POOL_H_
+#define LQOLAB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+
+#include "catalog/schema.h"
+#include "storage/lru_cache.h"
+
+namespace lqolab::storage {
+
+/// Which tier served a page access. The executor charges different virtual
+/// costs per tier (see exec/cost_constants.h).
+enum class AccessTier {
+  kSharedHit,  ///< Found in shared buffers.
+  kOsHit,      ///< Found in the OS page cache, promoted to shared buffers.
+  kDisk,       ///< Read from disk, inserted into both tiers.
+};
+
+/// Kind of page for key derivation.
+enum class PageKind { kHeap, kIndexLeaf };
+
+/// Two-tier page-cache model: PostgreSQL shared buffers in front of the OS
+/// page cache. Successive executions of the same query migrate its pages
+/// disk -> OS cache -> shared buffers, which is the mechanism behind the
+/// hot/cold-cache convergence the paper measures in Fig. 4.
+class BufferPool {
+ public:
+  /// Capacities in pages for the two tiers.
+  BufferPool(int64_t shared_pages, int64_t os_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Encodes a page identity. `index_column` distinguishes index trees of
+  /// the same table; pass kInvalidColumn for heap pages.
+  static uint64_t PageKey(catalog::TableId table, PageKind kind,
+                          catalog::ColumnId index_column, int64_t page_no);
+
+  /// Touches a page; returns the tier that served it and updates both LRUs.
+  AccessTier Access(uint64_t page_key);
+
+  /// Drops both tiers (full cold cache).
+  void DropCaches();
+
+  /// Drops shared buffers only (restart of the DBMS process; the OS cache
+  /// survives).
+  void DropSharedBuffers() { shared_.Clear(); }
+
+  /// Reconfigures tier capacities; clears both tiers.
+  void Resize(int64_t shared_pages, int64_t os_pages);
+
+  int64_t shared_capacity() const { return shared_.capacity(); }
+  int64_t os_capacity() const { return os_.capacity(); }
+
+  int64_t shared_hits() const { return shared_hits_; }
+  int64_t os_hits() const { return os_hits_; }
+  int64_t disk_reads() const { return disk_reads_; }
+
+ private:
+  LruCache shared_;
+  LruCache os_;
+  int64_t shared_hits_ = 0;
+  int64_t os_hits_ = 0;
+  int64_t disk_reads_ = 0;
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,26 @@
+#include "storage/column.h"
+
+namespace lqolab::storage {
+
+Value Column::InternString(const std::string& text) {
+  LQOLAB_CHECK(type_ == catalog::ColumnType::kString);
+  auto it = dictionary_codes_.find(text);
+  if (it != dictionary_codes_.end()) return it->second;
+  const Value code = static_cast<Value>(dictionary_.size());
+  dictionary_.push_back(text);
+  dictionary_codes_.emplace(text, code);
+  return code;
+}
+
+Value Column::LookupString(const std::string& text) const {
+  auto it = dictionary_codes_.find(text);
+  return it == dictionary_codes_.end() ? kNullValue : it->second;
+}
+
+const std::string& Column::StringAt(Value code) const {
+  LQOLAB_CHECK_GE(code, 0);
+  LQOLAB_CHECK_LT(code, static_cast<Value>(dictionary_.size()));
+  return dictionary_[static_cast<size_t>(code)];
+}
+
+}  // namespace lqolab::storage

@@ -1,0 +1,65 @@
+#ifndef LQOLAB_STORAGE_COLUMN_H_
+#define LQOLAB_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "util/check.h"
+
+namespace lqolab::storage {
+
+/// Physical row identifier within a table (0-based, dense).
+using RowId = int32_t;
+
+/// Physical value. String columns are dictionary-encoded, so every stored
+/// value is a 32-bit integer; kNullValue marks SQL NULL.
+using Value = int32_t;
+
+constexpr Value kNullValue = INT32_MIN;
+
+/// One column of a table: a dense value vector plus, for string columns, a
+/// dictionary mapping codes to strings.
+class Column {
+ public:
+  explicit Column(catalog::ColumnType type) : type_(type) {}
+
+  catalog::ColumnType type() const { return type_; }
+
+  void Append(Value value) { values_.push_back(value); }
+
+  Value at(RowId row) const {
+    LQOLAB_DCHECK(row >= 0 &&
+                  static_cast<size_t>(row) < values_.size());
+    return values_[static_cast<size_t>(row)];
+  }
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Interns `text` into the dictionary and returns its code. Only valid for
+  /// string columns.
+  Value InternString(const std::string& text);
+
+  /// Returns the code of `text` or kNullValue when absent.
+  Value LookupString(const std::string& text) const;
+
+  /// Returns the string for a dictionary code.
+  const std::string& StringAt(Value code) const;
+
+  int64_t dictionary_size() const {
+    return static_cast<int64_t>(dictionary_.size());
+  }
+
+ private:
+  catalog::ColumnType type_;
+  std::vector<Value> values_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, Value> dictionary_codes_;
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_COLUMN_H_

@@ -1,0 +1,69 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace lqolab::storage {
+
+Index::Index(const Table& table, catalog::ColumnId column) : column_(column) {
+  const Column& data = table.column(column);
+  const int64_t n = data.size();
+  std::vector<std::pair<Value, RowId>> entries;
+  entries.reserve(static_cast<size_t>(n));
+  for (RowId row = 0; row < n; ++row) {
+    const Value value = data.at(row);
+    if (value == kNullValue) continue;
+    entries.emplace_back(value, row);
+  }
+  std::sort(entries.begin(), entries.end());
+  values_.reserve(entries.size());
+  rows_.reserve(entries.size());
+  for (const auto& [value, row] : entries) {
+    values_.push_back(value);
+    rows_.push_back(row);
+  }
+}
+
+std::span<const RowId> Index::EqualRange(Value value) const {
+  return Range(value, value);
+}
+
+std::span<const RowId> Index::Range(Value lo, Value hi) const {
+  if (lo > hi || rows_.empty()) return {};
+  const auto begin = std::lower_bound(values_.begin(), values_.end(), lo);
+  const auto end = std::upper_bound(begin, values_.end(), hi);
+  const size_t offset = static_cast<size_t>(begin - values_.begin());
+  const size_t count = static_cast<size_t>(end - begin);
+  return {rows_.data() + offset, count};
+}
+
+int64_t Index::CountRange(Value lo, Value hi) const {
+  if (lo > hi || rows_.empty()) return 0;
+  const auto begin = std::lower_bound(values_.begin(), values_.end(), lo);
+  const auto end = std::upper_bound(begin, values_.end(), hi);
+  return end - begin;
+}
+
+int32_t Index::height() const {
+  // Fanout ~256: height = ceil(log_256(leaf pages)) + 1.
+  int64_t pages = leaf_page_count();
+  int32_t height = 1;
+  while (pages > 1) {
+    pages = (pages + 255) / 256;
+    ++height;
+  }
+  return height;
+}
+
+Value Index::min_value() const {
+  return values_.empty() ? kNullValue : values_.front();
+}
+
+Value Index::max_value() const {
+  return values_.empty() ? kNullValue : values_.back();
+}
+
+}  // namespace lqolab::storage

@@ -1,0 +1,58 @@
+#ifndef LQOLAB_STORAGE_INDEX_H_
+#define LQOLAB_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/table.h"
+
+namespace lqolab::storage {
+
+/// Secondary index over one column: a (value, row) list sorted by value,
+/// supporting equality and range lookups — the moral equivalent of a B-tree
+/// leaf level. Index pages participate in the buffer-cache model through
+/// leaf_page_count().
+class Index {
+ public:
+  /// Builds the index from the current table contents. NULLs are skipped.
+  Index(const Table& table, catalog::ColumnId column);
+
+  catalog::ColumnId column() const { return column_; }
+
+  /// Rows with exactly this value (sorted by value then row).
+  std::span<const RowId> EqualRange(Value value) const;
+
+  /// Rows with value in [lo, hi] inclusive.
+  std::span<const RowId> Range(Value lo, Value hi) const;
+
+  /// Number of rows matching [lo, hi] without materializing them.
+  int64_t CountRange(Value lo, Value hi) const;
+
+  /// Entries in the index.
+  int64_t entry_count() const { return static_cast<int64_t>(rows_.size()); }
+
+  /// Simulated leaf pages (~256 entries per 8 KiB leaf).
+  int64_t leaf_page_count() const {
+    return entry_count() == 0 ? 1 : (entry_count() + 255) / 256;
+  }
+
+  /// Simulated B-tree height (root-to-leaf descent length).
+  int32_t height() const;
+
+  /// Smallest / largest indexed value; kNullValue when empty.
+  Value min_value() const;
+  Value max_value() const;
+
+ private:
+  // Parallel arrays sorted by (value, row).
+  std::vector<Value> values_;
+  std::vector<RowId> rows_;
+  catalog::ColumnId column_;
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_INDEX_H_

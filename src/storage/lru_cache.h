@@ -1,0 +1,64 @@
+#ifndef LQOLAB_STORAGE_LRU_CACHE_H_
+#define LQOLAB_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace lqolab::storage {
+
+/// Exact LRU set of 64-bit keys with O(1) touch. Used for both tiers of the
+/// buffer-cache model.
+class LruCache {
+ public:
+  explicit LruCache(int64_t capacity) : capacity_(capacity) {
+    LQOLAB_CHECK_GE(capacity, 0);
+  }
+
+  /// Looks up `key`; on hit moves it to the front and returns true, on miss
+  /// inserts it (evicting the LRU entry if full) and returns false.
+  bool Touch(uint64_t key) {
+    if (capacity_ == 0) return false;
+    auto it = positions_.find(key);
+    if (it != positions_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    if (static_cast<int64_t>(positions_.size()) >= capacity_) {
+      positions_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    positions_[key] = order_.begin();
+    return false;
+  }
+
+  /// True when `key` is resident; does not update recency.
+  bool Contains(uint64_t key) const { return positions_.count(key) > 0; }
+
+  void Clear() {
+    order_.clear();
+    positions_.clear();
+  }
+
+  /// Changes the capacity; clears contents (a resized cache is cold).
+  void Resize(int64_t capacity) {
+    LQOLAB_CHECK_GE(capacity, 0);
+    capacity_ = capacity;
+    Clear();
+  }
+
+  int64_t size() const { return static_cast<int64_t>(positions_.size()); }
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  int64_t capacity_;
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> positions_;
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_LRU_CACHE_H_

@@ -1,0 +1,33 @@
+#include "storage/table.h"
+
+#include "util/check.h"
+
+namespace lqolab::storage {
+
+Table::Table(catalog::TableId id, const catalog::TableDef& def)
+    : id_(id), def_(&def) {
+  columns_.reserve(def.columns.size());
+  for (const auto& column_def : def.columns) {
+    columns_.push_back(std::make_unique<Column>(column_def.type));
+  }
+}
+
+Column& Table::column(catalog::ColumnId id) {
+  LQOLAB_DCHECK(id >= 0 && static_cast<size_t>(id) < columns_.size());
+  return *columns_[static_cast<size_t>(id)];
+}
+
+const Column& Table::column(catalog::ColumnId id) const {
+  LQOLAB_DCHECK(id >= 0 && static_cast<size_t>(id) < columns_.size());
+  return *columns_[static_cast<size_t>(id)];
+}
+
+void Table::AppendRow(const std::vector<Value>& values) {
+  LQOLAB_CHECK_EQ(values.size(), columns_.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i]->Append(values[i]);
+  }
+  ++row_count_;
+}
+
+}  // namespace lqolab::storage

@@ -1,0 +1,57 @@
+#ifndef LQOLAB_STORAGE_TABLE_H_
+#define LQOLAB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/column.h"
+
+namespace lqolab::storage {
+
+/// Number of heap rows per simulated 8 KiB page. Pages are the unit of the
+/// buffer-cache model; see BufferPool.
+constexpr int64_t kRowsPerPage = 32;
+
+/// Simulated page size in bytes (used to convert the memory settings of
+/// Table 2, which are expressed in MB, into page capacities).
+constexpr int64_t kPageSizeBytes = 8 * 1024;
+
+/// An in-memory columnar table.
+class Table {
+ public:
+  Table(catalog::TableId id, const catalog::TableDef& def);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  catalog::TableId id() const { return id_; }
+  const catalog::TableDef& def() const { return *def_; }
+  int64_t row_count() const { return row_count_; }
+
+  /// Heap pages occupied by the table (>= 1 for non-empty tables).
+  int64_t page_count() const {
+    return row_count_ == 0 ? 0 : (row_count_ + kRowsPerPage - 1) / kRowsPerPage;
+  }
+
+  Column& column(catalog::ColumnId id);
+  const Column& column(catalog::ColumnId id) const;
+  int32_t column_count() const { return static_cast<int32_t>(columns_.size()); }
+
+  /// Appends one row; `values` must have one entry per column (string values
+  /// already interned by the caller through column(id).InternString()).
+  void AppendRow(const std::vector<Value>& values);
+
+  /// Heap page holding a row.
+  static int64_t PageOfRow(RowId row) { return row / kRowsPerPage; }
+
+ private:
+  catalog::TableId id_;
+  const catalog::TableDef* def_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  int64_t row_count_ = 0;
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_TABLE_H_

@@ -1,0 +1,82 @@
+#ifndef LQOLAB_UTIL_RNG_H_
+#define LQOLAB_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lqolab::util {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// splitmix64). Every stochastic component of the framework draws from an
+/// explicitly seeded Rng so that all benches are bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Standard normal variate (Box-Muller).
+  double Gaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Zipf-distributed integer in [0, n) with exponent `s` (s=0 is uniform).
+  /// Uses the rejection-inversion-free cumulative method with a cached table
+  /// for small n; callers with large n should build a ZipfTable.
+  int64_t Zipf(int64_t n, double s);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Deterministically derives a child generator; use to give independent
+  /// streams to sub-components without coupling their draw counts.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+/// Precomputed cumulative table for repeated Zipf draws over a fixed domain.
+class ZipfTable {
+ public:
+  /// Builds the CDF for ranks [0, n) with exponent s >= 0.
+  ZipfTable(int64_t n, double s);
+
+  /// Draws one rank using the provided generator.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t domain_size() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_RNG_H_

@@ -1,0 +1,222 @@
+#include "util/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace lqolab::util {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  LQOLAB_CHECK(!values.empty());
+  LQOLAB_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double ConfidenceInterval95(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double se = StdDev(values) / std::sqrt(static_cast<double>(values.size()));
+  return 1.96 * se;
+}
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+// Shared U computation: returns (U of sample_a, z-score with tie correction).
+struct UStat {
+  double u_a = 0.0;
+  double z = 0.0;
+  bool degenerate = false;
+};
+
+UStat ComputeU(const std::vector<double>& sample_a,
+               const std::vector<double>& sample_b) {
+  UStat result;
+  const size_t n_a = sample_a.size();
+  const size_t n_b = sample_b.size();
+  if (n_a == 0 || n_b == 0) {
+    result.degenerate = true;
+    return result;
+  }
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(n_a + n_b);
+  for (double v : sample_a) all.push_back({v, true});
+  for (double v : sample_b) all.push_back({v, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  // Midranks with tie groups; accumulate tie correction term sum(t^3 - t).
+  double rank_sum_a = 0.0;
+  double tie_term = 0.0;
+  size_t i = 0;
+  while (i < all.size()) {
+    size_t j = i;
+    while (j < all.size() && all[j].value == all[i].value) ++j;
+    const double mid_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    const double tie_size = static_cast<double>(j - i);
+    tie_term += tie_size * tie_size * tie_size - tie_size;
+    for (size_t k = i; k < j; ++k) {
+      if (all[k].from_a) rank_sum_a += mid_rank;
+    }
+    i = j;
+  }
+
+  const double na = static_cast<double>(n_a);
+  const double nb = static_cast<double>(n_b);
+  result.u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+  const double mean_u = na * nb / 2.0;
+  const double n_total = na + nb;
+  const double variance =
+      na * nb / 12.0 *
+      ((n_total + 1.0) - tie_term / (n_total * (n_total - 1.0)));
+  if (variance <= 0.0) {
+    result.degenerate = true;
+    return result;
+  }
+  // Continuity correction.
+  const double delta = result.u_a - mean_u;
+  const double correction = delta > 0 ? -0.5 : (delta < 0 ? 0.5 : 0.0);
+  result.z = (delta + correction) / std::sqrt(variance);
+  return result;
+}
+
+}  // namespace
+
+TestResult MannWhitneyU(const std::vector<double>& sample_a,
+                        const std::vector<double>& sample_b) {
+  TestResult test;
+  const UStat u = ComputeU(sample_a, sample_b);
+  if (u.degenerate) return test;
+  test.statistic = u.u_a;
+  test.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(u.z)));
+  test.p_value = std::min(1.0, test.p_value);
+  test.significant = test.p_value < 0.05;
+  return test;
+}
+
+TestResult MannWhitneyULess(const std::vector<double>& sample_a,
+                            const std::vector<double>& sample_b) {
+  TestResult test;
+  const UStat u = ComputeU(sample_a, sample_b);
+  if (u.degenerate) return test;
+  test.statistic = u.u_a;
+  // Alternative a < b: small ranks for a, i.e. small U_a, i.e. negative z.
+  test.p_value = NormalCdf(u.z);
+  test.significant = test.p_value < 0.05;
+  return test;
+}
+
+TestResult WelchTTest(const std::vector<double>& sample_a,
+                      const std::vector<double>& sample_b) {
+  TestResult test;
+  if (sample_a.size() < 2 || sample_b.size() < 2) return test;
+  const double mean_a = Mean(sample_a);
+  const double mean_b = Mean(sample_b);
+  const double var_a = Variance(sample_a) / static_cast<double>(sample_a.size());
+  const double var_b = Variance(sample_b) / static_cast<double>(sample_b.size());
+  const double denom = std::sqrt(var_a + var_b);
+  if (denom <= 0.0) {
+    // Zero variance: distributions are point masses; significant iff unequal.
+    test.significant = mean_a != mean_b;
+    test.p_value = test.significant ? 0.0 : 1.0;
+    return test;
+  }
+  test.statistic = (mean_a - mean_b) / denom;
+  test.p_value = 2.0 * (1.0 - NormalCdf(std::fabs(test.statistic)));
+  test.p_value = std::min(1.0, test.p_value);
+  test.significant = test.p_value < 0.05;
+  return test;
+}
+
+OlsFit OrdinaryLeastSquares(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  LQOLAB_CHECK_EQ(xs.size(), ys.size());
+  LQOLAB_CHECK_GE(xs.size(), 2u);
+  const double mean_x = Mean(xs);
+  const double mean_y = Mean(ys);
+  double cov = 0.0;
+  double var_x = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    cov += (xs[i] - mean_x) * (ys[i] - mean_y);
+    var_x += (xs[i] - mean_x) * (xs[i] - mean_x);
+  }
+  OlsFit fit;
+  fit.slope = var_x > 0.0 ? cov / var_x : 0.0;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  std::vector<double> predicted(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    predicted[i] = fit.slope * xs[i] + fit.intercept;
+  }
+  fit.r_squared = RSquared(ys, predicted);
+  return fit;
+}
+
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted) {
+  LQOLAB_CHECK_EQ(observed.size(), predicted.size());
+  LQOLAB_CHECK_GE(observed.size(), 2u);
+  const double mean_obs = Mean(observed);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - mean_obs) * (observed[i] - mean_obs);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double LeaveOneOutR2(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  LQOLAB_CHECK_EQ(xs.size(), ys.size());
+  const size_t n = xs.size();
+  LQOLAB_CHECK_GE(n, 3u);
+  std::vector<double> predicted(n);
+  for (size_t held_out = 0; held_out < n; ++held_out) {
+    std::vector<double> train_x;
+    std::vector<double> train_y;
+    train_x.reserve(n - 1);
+    train_y.reserve(n - 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == held_out) continue;
+      train_x.push_back(xs[i]);
+      train_y.push_back(ys[i]);
+    }
+    const OlsFit fit = OrdinaryLeastSquares(train_x, train_y);
+    predicted[held_out] = fit.slope * xs[held_out] + fit.intercept;
+  }
+  return RSquared(ys, predicted);
+}
+
+}  // namespace lqolab::util

@@ -1,0 +1,79 @@
+#ifndef LQOLAB_UTIL_STATISTICS_H_
+#define LQOLAB_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lqolab::util {
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance; 0 for samples of size < 2.
+double Variance(const std::vector<double>& values);
+
+/// Unbiased sample standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolated percentile; `p` in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+/// Half-width of the normal-approximation 95% confidence interval of the
+/// mean. Returns 0 for samples of size < 2.
+double ConfidenceInterval95(const std::vector<double>& values);
+
+/// Result of a two-sample hypothesis test.
+struct TestResult {
+  /// Test statistic (U for Mann-Whitney, t for Welch).
+  double statistic = 0.0;
+  /// Two-sided p-value under the normal approximation.
+  double p_value = 1.0;
+  /// Whether p_value < 0.05.
+  bool significant = false;
+};
+
+/// Mann-Whitney U test with tie correction and normal approximation
+/// (two-sided). The paper (§8.6) uses this to compare execution-time
+/// distributions of bushy vs left-deep plans.
+TestResult MannWhitneyU(const std::vector<double>& sample_a,
+                        const std::vector<double>& sample_b);
+
+/// One-sided Mann-Whitney U test for "sample_a is stochastically smaller
+/// than sample_b" (alternative: a < b).
+TestResult MannWhitneyULess(const std::vector<double>& sample_a,
+                            const std::vector<double>& sample_b);
+
+/// Welch's unequal-variance t-test, two-sided, normal approximation. Used
+/// for per-query significance of execution-time deltas (Figs. 7-9).
+TestResult WelchTTest(const std::vector<double>& sample_a,
+                      const std::vector<double>& sample_b);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct OlsFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination on the fitted data.
+  double r_squared = 0.0;
+};
+
+/// Fits OLS on paired samples. Requires xs.size() == ys.size() >= 2.
+OlsFit OrdinaryLeastSquares(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+/// R² of predictions vs observations: 1 - SS_res/SS_tot. Can be negative
+/// when the predictor is worse than the mean (as in the paper's Fig. 2,
+/// R² = -0.11 for a cross-validated joins->time regressor).
+double RSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted);
+
+/// Leave-one-out cross-validated R² of a univariate OLS regressor. This is
+/// the quantity that can go below zero and is what Fig. 2 reports.
+double LeaveOneOutR2(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Standard normal CDF.
+double NormalCdf(double z);
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_STATISTICS_H_

@@ -1,0 +1,81 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lqolab::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  LQOLAB_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LQOLAB_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string FormatDuration(VirtualNanos nanos) {
+  const double ns = static_cast<double>(nanos);
+  char buffer[64];
+  if (nanos < kNanosPerMicro) {
+    std::snprintf(buffer, sizeof(buffer), "%ld ns", static_cast<long>(nanos));
+  } else if (nanos < kNanosPerMilli) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f us", ns / kNanosPerMicro);
+  } else if (nanos < kNanosPerSecond) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f ms", ns / kNanosPerMilli);
+  } else if (nanos < 120 * kNanosPerSecond) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", ns / kNanosPerSecond);
+  } else if (nanos < 120ll * 60 * kNanosPerSecond) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f min",
+                  ns / (60.0 * kNanosPerSecond));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f h",
+                  ns / (3600.0 * kNanosPerSecond));
+  }
+  return buffer;
+}
+
+std::string FormatFactor(double factor) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1fx", factor);
+  return buffer;
+}
+
+}  // namespace lqolab::util

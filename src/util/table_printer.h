@@ -1,0 +1,44 @@
+#ifndef LQOLAB_UTIL_TABLE_PRINTER_H_
+#define LQOLAB_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/virtual_clock.h"
+
+namespace lqolab::util {
+
+/// Fixed-width text table used by the bench binaries to print the rows and
+/// series of the paper's tables and figures.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision.
+std::string FormatDouble(double value, int precision = 2);
+
+/// Formats virtual nanoseconds with an adaptive unit ("412 ms", "1.73 s").
+std::string FormatDuration(VirtualNanos nanos);
+
+/// Formats a ratio as a multiplier string ("5.5x").
+std::string FormatFactor(double factor);
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,42 @@
+#ifndef LQOLAB_UTIL_VIRTUAL_CLOCK_H_
+#define LQOLAB_UTIL_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace lqolab::util {
+
+/// Simulated nanoseconds. All latencies in the framework are virtual time:
+/// deterministic functions of the work a plan does and of cache state,
+/// charged by the executor (see DESIGN.md §4.1).
+using VirtualNanos = int64_t;
+
+constexpr VirtualNanos kNanosPerMicro = 1'000;
+constexpr VirtualNanos kNanosPerMilli = 1'000'000;
+constexpr VirtualNanos kNanosPerSecond = 1'000'000'000;
+
+/// Accumulator for simulated time. Components charge costs against the
+/// clock; the executor reads it before/after a plan to report latency and to
+/// enforce timeouts without spending real time on catastrophic plans.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Advances the clock. Negative charges are invariant violations.
+  void Charge(VirtualNanos nanos) {
+    LQOLAB_DCHECK(nanos >= 0);
+    now_ += nanos;
+  }
+
+  VirtualNanos now() const { return now_; }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  VirtualNanos now_ = 0;
+};
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_VIRTUAL_CLOCK_H_

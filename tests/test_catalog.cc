@@ -1,0 +1,88 @@
+// Tests for the schema model and the IMDB schema definition.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/imdb_schema.h"
+#include "catalog/schema.h"
+
+namespace lqolab::catalog {
+namespace {
+
+TEST(Schema, AddAndFindTables) {
+  Schema schema;
+  TableDef def;
+  def.name = "widgets";
+  def.columns = {{"id", ColumnType::kInt}, {"name", ColumnType::kString}};
+  const TableId id = schema.AddTable(def);
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(schema.FindTable("widgets"), 0);
+  EXPECT_EQ(schema.FindTable("missing"), kInvalidTable);
+  EXPECT_EQ(schema.table(0).FindColumn("name"), 1);
+  EXPECT_EQ(schema.table(0).FindColumn("nope"), kInvalidColumn);
+}
+
+class ImdbSchemaTest : public ::testing::Test {
+ protected:
+  Schema schema_ = BuildImdbSchema();
+};
+
+TEST_F(ImdbSchemaTest, HasAll21Tables) {
+  EXPECT_EQ(schema_.table_count(), imdb::kTableCount);
+  EXPECT_EQ(schema_.table_count(), 21);
+  EXPECT_EQ(schema_.FindTable("title"), imdb::kTitle);
+  EXPECT_EQ(schema_.FindTable("cast_info"), imdb::kCastInfo);
+  EXPECT_EQ(schema_.FindTable("movie_info_idx"), imdb::kMovieInfoIdx);
+}
+
+TEST_F(ImdbSchemaTest, EveryTableHasIdPrimaryKey) {
+  for (TableId t = 0; t < schema_.table_count(); ++t) {
+    ASSERT_FALSE(schema_.table(t).columns.empty());
+    EXPECT_EQ(schema_.table(t).columns[0].name, "id");
+    EXPECT_EQ(schema_.table(t).columns[0].type, ColumnType::kInt);
+  }
+}
+
+TEST_F(ImdbSchemaTest, ForeignKeysAreValid) {
+  int32_t fk_count = 0;
+  for (TableId t = 0; t < schema_.table_count(); ++t) {
+    for (const auto& fk : schema_.table(t).foreign_keys) {
+      ++fk_count;
+      ASSERT_GE(fk.column, 1);
+      ASSERT_LT(fk.column,
+                static_cast<ColumnId>(schema_.table(t).columns.size()));
+      ASSERT_GE(fk.referenced_table, 0);
+      ASSERT_LT(fk.referenced_table, schema_.table_count());
+      // FK columns are integers.
+      EXPECT_EQ(schema_.table(t).columns[static_cast<size_t>(fk.column)].type,
+                ColumnType::kInt);
+    }
+  }
+  // The IMDB schema has a rich FK graph (movie_link alone has 3).
+  EXPECT_GE(fk_count, 20);
+}
+
+TEST_F(ImdbSchemaTest, TitleIsReferencedByAllMovieFactTables) {
+  for (TableId t : {imdb::kAkaTitle, imdb::kCastInfo, imdb::kCompleteCast,
+                    imdb::kMovieCompanies, imdb::kMovieInfo,
+                    imdb::kMovieInfoIdx, imdb::kMovieKeyword,
+                    imdb::kMovieLink}) {
+    bool references_title = false;
+    for (const auto& fk : schema_.table(t).foreign_keys) {
+      references_title |= fk.referenced_table == imdb::kTitle;
+    }
+    EXPECT_TRUE(references_title) << schema_.table(t).name;
+  }
+}
+
+TEST_F(ImdbSchemaTest, ShortAliasesAreUnique) {
+  std::set<std::string> aliases;
+  for (TableId t = 0; t < schema_.table_count(); ++t) {
+    aliases.insert(ImdbShortAlias(t));
+  }
+  EXPECT_EQ(static_cast<int32_t>(aliases.size()), schema_.table_count());
+}
+
+}  // namespace
+}  // namespace lqolab::catalog

@@ -1,0 +1,88 @@
+// Tests pinning the Table 2 configuration presets to the paper's published
+// values, and the memory-scaling helpers.
+
+#include <gtest/gtest.h>
+
+#include "engine/config.h"
+#include "engine/database.h"
+
+namespace lqolab::engine {
+namespace {
+
+TEST(Config, DefaultsMatchPostgres) {
+  const DbConfig c = DbConfig::Default();
+  EXPECT_TRUE(c.geqo);
+  EXPECT_EQ(c.geqo_threshold, 12);
+  EXPECT_EQ(c.work_mem_mb, 4);
+  EXPECT_EQ(c.shared_buffers_mb, 128);
+  EXPECT_EQ(c.temp_buffers_mb, 8);
+  EXPECT_EQ(c.effective_cache_size_mb, 4096);
+  EXPECT_EQ(c.max_parallel_workers, 8);
+  EXPECT_EQ(c.max_worker_processes, 2);
+  EXPECT_TRUE(c.enable_bitmapscan);
+  EXPECT_TRUE(c.enable_tidscan);
+}
+
+TEST(Config, JobPaperPreset) {
+  const DbConfig c = DbConfig::JobPaper();
+  EXPECT_EQ(c.geqo_threshold, 18);
+  EXPECT_EQ(c.work_mem_mb, 2 * 1024);
+  EXPECT_EQ(c.shared_buffers_mb, 4 * 1024);
+  EXPECT_EQ(c.effective_cache_size_mb, 32 * 1024);
+}
+
+TEST(Config, BalsaLeonDisablesScansAndGeqo) {
+  const DbConfig c = DbConfig::BalsaLeon();
+  EXPECT_FALSE(c.geqo);
+  EXPECT_FALSE(c.enable_bitmapscan);
+  EXPECT_FALSE(c.enable_tidscan);
+  EXPECT_EQ(c.work_mem_mb, 4 * 1024);
+  EXPECT_EQ(c.shared_buffers_mb, 32 * 1024);
+  EXPECT_EQ(c.temp_buffers_mb, 32 * 1024);
+  EXPECT_EQ(c.max_worker_processes, 8);
+}
+
+TEST(Config, LogerAndLeroDisableParallelism) {
+  const DbConfig loger = DbConfig::Loger();
+  EXPECT_EQ(loger.max_parallel_workers, 1);
+  EXPECT_EQ(loger.shared_buffers_mb, 64 * 1024);
+  EXPECT_EQ(loger.ram_mb, 256 * 1024);
+  const DbConfig lero = DbConfig::Lero();
+  EXPECT_EQ(lero.max_parallel_workers, 0);
+  EXPECT_EQ(lero.max_parallel_workers_per_gather, 0);
+  EXPECT_EQ(lero.ram_mb, 512 * 1024);
+}
+
+TEST(Config, OurFrameworkPreset) {
+  const DbConfig c = DbConfig::OurFramework();
+  EXPECT_TRUE(c.geqo);
+  EXPECT_TRUE(c.enable_bitmapscan);  // re-enabled vs Balsa
+  EXPECT_TRUE(c.enable_tidscan);
+  EXPECT_EQ(c.effective_cache_size_mb, 32 * 1024);
+  EXPECT_EQ(c.shared_buffers_mb, 32 * 1024);
+  EXPECT_EQ(c.max_worker_processes, 8);
+}
+
+TEST(Config, Table2PresetsComplete) {
+  const auto presets = DbConfig::Table2Presets();
+  ASSERT_EQ(presets.size(), 7u);
+  EXPECT_EQ(presets[0].name, "default");
+  EXPECT_EQ(presets.back().name, "our_framework");
+}
+
+TEST(Config, ScaledBytesAppliesMemoryScale) {
+  EXPECT_EQ(ScaledBytes(kMemoryScale), 1024 * 1024);
+  EXPECT_EQ(ScaledPages(kMemoryScale),
+            1024 * 1024 / storage::kPageSizeBytes);
+  // Capacities never collapse below a handful of pages.
+  EXPECT_GE(ScaledPages(0), 16);
+}
+
+TEST(Config, FreshConfigsUseFullEstimator) {
+  const DbConfig c = DbConfig::OurFramework();
+  EXPECT_EQ(c.estimator_mode, EstimatorMode::kFull);
+  EXPECT_EQ(c.join_selectivity_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace lqolab::engine

@@ -1,0 +1,296 @@
+// Tests for the ML substrate: matrices, autodiff (numerical gradient
+// checks), layers, optimizers, losses.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ml/autodiff.h"
+#include "ml/matrix.h"
+#include "ml/nn.h"
+#include "util/rng.h"
+
+namespace lqolab::ml {
+namespace {
+
+TEST(Matrix, BasicAccess) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 5.0f;
+  EXPECT_EQ(m.at(1, 2), 5.0f);
+  EXPECT_EQ(m.at(0, 0), 0.0f);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+}
+
+TEST(Matrix, RowVector) {
+  const Matrix v = Matrix::RowVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(v.rows(), 1);
+  EXPECT_EQ(v.cols(), 3);
+  EXPECT_EQ(v.at(0, 1), 2.0f);
+}
+
+TEST(Matrix, KaimingBounded) {
+  util::Rng rng(3);
+  const Matrix m = Matrix::KaimingUniform(10, 10, 10, &rng);
+  const float bound = std::sqrt(6.0f / 10.0f);
+  for (float x : m.data()) {
+    EXPECT_LE(std::fabs(x), bound);
+  }
+}
+
+TEST(Autodiff, ForwardMatMul) {
+  Graph g;
+  Matrix a(1, 2);
+  a.at(0, 0) = 1.0f;
+  a.at(0, 1) = 2.0f;
+  Matrix b(2, 2);
+  b.at(0, 0) = 3.0f;
+  b.at(0, 1) = 4.0f;
+  b.at(1, 0) = 5.0f;
+  b.at(1, 1) = 6.0f;
+  const NodeId out = g.MatMul(g.Input(a), g.Input(b));
+  EXPECT_EQ(g.value(out).at(0, 0), 13.0f);
+  EXPECT_EQ(g.value(out).at(0, 1), 16.0f);
+}
+
+/// Numerical gradient check: builds the graph twice per parameter entry
+/// with +/- epsilon perturbations and compares with the analytic gradient.
+void GradientCheck(
+    const std::function<NodeId(Graph*, const Matrix*, Matrix*)>& build,
+    Matrix param, double tolerance = 2e-2) {
+  Matrix grad(param.rows(), param.cols());
+  {
+    Graph g;
+    const NodeId loss = build(&g, &param, &grad);
+    g.Backward(loss);
+  }
+  const float eps = 1e-3f;
+  for (int64_t i = 0; i < param.size(); ++i) {
+    const size_t idx = static_cast<size_t>(i);
+    Matrix plus = param;
+    plus.data()[idx] += eps;
+    Matrix minus = param;
+    minus.data()[idx] -= eps;
+    Matrix unused_grad(param.rows(), param.cols());
+    Graph gp;
+    const double fp = gp.scalar(build(&gp, &plus, &unused_grad));
+    Graph gm;
+    const double fm = gm.scalar(build(&gm, &minus, &unused_grad));
+    const double numeric = (fp - fm) / (2.0 * eps);
+    const double analytic = grad.data()[idx];
+    EXPECT_NEAR(analytic, numeric,
+                tolerance * std::max(1.0, std::fabs(numeric)))
+        << "entry " << i;
+  }
+}
+
+TEST(Autodiff, GradientMatMul) {
+  util::Rng rng(11);
+  Matrix w = Matrix::KaimingUniform(3, 2, 3, &rng);
+  GradientCheck(
+      [](Graph* g, const Matrix* p, Matrix* grad) {
+        Matrix x(1, 3);
+        x.at(0, 0) = 0.5f;
+        x.at(0, 1) = -1.0f;
+        x.at(0, 2) = 2.0f;
+        return g->Sum(g->MatMul(g->Input(x), g->Parameter(p, grad)));
+      },
+      w);
+}
+
+TEST(Autodiff, GradientReluChain) {
+  util::Rng rng(13);
+  Matrix w = Matrix::KaimingUniform(4, 4, 4, &rng);
+  GradientCheck(
+      [](Graph* g, const Matrix* p, Matrix* grad) {
+        Matrix x(1, 4);
+        for (int i = 0; i < 4; ++i) x.at(0, i) = 0.3f * (i - 1);
+        const NodeId h = g->Relu(g->MatMul(g->Input(x), g->Parameter(p, grad)));
+        return g->Mean(g->Mul(h, h));
+      },
+      w);
+}
+
+TEST(Autodiff, GradientTanhSigmoidSoftplus) {
+  util::Rng rng(17);
+  Matrix w = Matrix::KaimingUniform(2, 3, 2, &rng);
+  GradientCheck(
+      [](Graph* g, const Matrix* p, Matrix* grad) {
+        Matrix x(1, 2);
+        x.at(0, 0) = 0.7f;
+        x.at(0, 1) = -0.4f;
+        const NodeId h = g->MatMul(g->Input(x), g->Parameter(p, grad));
+        return g->Sum(g->Softplus(g->Sigmoid(g->Tanh(h))));
+      },
+      w);
+}
+
+TEST(Autodiff, GradientBroadcastAddAndConcat) {
+  util::Rng rng(19);
+  Matrix bias = Matrix::KaimingUniform(1, 3, 1, &rng);
+  GradientCheck(
+      [](Graph* g, const Matrix* p, Matrix* grad) {
+        Matrix x(2, 3);
+        for (int r = 0; r < 2; ++r) {
+          for (int c = 0; c < 3; ++c) x.at(r, c) = 0.1f * (r + c);
+        }
+        const NodeId broadcast = g->Add(g->Input(x), g->Parameter(p, grad));
+        const NodeId cat = g->ConcatCols(broadcast, g->Input(x));
+        return g->Mean(g->Mul(cat, cat));
+      },
+      bias);
+}
+
+TEST(Autodiff, GradientSubMeanRows) {
+  util::Rng rng(23);
+  Matrix w = Matrix::KaimingUniform(3, 3, 3, &rng);
+  GradientCheck(
+      [](Graph* g, const Matrix* p, Matrix* grad) {
+        Matrix x(3, 3);
+        for (int r = 0; r < 3; ++r) {
+          for (int c = 0; c < 3; ++c) x.at(r, c) = 0.2f * (r - c);
+        }
+        const NodeId h = g->MatMul(g->Input(x), g->Parameter(p, grad));
+        const NodeId centered = g->Sub(h, g->Input(x));
+        return g->Sum(g->MeanRows(g->Mul(centered, centered)));
+      },
+      w);
+}
+
+TEST(Autodiff, GradientAccumulatesOverUses) {
+  // Using the same parameter twice must add gradient contributions.
+  Matrix p(1, 1);
+  p.at(0, 0) = 3.0f;
+  Matrix grad(1, 1);
+  Graph g;
+  const NodeId node = g.Parameter(&p, &grad);
+  const NodeId loss = g.Sum(g.Mul(node, node));  // p^2 -> d/dp = 2p = 6
+  g.Backward(loss);
+  EXPECT_NEAR(grad.at(0, 0), 6.0f, 1e-4);
+}
+
+TEST(Mlp, ShapesAndForward) {
+  util::Rng rng(29);
+  Mlp mlp({4, 8, 1}, &rng);
+  Graph g;
+  const NodeId out = mlp.Apply(&g, g.Input(Matrix::RowVector({1, 2, 3, 4})));
+  EXPECT_EQ(g.value(out).rows(), 1);
+  EXPECT_EQ(g.value(out).cols(), 1);
+  EXPECT_EQ(mlp.Params().size(), 4u);  // 2 layers x (weight, bias)
+}
+
+TEST(Adam, LearnsLinearFunction) {
+  // Fit y = 2x - 1 with a single linear layer.
+  util::Rng rng(31);
+  Linear layer(1, 1, &rng);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  Adam adam(params, 0.05);
+  double last_loss = 1e9;
+  for (int step = 0; step < 300; ++step) {
+    const float x = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+    const float y = 2.0f * x - 1.0f;
+    Graph g;
+    const NodeId pred = layer.Apply(&g, g.Input(Matrix::RowVector({x})));
+    const NodeId loss = MseLoss(&g, pred, g.Input(Matrix::RowVector({y})));
+    last_loss = g.scalar(loss);
+    g.Backward(loss);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, 0.01);
+  EXPECT_NEAR(layer.weight.value.at(0, 0), 2.0f, 0.2f);
+  EXPECT_NEAR(layer.bias.value.at(0, 0), -1.0f, 0.2f);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  util::Rng rng(37);
+  Linear layer(2, 2, &rng);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  Adam adam(params);
+  Graph g;
+  const NodeId out =
+      g.Sum(layer.Apply(&g, g.Input(Matrix::RowVector({1, 1}))));
+  g.Backward(out);
+  adam.Step();
+  for (const Param* p : params) {
+    for (float gradient : p->grad.data()) EXPECT_EQ(gradient, 0.0f);
+  }
+  EXPECT_EQ(adam.step_count(), 1);
+}
+
+TEST(Losses, PairwiseRankOrdering) {
+  // Loss is smaller when the better plan already scores lower.
+  Graph g;
+  const NodeId good_order = PairwiseRankLoss(
+      &g, g.Input(Matrix::RowVector({-1.0f})),
+      g.Input(Matrix::RowVector({1.0f})));
+  const NodeId bad_order = PairwiseRankLoss(
+      &g, g.Input(Matrix::RowVector({1.0f})),
+      g.Input(Matrix::RowVector({-1.0f})));
+  EXPECT_LT(g.scalar(good_order), g.scalar(bad_order));
+}
+
+TEST(Losses, MseZeroAtTarget) {
+  Graph g;
+  const NodeId loss = MseLoss(&g, g.Input(Matrix::RowVector({0.5f})),
+                              g.Input(Matrix::RowVector({0.5f})));
+  EXPECT_EQ(g.scalar(loss), 0.0f);
+}
+
+TEST(Determinism, SameSeedSameNetwork) {
+  util::Rng rng_a(99);
+  util::Rng rng_b(99);
+  Mlp a({3, 5, 1}, &rng_a);
+  Mlp b({3, 5, 1}, &rng_b);
+  Graph ga;
+  Graph gb;
+  const Matrix x = Matrix::RowVector({0.1f, 0.2f, 0.3f});
+  const float ya = ga.value(a.Apply(&ga, ga.Input(x))).at(0, 0);
+  const float yb = gb.value(b.Apply(&gb, gb.Input(x))).at(0, 0);
+  EXPECT_EQ(ya, yb);
+}
+
+/// Property sweep: gradient checks over random MLP shapes.
+class MlpGradientProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MlpGradientProperty, EndToEndGradient) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const int32_t in = 2 + GetParam() % 3;
+  const int32_t hidden = 3 + GetParam() % 4;
+  Mlp mlp({in, hidden, 1}, &rng);
+  // Check the first layer's weight matrix.
+  std::vector<Param*> params = mlp.Params();
+  Matrix original = params[0]->value;
+  Matrix x(1, in);
+  for (int i = 0; i < in; ++i) {
+    x.at(0, i) = static_cast<float>(rng.Uniform() - 0.5);
+  }
+  GradientCheck(
+      [&](Graph* g, const Matrix* p, Matrix* grad) {
+        // Temporarily swap in the perturbed matrix.
+        params[0]->value = *p;
+        Graph& graph = *g;
+        const NodeId pred = [&] {
+          // Rebuild manually: parameter node for layer-0 weight.
+          const NodeId w0 = graph.Parameter(p, grad);
+          const NodeId b0 = graph.Input(params[1]->value);
+          const NodeId h =
+              graph.Relu(graph.Add(graph.MatMul(graph.Input(x), w0), b0));
+          const NodeId w1 = graph.Input(params[2]->value);
+          const NodeId b1 = graph.Input(params[3]->value);
+          return graph.Add(graph.MatMul(h, w1), b1);
+        }();
+        return graph.Mean(graph.Mul(pred, pred));
+      },
+      original, 5e-2);
+  params[0]->value = original;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MlpGradientProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lqolab::ml

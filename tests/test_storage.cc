@@ -1,0 +1,198 @@
+// Unit tests for the storage layer: columns, tables, indexes, LRU cache,
+// two-tier buffer pool.
+
+#include <gtest/gtest.h>
+
+#include "catalog/imdb_schema.h"
+#include "storage/buffer_pool.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/lru_cache.h"
+#include "storage/table.h"
+
+namespace lqolab::storage {
+namespace {
+
+catalog::TableDef TwoColumnDef() {
+  catalog::TableDef def;
+  def.name = "t";
+  def.columns = {{"id", catalog::ColumnType::kInt},
+                 {"label", catalog::ColumnType::kString}};
+  return def;
+}
+
+TEST(Column, DictionaryInternsOnce) {
+  Column column(catalog::ColumnType::kString);
+  const Value a = column.InternString("alpha");
+  const Value b = column.InternString("beta");
+  EXPECT_EQ(column.InternString("alpha"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(column.dictionary_size(), 2);
+  EXPECT_EQ(column.StringAt(a), "alpha");
+  EXPECT_EQ(column.LookupString("beta"), b);
+  EXPECT_EQ(column.LookupString("missing"), kNullValue);
+}
+
+TEST(Table, AppendAndRead) {
+  const catalog::TableDef def = TwoColumnDef();
+  Table table(0, def);
+  const Value label = table.column(1).InternString("x");
+  table.AppendRow({1, label});
+  table.AppendRow({2, label});
+  EXPECT_EQ(table.row_count(), 2);
+  EXPECT_EQ(table.column(0).at(1), 2);
+  EXPECT_EQ(table.column(1).at(0), label);
+}
+
+TEST(Table, PageAccounting) {
+  const catalog::TableDef def = TwoColumnDef();
+  Table table(0, def);
+  EXPECT_EQ(table.page_count(), 0);
+  for (int i = 0; i < kRowsPerPage + 1; ++i) table.AppendRow({i, kNullValue});
+  EXPECT_EQ(table.page_count(), 2);
+  EXPECT_EQ(Table::PageOfRow(0), 0);
+  EXPECT_EQ(Table::PageOfRow(static_cast<RowId>(kRowsPerPage)), 1);
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  IndexTest() : def_(TwoColumnDef()), table_(0, def_) {
+    // Values: 0, 5, 5, 10, 15, NULL, 5.
+    for (Value v : {0, 5, 5, 10, 15, kNullValue, 5}) {
+      table_.AppendRow({v, kNullValue});
+    }
+    index_ = std::make_unique<Index>(table_, 0);
+  }
+  catalog::TableDef def_;
+  Table table_;
+  std::unique_ptr<Index> index_;
+};
+
+TEST_F(IndexTest, SkipsNulls) { EXPECT_EQ(index_->entry_count(), 6); }
+
+TEST_F(IndexTest, EqualRange) {
+  const auto rows = index_->EqualRange(5);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 1);
+  EXPECT_EQ(rows[1], 2);
+  EXPECT_EQ(rows[2], 6);
+  EXPECT_TRUE(index_->EqualRange(99).empty());
+}
+
+TEST_F(IndexTest, RangeQueries) {
+  EXPECT_EQ(index_->Range(5, 10).size(), 4u);
+  EXPECT_EQ(index_->CountRange(5, 10), 4);
+  EXPECT_EQ(index_->CountRange(0, 15), 6);
+  EXPECT_EQ(index_->CountRange(11, 14), 0);
+  EXPECT_EQ(index_->CountRange(10, 5), 0);  // inverted range
+}
+
+TEST_F(IndexTest, MinMax) {
+  EXPECT_EQ(index_->min_value(), 0);
+  EXPECT_EQ(index_->max_value(), 15);
+}
+
+TEST_F(IndexTest, HeightGrowsWithSize) {
+  EXPECT_EQ(index_->height(), 1);
+  catalog::TableDef def = TwoColumnDef();
+  Table big(0, def);
+  for (int i = 0; i < 300 * 256; ++i) big.AppendRow({i, kNullValue});
+  Index big_index(big, 0);
+  EXPECT_GE(big_index.height(), 2);
+}
+
+TEST(LruCache, HitsAndEvictions) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(2));
+  EXPECT_TRUE(cache.Touch(1));   // 1 now most recent
+  EXPECT_FALSE(cache.Touch(3));  // evicts 2
+  EXPECT_FALSE(cache.Touch(2));  // 2 was evicted
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(LruCache, ZeroCapacityNeverHits) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(LruCache, ResizeClears) {
+  LruCache cache(4);
+  cache.Touch(1);
+  cache.Resize(8);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.capacity(), 8);
+}
+
+TEST(BufferPool, TierProgression) {
+  BufferPool pool(4, 16);
+  const uint64_t key = BufferPool::PageKey(1, PageKind::kHeap, -1, 0);
+  EXPECT_EQ(pool.Access(key), AccessTier::kDisk);
+  EXPECT_EQ(pool.Access(key), AccessTier::kSharedHit);
+  EXPECT_EQ(pool.disk_reads(), 1);
+  EXPECT_EQ(pool.shared_hits(), 1);
+}
+
+TEST(BufferPool, OsTierServesSharedEvictions) {
+  BufferPool pool(2, 16);
+  // Fill shared buffers beyond capacity; early pages fall back to OS tier.
+  for (int64_t p = 0; p < 6; ++p) {
+    pool.Access(BufferPool::PageKey(1, PageKind::kHeap, -1, p));
+  }
+  const AccessTier tier =
+      pool.Access(BufferPool::PageKey(1, PageKind::kHeap, -1, 0));
+  EXPECT_EQ(tier, AccessTier::kOsHit);
+}
+
+TEST(BufferPool, DropCachesColdAgain) {
+  BufferPool pool(8, 16);
+  const uint64_t key = BufferPool::PageKey(2, PageKind::kIndexLeaf, 3, 5);
+  pool.Access(key);
+  pool.DropCaches();
+  EXPECT_EQ(pool.Access(key), AccessTier::kDisk);
+}
+
+TEST(BufferPool, DropSharedKeepsOsTier) {
+  BufferPool pool(8, 16);
+  const uint64_t key = BufferPool::PageKey(2, PageKind::kHeap, -1, 5);
+  pool.Access(key);
+  pool.DropSharedBuffers();
+  EXPECT_EQ(pool.Access(key), AccessTier::kOsHit);
+}
+
+TEST(BufferPool, PageKeyDistinguishesComponents) {
+  const uint64_t heap = BufferPool::PageKey(1, PageKind::kHeap, -1, 7);
+  const uint64_t leaf = BufferPool::PageKey(1, PageKind::kIndexLeaf, 0, 7);
+  const uint64_t leaf_other_col = BufferPool::PageKey(1, PageKind::kIndexLeaf, 1, 7);
+  const uint64_t other_table = BufferPool::PageKey(2, PageKind::kHeap, -1, 7);
+  const uint64_t other_page = BufferPool::PageKey(1, PageKind::kHeap, -1, 8);
+  EXPECT_NE(heap, leaf);
+  EXPECT_NE(leaf, leaf_other_col);
+  EXPECT_NE(heap, other_table);
+  EXPECT_NE(heap, other_page);
+}
+
+/// Property sweep: LRU semantics — after touching keys 0..n-1 in order with
+/// capacity c, exactly the last c keys are resident.
+class LruProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LruProperty, LastCKeysResident) {
+  const auto [capacity, touches] = GetParam();
+  LruCache cache(capacity);
+  for (int i = 0; i < touches; ++i) cache.Touch(static_cast<uint64_t>(i));
+  for (int i = 0; i < touches; ++i) {
+    const bool expected = i >= touches - capacity;
+    EXPECT_EQ(cache.Contains(static_cast<uint64_t>(i)), expected)
+        << "capacity=" << capacity << " touches=" << touches << " key=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LruProperty,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16),
+                       ::testing::Values(1, 4, 17, 64)));
+
+}  // namespace
+}  // namespace lqolab::storage
