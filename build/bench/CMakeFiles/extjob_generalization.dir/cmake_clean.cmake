@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extjob_generalization.dir/extjob_generalization.cpp.o"
+  "CMakeFiles/extjob_generalization.dir/extjob_generalization.cpp.o.d"
+  "extjob_generalization"
+  "extjob_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extjob_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_split_overview.dir/fig3_split_overview.cpp.o"
+  "CMakeFiles/fig3_split_overview.dir/fig3_split_overview.cpp.o.d"
+  "fig3_split_overview"
+  "fig3_split_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_split_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_end_to_end.dir/fig5_end_to_end.cpp.o"
+  "CMakeFiles/fig5_end_to_end.dir/fig5_end_to_end.cpp.o.d"
+  "fig5_end_to_end"
+  "fig5_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_covariate_shift.dir/fig7_covariate_shift.cpp.o"
+  "CMakeFiles/fig7_covariate_shift.dir/fig7_covariate_shift.cpp.o.d"
+  "fig7_covariate_shift"
+  "fig7_covariate_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_covariate_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_covariate_shift.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scan_ablation.dir/fig8_scan_ablation.cpp.o"
+  "CMakeFiles/fig8_scan_ablation.dir/fig8_scan_ablation.cpp.o.d"
+  "fig8_scan_ablation"
+  "fig8_scan_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scan_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

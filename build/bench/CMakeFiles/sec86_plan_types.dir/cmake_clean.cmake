@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec86_plan_types.dir/sec86_plan_types.cpp.o"
+  "CMakeFiles/sec86_plan_types.dir/sec86_plan_types.cpp.o.d"
+  "sec86_plan_types"
+  "sec86_plan_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec86_plan_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

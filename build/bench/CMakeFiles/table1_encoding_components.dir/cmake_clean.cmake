@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_encoding_components.dir/table1_encoding_components.cpp.o"
+  "CMakeFiles/table1_encoding_components.dir/table1_encoding_components.cpp.o.d"
+  "table1_encoding_components"
+  "table1_encoding_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_encoding_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_dbms_configs.dir/table2_dbms_configs.cpp.o"
+  "CMakeFiles/table2_dbms_configs.dir/table2_dbms_configs.cpp.o.d"
+  "table2_dbms_configs"
+  "table2_dbms_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_dbms_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariate_shift.dir/covariate_shift.cpp.o"
+  "CMakeFiles/covariate_shift.dir/covariate_shift.cpp.o.d"
+  "covariate_shift"
+  "covariate_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariate_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lqo.dir/custom_lqo.cpp.o"
+  "CMakeFiles/custom_lqo.dir/custom_lqo.cpp.o.d"
+  "custom_lqo"
+  "custom_lqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

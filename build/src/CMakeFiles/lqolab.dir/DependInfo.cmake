@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchkit/measurement.cc" "src/CMakeFiles/lqolab.dir/benchkit/measurement.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/benchkit/measurement.cc.o.d"
+  "/root/repo/src/benchkit/splits.cc" "src/CMakeFiles/lqolab.dir/benchkit/splits.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/benchkit/splits.cc.o.d"
+  "/root/repo/src/catalog/imdb_schema.cc" "src/CMakeFiles/lqolab.dir/catalog/imdb_schema.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/catalog/imdb_schema.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/lqolab.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/datagen/imdb_generator.cc" "src/CMakeFiles/lqolab.dir/datagen/imdb_generator.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/datagen/imdb_generator.cc.o.d"
+  "/root/repo/src/engine/config.cc" "src/CMakeFiles/lqolab.dir/engine/config.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/engine/config.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/lqolab.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/lqolab.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/oracle.cc" "src/CMakeFiles/lqolab.dir/exec/oracle.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/exec/oracle.cc.o.d"
+  "/root/repo/src/lqo/balsa.cc" "src/CMakeFiles/lqolab.dir/lqo/balsa.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/balsa.cc.o.d"
+  "/root/repo/src/lqo/bao.cc" "src/CMakeFiles/lqolab.dir/lqo/bao.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/bao.cc.o.d"
+  "/root/repo/src/lqo/encoding.cc" "src/CMakeFiles/lqolab.dir/lqo/encoding.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/encoding.cc.o.d"
+  "/root/repo/src/lqo/hybridqo.cc" "src/CMakeFiles/lqolab.dir/lqo/hybridqo.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/hybridqo.cc.o.d"
+  "/root/repo/src/lqo/interface.cc" "src/CMakeFiles/lqolab.dir/lqo/interface.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/interface.cc.o.d"
+  "/root/repo/src/lqo/leon.cc" "src/CMakeFiles/lqolab.dir/lqo/leon.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/leon.cc.o.d"
+  "/root/repo/src/lqo/lero.cc" "src/CMakeFiles/lqolab.dir/lqo/lero.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/lero.cc.o.d"
+  "/root/repo/src/lqo/loger.cc" "src/CMakeFiles/lqolab.dir/lqo/loger.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/loger.cc.o.d"
+  "/root/repo/src/lqo/neo.cc" "src/CMakeFiles/lqolab.dir/lqo/neo.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/neo.cc.o.d"
+  "/root/repo/src/lqo/plan_search.cc" "src/CMakeFiles/lqolab.dir/lqo/plan_search.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/plan_search.cc.o.d"
+  "/root/repo/src/lqo/rtos.cc" "src/CMakeFiles/lqolab.dir/lqo/rtos.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/rtos.cc.o.d"
+  "/root/repo/src/lqo/value_net.cc" "src/CMakeFiles/lqolab.dir/lqo/value_net.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/lqo/value_net.cc.o.d"
+  "/root/repo/src/ml/autodiff.cc" "src/CMakeFiles/lqolab.dir/ml/autodiff.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/ml/autodiff.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/CMakeFiles/lqolab.dir/ml/matrix.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/ml/matrix.cc.o.d"
+  "/root/repo/src/ml/nn.cc" "src/CMakeFiles/lqolab.dir/ml/nn.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/ml/nn.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/lqolab.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/physical_plan.cc" "src/CMakeFiles/lqolab.dir/optimizer/physical_plan.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/optimizer/physical_plan.cc.o.d"
+  "/root/repo/src/optimizer/planner.cc" "src/CMakeFiles/lqolab.dir/optimizer/planner.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/optimizer/planner.cc.o.d"
+  "/root/repo/src/query/job_workload.cc" "src/CMakeFiles/lqolab.dir/query/job_workload.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/query/job_workload.cc.o.d"
+  "/root/repo/src/query/predicate_binding.cc" "src/CMakeFiles/lqolab.dir/query/predicate_binding.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/query/predicate_binding.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/lqolab.dir/query/query.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/query/query.cc.o.d"
+  "/root/repo/src/stats/cardinality_estimator.cc" "src/CMakeFiles/lqolab.dir/stats/cardinality_estimator.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/stats/cardinality_estimator.cc.o.d"
+  "/root/repo/src/stats/column_stats.cc" "src/CMakeFiles/lqolab.dir/stats/column_stats.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/stats/column_stats.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/lqolab.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/lqolab.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/lqolab.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/lqolab.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/storage/table.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/lqolab.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/statistics.cc" "src/CMakeFiles/lqolab.dir/util/statistics.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/util/statistics.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/lqolab.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/lqolab.dir/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

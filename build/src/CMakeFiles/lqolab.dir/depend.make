@@ -1,0 +1,2 @@
+# Empty dependencies file for lqolab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchkit.dir/test_benchkit.cc.o"
+  "CMakeFiles/test_benchkit.dir/test_benchkit.cc.o.d"
+  "test_benchkit"
+  "test_benchkit.pdb"
+  "test_benchkit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lqo.dir/test_lqo.cc.o"
+  "CMakeFiles/test_lqo.dir/test_lqo.cc.o.d"
+  "test_lqo"
+  "test_lqo.pdb"
+  "test_lqo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
