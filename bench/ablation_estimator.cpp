@@ -7,7 +7,7 @@
 // virtual-time executor (ground truth) scores the resulting plans.
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 
 int main() {
   using namespace lqolab;
@@ -37,8 +37,11 @@ int main() {
     config.estimator_mode = variant.mode;
     db->SetConfig(config);
     db->DropCaches();
-    const auto result =
-        benchkit::MeasureWorkloadNative(db.get(), workload, protocol);
+    // A fresh runner per variant: worker replicas snapshot the parent's
+    // configuration when created.
+    const auto result = benchkit::MeasureWorkload(db.get(), nullptr, workload,
+                                                  protocol,
+                                                  bench::MeasureOptions());
     util::VirtualNanos slowest = 0;
     std::string slowest_id;
     for (const auto& m : result.queries) {

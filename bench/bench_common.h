@@ -13,9 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "benchkit/parallel_runner.h"
 #include "engine/database.h"
 #include "query/job_workload.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 namespace lqolab::bench {
 
@@ -28,6 +30,32 @@ inline double EnvScale(double default_scale) {
   if (env == nullptr) return default_scale;
   const double scale = std::atof(env);
   return scale > 0.0 ? scale : default_scale;
+}
+
+/// Measurement/training worker count from LQOLAB_PARALLELISM; 0 (the
+/// default) lets the runner pick hardware_concurrency. Results are
+/// identical for every value — the parallel runner's determinism contract
+/// (docs/parallelism.md) — so this only trades wall-clock time.
+inline int32_t EnvParallelism() {
+  const char* env = std::getenv("LQOLAB_PARALLELISM");
+  if (env == nullptr) return 0;
+  const int32_t workers = std::atoi(env);
+  return workers > 0 ? workers : 0;
+}
+
+/// Shared RunnerOptions for the bench drivers.
+inline benchkit::RunnerOptions MeasureOptions() {
+  benchkit::RunnerOptions options;
+  options.parallelism = EnvParallelism();
+  options.seed = kSeed;
+  return options;
+}
+
+/// Training worker count for the LQO Options::parallelism knob: at least 1
+/// so benches always use the deterministic replay path.
+inline int32_t TrainParallelism() {
+  const int32_t workers = EnvParallelism();
+  return workers > 0 ? workers : util::ThreadPool::DefaultParallelism();
 }
 
 /// Creates the standard benchmark database.

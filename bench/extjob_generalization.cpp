@@ -9,7 +9,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "lqo/balsa.h"
 #include "lqo/bao.h"
 #include "lqo/hybridqo.h"
@@ -36,7 +36,9 @@ int main() {
 
   util::TablePrinter table({"method", "inference+planning", "execution",
                             "end-to-end", "timeouts", "vs pglite"});
-  const auto native = benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+  benchkit::ParallelRunner runner(db.get(), bench::MeasureOptions());
+  const auto native =
+      benchkit::MeasureWorkload(&runner, nullptr, test, protocol);
   const double pg_e2e = static_cast<double>(native.total_end_to_end_ns());
   table.AddRow({"pglite",
                 util::FormatDuration(native.total_inference_ns() +
@@ -50,6 +52,7 @@ int main() {
     lqo::BaoOptimizer::Options bao;
     bao.epochs = 3;
     bao.train_epochs = 12;
+    bao.parallelism = bench::TrainParallelism();
     methods.push_back(std::make_unique<lqo::BaoOptimizer>(bao));
     lqo::LeroOptimizer::Options lero;
     lero.epochs = 2;
@@ -58,6 +61,7 @@ int main() {
     lqo::NeoOptimizer::Options neo;
     neo.iterations = 2;
     neo.train_epochs = 12;
+    neo.parallelism = bench::TrainParallelism();
     methods.push_back(std::make_unique<lqo::NeoOptimizer>(neo));
     lqo::RtosOptimizer::Options rtos;
     rtos.iterations = 2;
@@ -77,12 +81,13 @@ int main() {
     balsa.pretrain_epochs = 2;
     balsa.iterations = 2;
     balsa.train_epochs = 8;
+    balsa.parallelism = bench::TrainParallelism();
     methods.push_back(std::make_unique<lqo::BalsaOptimizer>(balsa));
   }
   for (auto& method : methods) {
     method->Train(train, db.get());
     const auto result =
-        benchkit::MeasureWorkloadLqo(db.get(), method.get(), test, protocol);
+        benchkit::MeasureWorkload(&runner, method.get(), test, protocol);
     table.AddRow(
         {method->name(),
          util::FormatDuration(result.total_inference_ns() +

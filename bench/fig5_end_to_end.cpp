@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "lqo/balsa.h"
 #include "lqo/bao.h"
@@ -28,6 +28,7 @@ std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
     options.iterations = 2;
     options.train_epochs = 12;
     options.seed = seed;
+    options.parallelism = bench::TrainParallelism();
     return std::make_unique<lqo::NeoOptimizer>(options);
   }
   if (name == "bao") {
@@ -35,6 +36,7 @@ std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
     options.epochs = 3;
     options.train_epochs = 12;
     options.seed = seed;
+    options.parallelism = bench::TrainParallelism();
     return std::make_unique<lqo::BaoOptimizer>(options);
   }
   if (name == "balsa") {
@@ -44,6 +46,7 @@ std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
     options.iterations = 3;
     options.train_epochs = 8;
     options.seed = seed;
+    options.parallelism = bench::TrainParallelism();
     return std::make_unique<lqo::BalsaOptimizer>(options);
   }
   if (name == "leon") {
@@ -53,6 +56,7 @@ std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
     options.exec_per_query = 2;
     options.pair_epochs = 4;
     options.seed = seed;
+    options.parallelism = bench::TrainParallelism();
     return std::make_unique<lqo::LeonOptimizer>(options);
   }
   return nullptr;
@@ -94,12 +98,13 @@ int main() {
     for (const auto& method : methods) {
       benchkit::WorkloadMeasurement result;
       if (method == "pglite") {
-        result = benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+        result = benchkit::MeasureWorkload(db.get(), nullptr, test, protocol,
+                                           bench::MeasureOptions());
       } else {
         auto lqo = MakeMethod(method, bench::kSeed);
         lqo->Train(train, db.get());
-        result = benchkit::MeasureWorkloadLqo(db.get(), lqo.get(), test,
-                                              protocol);
+        result = benchkit::MeasureWorkload(db.get(), lqo.get(), test, protocol,
+                                           bench::MeasureOptions());
       }
       table.AddRow(
           {split.name, method,

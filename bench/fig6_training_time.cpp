@@ -8,7 +8,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "lqo/balsa.h"
 #include "lqo/bao.h"
@@ -45,37 +45,43 @@ int main() {
     const auto train = benchkit::SelectQueries(workload, split.train_indices);
     const auto test = benchkit::SelectQueries(workload, split.test_indices);
 
-    const auto pg = benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+    const auto pg = benchkit::MeasureWorkload(db.get(), nullptr, test,
+                                              protocol, bench::MeasureOptions());
     table.AddRow({"pglite", split.name, "0 (no training)", "0", "0",
                   util::FormatDuration(pg.total_end_to_end_ns())});
 
     std::vector<std::unique_ptr<lqo::LearnedOptimizer>> methods;
     {
+      const int32_t workers = bench::TrainParallelism();
       lqo::BaoOptimizer::Options bao;
       bao.epochs = 3;
       bao.train_epochs = 12;
+      bao.parallelism = workers;
       methods.push_back(std::make_unique<lqo::BaoOptimizer>(bao));
       lqo::NeoOptimizer::Options neo;
       neo.iterations = 2;
       neo.train_epochs = 12;
+      neo.parallelism = workers;
       methods.push_back(std::make_unique<lqo::NeoOptimizer>(neo));
       lqo::BalsaOptimizer::Options balsa;
       balsa.pretrain_samples_per_query = 8;
       balsa.pretrain_epochs = 2;
       balsa.iterations = 3;
       balsa.train_epochs = 8;
+      balsa.parallelism = workers;
       methods.push_back(std::make_unique<lqo::BalsaOptimizer>(balsa));
       lqo::LeonOptimizer::Options leon;
       leon.beam_masks = 10;
       leon.topk_per_mask = 2;
       leon.exec_per_query = 2;
       leon.pair_epochs = 4;
+      leon.parallelism = workers;
       methods.push_back(std::make_unique<lqo::LeonOptimizer>(leon));
     }
     for (auto& method : methods) {
       const lqo::TrainReport report = method->Train(train, db.get());
-      const auto result =
-          benchkit::MeasureWorkloadLqo(db.get(), method.get(), test, protocol);
+      const auto result = benchkit::MeasureWorkload(
+          db.get(), method.get(), test, protocol, bench::MeasureOptions());
       table.AddRow({method->name(), split.name,
                     util::FormatDuration(report.training_time_ns),
                     std::to_string(report.plans_executed),

@@ -10,7 +10,7 @@
 #include <cmath>
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "datagen/imdb_generator.h"
 #include "lqo/bao.h"
@@ -44,18 +44,21 @@ int main() {
   lqo::BaoOptimizer::Options options;
   options.epochs = 3;
   options.train_epochs = 12;
+  options.parallelism = bench::TrainParallelism();
   lqo::BaoOptimizer bao_full(options);
   lqo::BaoOptimizer bao_50(options);
   bao_full.Train(train, full.get());
   bao_50.Train(train, half.get());  // different cardinality regime
 
-  // Both evaluated against the FULL database.
+  // Both evaluated against the FULL database; one runner (and its worker
+  // replicas) serves both measurements.
   benchkit::Protocol protocol;
   protocol.runs = 5;
+  benchkit::ParallelRunner runner(full.get(), bench::MeasureOptions());
   const auto full_result =
-      benchkit::MeasureWorkloadLqo(full.get(), &bao_full, test, protocol);
+      benchkit::MeasureWorkload(&runner, &bao_full, test, protocol);
   const auto shifted_result =
-      benchkit::MeasureWorkloadLqo(full.get(), &bao_50, test, protocol);
+      benchkit::MeasureWorkload(&runner, &bao_50, test, protocol);
 
   util::TablePrinter table({"query", "Bao-Full", "Bao-50", "factor",
                             "significant"});

@@ -1,0 +1,119 @@
+// Microbenchmark for benchkit::ParallelRunner: wall-clock time to measure
+// the JOB-lite workload at 1/2/4/8 workers, plus a byte-level determinism
+// check against the serial baseline. Emits one JSON document (stdout, or
+// the file given as argv[1]) so CI can archive the numbers — see
+// BENCH_parallel_runner.json at the repo root for a recorded run.
+//
+// Note: the speedup column measures the machine, not the code. On a
+// single-core container every worker count collapses to ~1.0x; the
+// determinism column must hold everywhere.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "benchkit/parallel_runner.h"
+
+namespace {
+
+using namespace lqolab;
+
+bool SameMeasurements(const std::vector<benchkit::QueryMeasurement>& a,
+                      const std::vector<benchkit::QueryMeasurement>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.query_id != y.query_id || x.joins != y.joins ||
+        x.inference_ns != y.inference_ns || x.planning_ns != y.planning_ns ||
+        x.execution_ns != y.execution_ns || x.timed_out != y.timed_out ||
+        x.result_rows != y.result_rows ||
+        x.run_execution_ns != y.run_execution_ns ||
+        x.node_rows != y.node_rows) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lqolab;
+  using Clock = std::chrono::steady_clock;
+
+  auto db = bench::MakeDatabase(0.25);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  benchkit::Protocol protocol;
+
+  std::fprintf(stderr, "measuring %zu queries per worker count...\n",
+               workload.size());
+
+  struct Row {
+    int32_t parallelism;
+    double wall_ms;
+    bool deterministic;
+    util::VirtualNanos total_execution_ns;
+  };
+  std::vector<Row> rows;
+  std::vector<benchkit::QueryMeasurement> baseline;
+  for (const int32_t parallelism : {1, 2, 4, 8}) {
+    benchkit::RunnerOptions options;
+    options.parallelism = parallelism;
+    options.seed = bench::kSeed;
+    const auto start = Clock::now();
+    const auto result = benchkit::MeasureWorkload(db.get(), nullptr, workload,
+                                                  protocol, options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (parallelism == 1) baseline = result.queries;
+    rows.push_back({parallelism, wall_ms,
+                    SameMeasurements(baseline, result.queries),
+                    result.total_execution_ns()});
+    std::fprintf(stderr, "  parallelism %d: %.1f ms%s\n", parallelism, wall_ms,
+                 rows.back().deterministic ? "" : "  [MISMATCH]");
+  }
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"parallel_runner\",\n";
+  json += "  \"queries\": " + std::to_string(workload.size()) + ",\n";
+  json += "  \"protocol_runs\": " + std::to_string(protocol.runs) + ",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"parallelism\": %d, \"wall_ms\": %.1f, "
+                  "\"speedup\": %.2f, \"deterministic\": %s, "
+                  "\"total_execution_virtual_ns\": %lld}%s\n",
+                  row.parallelism, row.wall_ms,
+                  rows[0].wall_ms / row.wall_ms,
+                  row.deterministic ? "true" : "false",
+                  static_cast<long long>(row.total_execution_ns),
+                  i + 1 < rows.size() ? "," : "");
+    json += buffer;
+  }
+  json += "  ]\n}\n";
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", argv[1]);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+
+  bool all_deterministic = true;
+  for (const Row& row : rows) all_deterministic &= row.deterministic;
+  return all_deterministic ? 0 : 1;
+}

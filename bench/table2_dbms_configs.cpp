@@ -8,7 +8,7 @@
 #include <functional>
 
 #include "bench_common.h"
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 
 int main() {
   using namespace lqolab;
@@ -64,8 +64,11 @@ int main() {
   for (const auto& preset : presets) {
     db->SetConfig(preset);
     db->DropCaches();
-    const auto result =
-        benchkit::MeasureWorkloadNative(db.get(), workload, protocol);
+    // A fresh runner per preset: worker replicas snapshot the parent's
+    // configuration when created.
+    const auto result = benchkit::MeasureWorkload(db.get(), nullptr, workload,
+                                                  protocol,
+                                                  bench::MeasureOptions());
     impact.AddRow({preset.name,
                    util::FormatDuration(result.total_planning_ns()),
                    util::FormatDuration(result.total_execution_ns()),

@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "datagen/imdb_generator.h"
 #include "engine/database.h"
@@ -77,7 +77,7 @@ int main() {
         databases[i] ? databases[i].get() : full.get();
     bao.Train(train, train_db);
     const auto result =
-        benchkit::MeasureWorkloadLqo(full.get(), &bao, test, protocol);
+        benchkit::MeasureWorkload(full.get(), &bao, test, protocol);
     if (i == 0) {
       reference = result.total_execution_ns();
       reference_queries = result.queries;

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <map>
 
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "engine/database.h"
 #include "lqo/interface.h"
@@ -108,10 +108,10 @@ int main() {
     custom.Train(train, db.get());
 
     const benchkit::Protocol protocol;
-    const auto native =
-        benchkit::MeasureWorkloadNative(db.get(), test, protocol);
-    const auto learned =
-        benchkit::MeasureWorkloadLqo(db.get(), &custom, test, protocol);
+    const auto native = benchkit::MeasureWorkload(db.get(), nullptr, test,
+                                                  protocol);
+    const auto learned = benchkit::MeasureWorkload(db.get(), &custom, test,
+                                                   protocol);
     for (const auto* m : {&native, &learned}) {
       table.AddRow({benchkit::SplitKindName(kind), m->method,
                     util::FormatDuration(m->total_execution_ns()),

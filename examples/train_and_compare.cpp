@@ -8,12 +8,13 @@
 #include <cstdio>
 #include <memory>
 
-#include "benchkit/measurement.h"
+#include "benchkit/parallel_runner.h"
 #include "benchkit/splits.h"
 #include "engine/database.h"
 #include "lqo/bao.h"
 #include "query/job_workload.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace lqolab;
@@ -33,19 +34,26 @@ int main() {
   std::printf("split: %zu train / %zu test queries\n", train.size(),
               test.size());
 
-  // Train Bao (hint-set selection on top of the native optimizer).
-  lqo::BaoOptimizer bao;
+  // Train Bao (hint-set selection on top of the native optimizer). The
+  // training episodes execute concurrently on worker replicas; the result
+  // is identical for any worker count, including 1.
+  lqo::BaoOptimizer::Options bao_options;
+  bao_options.parallelism = util::ThreadPool::DefaultParallelism();
+  lqo::BaoOptimizer bao(bao_options);
   const lqo::TrainReport report = bao.Train(train, db.get());
   std::printf("bao trained: %lld plans executed, modeled training time %s\n",
               static_cast<long long>(report.plans_executed),
               util::FormatDuration(report.training_time_ns).c_str());
 
-  // Evaluate both on the test set with the 3-run hot-cache protocol.
+  // Evaluate both on the test set with the 3-run hot-cache protocol,
+  // fanned across all cores (RunnerOptions{} = hardware_concurrency). One
+  // runner serves both measurements.
   const benchkit::Protocol protocol;
+  benchkit::ParallelRunner runner(db.get(), benchkit::RunnerOptions{});
   const auto native =
-      benchkit::MeasureWorkloadNative(db.get(), test, protocol);
+      benchkit::MeasureWorkload(&runner, nullptr, test, protocol);
   const auto learned =
-      benchkit::MeasureWorkloadLqo(db.get(), &bao, test, protocol);
+      benchkit::MeasureWorkload(&runner, &bao, test, protocol);
 
   util::TablePrinter table(
       {"method", "inference+planning", "execution", "end-to-end", "timeouts"});

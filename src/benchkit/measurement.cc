@@ -13,30 +13,34 @@ using engine::QueryRun;
 using query::Query;
 using util::VirtualNanos;
 
-namespace {
+namespace internal {
 
 QueryMeasurement MeasureRuns(Database* db, const Query& q,
                              const optimizer::PhysicalPlan& plan,
                              VirtualNanos planning_ns, const Protocol& protocol,
                              QueryMeasurement measurement) {
   LQOLAB_CHECK_GT(protocol.runs, 0);
+  LQOLAB_CHECK_GE(protocol.take, 0);
   LQOLAB_CHECK_LT(protocol.take, protocol.runs);
   measurement.query_id = q.id;
   measurement.joins = q.join_count();
   measurement.planning_ns = planning_ns;
   for (int32_t r = 0; r < protocol.runs; ++r) {
-    const QueryRun run = db->ExecutePlan(q, plan, planning_ns);
+    QueryRun run = db->ExecutePlan(q, plan, planning_ns);
     measurement.run_execution_ns.push_back(run.execution_ns);
     if (r == protocol.take) {
       measurement.execution_ns = run.execution_ns;
       measurement.timed_out = run.timed_out;
       measurement.result_rows = run.result_rows;
+      measurement.node_rows = std::move(run.node_rows);
     }
   }
   return measurement;
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::MeasureRuns;
 
 QueryMeasurement MeasureNative(Database* db, const Query& q,
                                const Protocol& protocol) {

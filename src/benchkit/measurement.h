@@ -30,6 +30,9 @@ struct QueryMeasurement {
   int64_t result_rows = 0;
   /// Execution time of every run, in order.
   std::vector<util::VirtualNanos> run_execution_ns;
+  /// True output rows per plan node of the `take`-th run (parallel to the
+  /// executed plan's node array; -1 where the oracle count overflowed).
+  std::vector<int64_t> node_rows;
 
   util::VirtualNanos end_to_end_ns() const {
     return inference_ns + planning_ns + execution_ns;
@@ -72,6 +75,18 @@ WorkloadMeasurement MeasureWorkloadLqo(engine::Database* db,
                                        lqo::LearnedOptimizer* lqo,
                                        const std::vector<query::Query>& qs,
                                        const Protocol& protocol);
+
+namespace internal {
+/// The shared run loop of the protocol: validates `protocol`, executes
+/// `plan` `protocol.runs` times and fills the execution fields of
+/// `measurement`. Used by both the serial entry points above and the
+/// parallel runner (benchkit/parallel_runner.h).
+QueryMeasurement MeasureRuns(engine::Database* db, const query::Query& q,
+                             const optimizer::PhysicalPlan& plan,
+                             util::VirtualNanos planning_ns,
+                             const Protocol& protocol,
+                             QueryMeasurement measurement);
+}  // namespace internal
 
 }  // namespace lqolab::benchkit
 

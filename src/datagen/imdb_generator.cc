@@ -605,9 +605,9 @@ std::vector<std::unique_ptr<storage::Table>> GenerateImdb(
   return generator.Generate();
 }
 
-std::vector<std::unique_ptr<storage::Table>> SubsampleTitleCascade(
+std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
     const catalog::Schema& schema,
-    const std::vector<std::unique_ptr<storage::Table>>& full,
+    const std::vector<std::shared_ptr<storage::Table>>& full,
     double keep_fraction, uint64_t seed) {
   LQOLAB_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
   Rng rng(seed);
@@ -621,7 +621,7 @@ std::vector<std::unique_ptr<storage::Table>> SubsampleTitleCascade(
     }
   }
 
-  std::vector<std::unique_ptr<storage::Table>> out;
+  std::vector<std::shared_ptr<storage::Table>> out;
   out.reserve(full.size());
   for (TableId t = 0; t < schema.table_count(); ++t) {
     const catalog::TableDef& def = schema.table(t);

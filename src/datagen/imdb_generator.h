@@ -73,9 +73,9 @@ std::vector<std::unique_ptr<storage::Table>> GenerateImdb(
 /// (Bernoulli) and cascades the deletion through every table with a foreign
 /// key into `title`, preserving referential integrity. Tables not reachable
 /// from `title` are copied unchanged.
-std::vector<std::unique_ptr<storage::Table>> SubsampleTitleCascade(
+std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
     const catalog::Schema& schema,
-    const std::vector<std::unique_ptr<storage::Table>>& full,
+    const std::vector<std::shared_ptr<storage::Table>>& full,
     double keep_fraction, uint64_t seed);
 
 }  // namespace lqolab::datagen

@@ -21,15 +21,19 @@ int64_t ScaledPages(int64_t mb) {
 }
 
 Database::Database(const Options& options)
-    : schema_(catalog::BuildImdbSchema()), noise_rng_(options.seed ^ 0xabcdefULL) {
+    : schema_(catalog::BuildImdbSchema()),
+      seed_(options.seed),
+      noise_rng_(options.seed ^ 0xabcdefULL) {
   ctx_.schema = &schema_;
   ctx_.config = options.config;
 }
 
 std::unique_ptr<Database> Database::CreateImdb(const Options& options) {
   std::unique_ptr<Database> db(new Database(options));
-  db->ctx_.tables =
-      datagen::GenerateImdb(db->schema_, options.profile, options.seed);
+  for (auto& table :
+       datagen::GenerateImdb(db->schema_, options.profile, options.seed)) {
+    db->ctx_.tables.push_back(std::move(table));
+  }
   db->BuildIndexes();
   db->Analyze();
   db->InitRuntime();
@@ -38,13 +42,26 @@ std::unique_ptr<Database> Database::CreateImdb(const Options& options) {
 
 std::unique_ptr<Database> Database::FromTables(
     const Options& options,
-    std::vector<std::unique_ptr<storage::Table>> tables) {
+    std::vector<std::shared_ptr<storage::Table>> tables) {
   std::unique_ptr<Database> db(new Database(options));
   LQOLAB_CHECK_EQ(static_cast<int32_t>(tables.size()),
                   db->schema_.table_count());
   db->ctx_.tables = std::move(tables);
   db->BuildIndexes();
   db->Analyze();
+  db->InitRuntime();
+  return db;
+}
+
+std::unique_ptr<Database> Database::CloneContextForWorker() const {
+  Options options;
+  options.seed = seed_;
+  options.config = ctx_.config;
+  std::unique_ptr<Database> db(new Database(options));
+  // Tables and indexes are immutable after build: share, don't copy.
+  db->ctx_.tables = ctx_.tables;
+  db->ctx_.indexes = ctx_.indexes;
+  db->ctx_.table_stats = ctx_.table_stats;
   db->InitRuntime();
   return db;
 }
@@ -75,7 +92,7 @@ void Database::BuildIndexes() {
     wanted.insert({table, col});
   }
   for (const auto& [table, column] : wanted) {
-    ctx_.indexes[{table, column}] = std::make_unique<storage::Index>(
+    ctx_.indexes[{table, column}] = std::make_shared<storage::Index>(
         *ctx_.tables[static_cast<size_t>(table)], column);
   }
 }
@@ -162,6 +179,7 @@ QueryRun Database::ExecutePlan(const query::Query& q,
   run.timed_out = result.timed_out;
   run.result_rows = result.result_rows;
   run.pages_accessed = result.pages_accessed;
+  run.node_rows = result.node_rows;
   return run;
 }
 
@@ -181,6 +199,18 @@ int64_t Database::RunCount(const query::Query& q) const {
 void Database::DropCaches() {
   ctx_.buffer_pool->DropCaches();
   run_counts_.clear();
+}
+
+void Database::BeginQueryReplay(uint64_t global_seed, const query::Query& q,
+                                uint64_t salt) {
+  DropCaches();
+  noise_rng_ =
+      util::Rng(util::MixSeed(global_seed, exec::QueryFingerprint(q), salt));
+}
+
+void Database::SetWarmupStage(const query::Query& q, int64_t run_index) {
+  LQOLAB_CHECK_GE(run_index, 0);
+  run_counts_[exec::QueryFingerprint(q)] = run_index;
 }
 
 std::string Database::ExplainAnalyze(const query::Query& q) {

@@ -32,6 +32,9 @@ struct QueryRun {
   int64_t pages_accessed = 0;
   bool used_geqo = false;
   double estimated_cost = 0.0;
+  /// True output rows per plan node (parallel to the plan's node array;
+  /// -1 where the oracle count overflowed).
+  std::vector<int64_t> node_rows;
 
   util::VirtualNanos total_ns() const { return planning_ns + execution_ns; }
 };
@@ -54,7 +57,15 @@ class Database {
   /// Wraps pre-built tables (e.g. the IMDB-50% subsample of Fig. 7).
   static std::unique_ptr<Database> FromTables(
       const Options& options,
-      std::vector<std::unique_ptr<storage::Table>> tables);
+      std::vector<std::shared_ptr<storage::Table>> tables);
+
+  /// Creates an isolated worker replica for parallel measurement. The
+  /// replica shares this instance's immutable storage (tables, indexes) and
+  /// copies its statistics and configuration, but owns a fresh buffer cache,
+  /// oracle, planner, executor, warm-up state and noise stream — executions
+  /// on the replica never observe or perturb the parent (or any sibling).
+  /// Pair with BeginQueryReplay() for scheduling-independent results.
+  std::unique_ptr<Database> CloneContextForWorker() const;
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -104,6 +115,21 @@ class Database {
   /// Drops both cache tiers and all warm-up state (full cold start).
   void DropCaches();
 
+  /// Resets this instance to the canonical replay state for `q`: cold
+  /// caches and a noise stream derived from
+  /// MixSeed(global_seed, QueryFingerprint(q), salt). After this call the
+  /// next ExecutePlan(q, ...) result is a pure function of
+  /// (storage, config, q, global_seed, salt) — independent of which worker
+  /// runs it, in which order, at which parallelism (docs/parallelism.md).
+  void BeginQueryReplay(uint64_t global_seed, const query::Query& q,
+                        uint64_t salt = 0);
+
+  /// Forces the warm-up stage of `q`: the next execution behaves as the
+  /// (run_index+1)-th run since the last cache drop. Lets a replayed run
+  /// sequence reproduce the serial warm-up trajectory regardless of how
+  /// runs are batched across workers.
+  void SetWarmupStage(const query::Query& q, int64_t run_index);
+
   /// Number of times a query signature has executed since the last cache
   /// drop (drives the warm-up multiplier).
   int64_t RunCount(const query::Query& q) const;
@@ -117,6 +143,7 @@ class Database {
   double WarmupMultiplier(const query::Query& q);
 
   catalog::Schema schema_;
+  uint64_t seed_;
   exec::DbContext ctx_;
   std::unique_ptr<exec::Oracle> oracle_;
   std::unique_ptr<optimizer::Planner> planner_;

@@ -1,0 +1,45 @@
+#include "engine/exec_batch.h"
+
+#include "exec/oracle.h"
+#include "util/check.h"
+
+namespace lqolab::engine {
+
+BatchExecutor::BatchExecutor(Database* db, uint64_t global_seed,
+                             int32_t parallelism)
+    : seed_(global_seed), pool_(parallelism) {
+  LQOLAB_CHECK(db != nullptr);
+  replicas_.reserve(static_cast<size_t>(pool_.size()));
+  for (int32_t w = 0; w < pool_.size(); ++w) {
+    replicas_.push_back(db->CloneContextForWorker());
+  }
+}
+
+BatchExecutor::~BatchExecutor() = default;
+
+std::vector<QueryRun> BatchExecutor::Execute(
+    const std::vector<PlanExec>& batch) {
+  // Assign warm-up stages serially in batch order, so the replayed history
+  // matches a serial execution of the same batches.
+  std::vector<int64_t> run_index(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    LQOLAB_CHECK(batch[i].query != nullptr);
+    LQOLAB_CHECK(batch[i].plan != nullptr);
+    run_index[i] = exec_counts_[exec::QueryFingerprint(*batch[i].query)]++;
+  }
+  std::vector<QueryRun> runs(batch.size());
+  pool_.ParallelFor(
+      static_cast<int64_t>(batch.size()), [&](int32_t worker, int64_t i) {
+        Database* db = replicas_[static_cast<size_t>(worker)].get();
+        const PlanExec& task = batch[static_cast<size_t>(i)];
+        const int64_t stage = run_index[static_cast<size_t>(i)];
+        db->BeginQueryReplay(seed_, *task.query,
+                             static_cast<uint64_t>(stage));
+        db->SetWarmupStage(*task.query, stage);
+        runs[static_cast<size_t>(i)] =
+            db->ExecutePlan(*task.query, *task.plan, 0, task.timeout_ns);
+      });
+  return runs;
+}
+
+}  // namespace lqolab::engine

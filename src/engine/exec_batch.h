@@ -1,0 +1,59 @@
+#ifndef LQOLAB_ENGINE_EXEC_BATCH_H_
+#define LQOLAB_ENGINE_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "util/thread_pool.h"
+
+namespace lqolab::engine {
+
+/// One forced-plan execution in a batch.
+struct PlanExec {
+  const query::Query* query = nullptr;
+  const optimizer::PhysicalPlan* plan = nullptr;
+  /// Statement timeout override; 0 uses the configured timeout.
+  util::VirtualNanos timeout_ns = 0;
+};
+
+/// Executes batches of independent forced plans across isolated worker
+/// replicas of one Database (the training-episode counterpart of
+/// benchkit::ParallelRunner). Every execution replays from the canonical
+/// per-query state: caches dropped, warm-up stage set to the number of
+/// prior executions of that query through this executor (assigned serially
+/// in batch order), noise stream derived from
+/// MixSeed(global_seed, QueryFingerprint(q), run_index). Results are
+/// therefore a pure function of (storage, config, batch history, seed) —
+/// independent of worker count and scheduling — while still reproducing the
+/// serial warm-up trajectory of repeated executions.
+class BatchExecutor {
+ public:
+  /// Builds `parallelism` replicas of `db` (>= 1; `db` must outlive the
+  /// executor and is never touched by Execute).
+  BatchExecutor(Database* db, uint64_t global_seed, int32_t parallelism);
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  int32_t parallelism() const { return pool_.size(); }
+
+  /// Executes every entry of `batch` and returns the runs in batch order.
+  std::vector<QueryRun> Execute(const std::vector<PlanExec>& batch);
+
+ private:
+  uint64_t seed_;
+  std::vector<std::unique_ptr<Database>> replicas_;
+  util::ThreadPool pool_;
+  /// Executions seen per query fingerprint (drives warm-up replay).
+  std::unordered_map<uint64_t, int64_t> exec_counts_;
+};
+
+}  // namespace lqolab::engine
+
+#endif  // LQOLAB_ENGINE_EXEC_BATCH_H_

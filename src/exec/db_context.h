@@ -17,12 +17,17 @@ namespace lqolab::exec {
 
 /// Shared view of one database instance used by the estimator, planner and
 /// executor. Owned and assembled by engine::Database.
+///
+/// Tables and indexes are immutable once built, and are held by shared_ptr
+/// so that worker replicas (Database::CloneContextForWorker) can reference
+/// the same physical data without copying it; everything else in the context
+/// is per-replica state.
 struct DbContext {
   const catalog::Schema* schema = nullptr;
-  std::vector<std::unique_ptr<storage::Table>> tables;
+  std::vector<std::shared_ptr<storage::Table>> tables;
   /// Secondary indexes keyed by (table, column).
   std::map<std::pair<catalog::TableId, catalog::ColumnId>,
-           std::unique_ptr<storage::Index>>
+           std::shared_ptr<storage::Index>>
       indexes;
   std::vector<stats::TableStats> table_stats;
   std::unique_ptr<storage::BufferPool> buffer_pool;

@@ -1,7 +1,9 @@
 #include "lqo/balsa.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "engine/exec_batch.h"
 #include "exec/oracle.h"
 #include "lqo/plan_search.h"
 #include "util/check.h"
@@ -90,33 +92,88 @@ TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
   Fit(pretrain, options_.pretrain_epochs, &report);
 
   // --- Phase 2: on-policy fine-tuning with safe timeouts.
+  std::unique_ptr<engine::BatchExecutor> batch_exec;
+  if (options_.parallelism > 0) {
+    batch_exec = std::make_unique<engine::BatchExecutor>(
+        db, options_.seed, options_.parallelism);
+  }
+  // A query's safe timeout derives from its best latency in EARLIER
+  // candidate rounds only, so a round is an independent batch: searches and
+  // timeouts are fixed serially (preserving the rng_state_ draw sequence
+  // within the round), then the round's plans execute concurrently.
+  // Note the serial path interleaves per query instead (q-major, not
+  // c-major) — the parallel trajectory is deterministic but intentionally
+  // its own history.
+  auto run_round = [&](const std::vector<Query>& queries, int32_t c,
+                       std::vector<Sample>* fresh) {
+    const double epsilon = c == 0 ? 0.0 : 0.05;
+    std::vector<optimizer::PhysicalPlan> plans;
+    std::vector<engine::PlanExec> batch;
+    plans.reserve(queries.size());
+    batch.reserve(queries.size());
+    for (const Query& q : queries) {
+      SearchResult search = SearchPlan(q, db, epsilon);
+      report.nn_evals += search.evals;
+      plans.push_back(std::move(search.plan));
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      VirtualNanos timeout = 0;
+      auto best = best_latency_.find(exec::QueryFingerprint(queries[i]));
+      if (best != best_latency_.end()) {
+        timeout = static_cast<VirtualNanos>(
+            static_cast<double>(best->second) * options_.timeout_factor);
+        timeout = std::max<VirtualNanos>(timeout, util::kNanosPerMilli);
+      }
+      batch.push_back({&queries[i], &plans[i], timeout});
+    }
+    const std::vector<engine::QueryRun> runs = batch_exec->Execute(batch);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const uint64_t fp = exec::QueryFingerprint(queries[i]);
+      ++report.plans_executed;
+      report.execution_ns += runs[i].execution_ns;
+      if (!runs[i].timed_out) {
+        auto [it, inserted] = best_latency_.emplace(fp, runs[i].execution_ns);
+        if (!inserted && runs[i].execution_ns < it->second) {
+          it->second = runs[i].execution_ns;
+        }
+      }
+      fresh->push_back({queries[i], std::move(plans[i]),
+                        LatencyToTarget(runs[i].execution_ns)});
+    }
+  };
   for (int32_t iter = 0; iter < options_.iterations; ++iter) {
     std::vector<Sample> fresh;
-    for (const Query& q : train_set) {
-      const uint64_t fp = exec::QueryFingerprint(q);
+    if (batch_exec != nullptr) {
       for (int32_t c = 0; c <= options_.exploration_plans; ++c) {
-        const double epsilon = c == 0 ? 0.0 : 0.05;
-        SearchResult search = SearchPlan(q, db, epsilon);
-        report.nn_evals += search.evals;
-        VirtualNanos timeout = 0;
-        auto best = best_latency_.find(fp);
-        if (best != best_latency_.end()) {
-          timeout = static_cast<VirtualNanos>(
-              static_cast<double>(best->second) * options_.timeout_factor);
-          timeout = std::max<VirtualNanos>(timeout, util::kNanosPerMilli);
-        }
-        const engine::QueryRun run =
-            db->ExecutePlan(q, search.plan, 0, timeout);
-        ++report.plans_executed;
-        report.execution_ns += run.execution_ns;
-        if (!run.timed_out) {
-          auto [it, inserted] = best_latency_.emplace(fp, run.execution_ns);
-          if (!inserted && run.execution_ns < it->second) {
-            it->second = run.execution_ns;
+        run_round(train_set, c, &fresh);
+      }
+    } else {
+      for (const Query& q : train_set) {
+        const uint64_t fp = exec::QueryFingerprint(q);
+        for (int32_t c = 0; c <= options_.exploration_plans; ++c) {
+          const double epsilon = c == 0 ? 0.0 : 0.05;
+          SearchResult search = SearchPlan(q, db, epsilon);
+          report.nn_evals += search.evals;
+          VirtualNanos timeout = 0;
+          auto best = best_latency_.find(fp);
+          if (best != best_latency_.end()) {
+            timeout = static_cast<VirtualNanos>(
+                static_cast<double>(best->second) * options_.timeout_factor);
+            timeout = std::max<VirtualNanos>(timeout, util::kNanosPerMilli);
           }
+          const engine::QueryRun run =
+              db->ExecutePlan(q, search.plan, 0, timeout);
+          ++report.plans_executed;
+          report.execution_ns += run.execution_ns;
+          if (!run.timed_out) {
+            auto [it, inserted] = best_latency_.emplace(fp, run.execution_ns);
+            if (!inserted && run.execution_ns < it->second) {
+              it->second = run.execution_ns;
+            }
+          }
+          fresh.push_back({q, std::move(search.plan),
+                           LatencyToTarget(run.execution_ns)});
         }
-        fresh.push_back({q, std::move(search.plan),
-                         LatencyToTarget(run.execution_ns)});
       }
     }
     // Balsa trains on the most recent data, not a replay buffer.

@@ -31,6 +31,13 @@ class BalsaOptimizer : public LearnedOptimizer {
     double learning_rate = 1e-3;
     double timeout_factor = 2.0;
     uint64_t seed = 2;
+    /// Training-execution workers. 0 keeps the serial in-place path
+    /// (executions share the parent's cache state); >= 1 executes each
+    /// candidate round on isolated worker replicas with deterministic
+    /// replay — results are then independent of the worker count. The
+    /// safe-timeout dependency (a round's timeouts derive from earlier
+    /// rounds' best latencies) is preserved by batching per round.
+    int32_t parallelism = 0;
   };
 
   BalsaOptimizer();

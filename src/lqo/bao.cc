@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
+#include "engine/exec_batch.h"
 #include "util/check.h"
 
 namespace lqolab::lqo {
@@ -101,9 +103,23 @@ TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
                                 Database* db) {
   EnsureModel(db);
   TrainReport report;
+  std::unique_ptr<engine::BatchExecutor> batch_exec;
+  if (options_.parallelism > 0) {
+    batch_exec = std::make_unique<engine::BatchExecutor>(
+        db, options_.seed, options_.parallelism);
+  }
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
     const double epsilon =
         options_.initial_epsilon / static_cast<double>(epoch + 1);
+    // Phase A (serial): per-arm planning, model scoring and the
+    // epsilon-greedy arm choice — all the state that must advance in query
+    // order (parent config, rng_state_ draws).
+    struct ChosenArm {
+      const Query* query = nullptr;
+      optimizer::PhysicalPlan plan;
+    };
+    std::vector<ChosenArm> episode;
+    episode.reserve(train_set.size());
     for (const Query& q : train_set) {
       std::vector<ArmCandidate> candidates = PlanArms(q, db, &report);
       report.nn_evals += static_cast<int64_t>(candidates.size());
@@ -121,11 +137,30 @@ TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
           }
         }
       }
-      const engine::QueryRun run = db->ExecutePlan(q, candidates[chosen].plan);
+      episode.push_back({&q, std::move(candidates[chosen].plan)});
+    }
+    // Phase B: execute the episode's chosen plans — concurrently on worker
+    // replicas when parallelism was requested, else serially in place.
+    std::vector<engine::QueryRun> runs;
+    if (batch_exec != nullptr) {
+      std::vector<engine::PlanExec> batch;
+      batch.reserve(episode.size());
+      for (const ChosenArm& arm : episode) {
+        batch.push_back({arm.query, &arm.plan, 0});
+      }
+      runs = batch_exec->Execute(batch);
+    } else {
+      runs.reserve(episode.size());
+      for (const ChosenArm& arm : episode) {
+        runs.push_back(db->ExecutePlan(*arm.query, arm.plan));
+      }
+    }
+    // Phase C (serial): collect experience and fit.
+    for (size_t i = 0; i < episode.size(); ++i) {
       ++report.plans_executed;
-      report.execution_ns += run.execution_ns;
-      experience_.push_back({q, std::move(candidates[chosen].plan),
-                             LatencyToTarget(run.execution_ns)});
+      report.execution_ns += runs[i].execution_ns;
+      experience_.push_back({*episode[i].query, std::move(episode[i].plan),
+                             LatencyToTarget(runs[i].execution_ns)});
     }
     Fit(&report);
   }

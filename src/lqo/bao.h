@@ -43,6 +43,11 @@ class BaoOptimizer : public LearnedOptimizer {
     double learning_rate = 1e-3;
     double initial_epsilon = 0.5;
     uint64_t seed = 3;
+    /// Training-execution workers. 0 keeps the serial in-place path
+    /// (executions share the parent's cache state); >= 1 executes each
+    /// episode's plans on isolated worker replicas with deterministic
+    /// replay — results are then independent of the worker count.
+    int32_t parallelism = 0;
   };
 
   BaoOptimizer();

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <map>
+#include <memory>
 
+#include "engine/exec_batch.h"
 #include "lqo/plan_search.h"
 #include "util/check.h"
 
@@ -156,6 +158,12 @@ TrainReport LeonOptimizer::Train(const std::vector<Query>& train_set,
     VirtualNanos latency = 0;
   };
 
+  std::unique_ptr<engine::BatchExecutor> batch_exec;
+  if (options_.parallelism > 0) {
+    batch_exec = std::make_unique<engine::BatchExecutor>(
+        db, options_.seed, options_.parallelism);
+  }
+
   for (const Query& q : train_set) {
     // Respect the end-to-end training budget (the paper capped LEON's
     // training at 120 hours and notes the budget cuts it short).
@@ -185,12 +193,28 @@ TrainReport LeonOptimizer::Train(const std::vector<Query>& train_set,
       to_execute.push_back(i);
     }
 
+    // The selected candidates are independent executions of one query:
+    // run them concurrently when parallelism was requested.
     std::vector<Executed> executed;
-    for (size_t idx : to_execute) {
-      const engine::QueryRun run = db->ExecutePlan(q, candidates[idx].plan);
+    std::vector<engine::QueryRun> runs;
+    if (batch_exec != nullptr) {
+      std::vector<engine::PlanExec> batch;
+      batch.reserve(to_execute.size());
+      for (size_t idx : to_execute) {
+        batch.push_back({&q, &candidates[idx].plan, 0});
+      }
+      runs = batch_exec->Execute(batch);
+    } else {
+      runs.reserve(to_execute.size());
+      for (size_t idx : to_execute) {
+        runs.push_back(db->ExecutePlan(q, candidates[idx].plan));
+      }
+    }
+    for (size_t i = 0; i < to_execute.size(); ++i) {
       ++report.plans_executed;
-      report.execution_ns += run.execution_ns;
-      executed.push_back({candidates[idx].plan, run.execution_ns});
+      report.execution_ns += runs[i].execution_ns;
+      executed.push_back({candidates[to_execute[i]].plan,
+                          runs[i].execution_ns});
     }
 
     // Pairwise ranking updates on the executed plans of this query.

@@ -1,7 +1,9 @@
 #include "lqo/neo.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "engine/exec_batch.h"
 #include "lqo/plan_search.h"
 #include "util/check.h"
 
@@ -80,6 +82,25 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
   holdout_losses_.clear();
   iterations_run_ = 0;
 
+  std::unique_ptr<engine::BatchExecutor> batch_exec;
+  if (options_.parallelism > 0) {
+    batch_exec = std::make_unique<engine::BatchExecutor>(
+        db, options_.seed, options_.parallelism);
+  }
+  // Runs a batch of planned candidates: concurrently on worker replicas
+  // when parallelism was requested, else serially in place (bit-identical
+  // to the historical interleaved loop — plan search never depends on
+  // execution state).
+  auto execute_all = [&](const std::vector<engine::PlanExec>& batch) {
+    if (batch_exec != nullptr) return batch_exec->Execute(batch);
+    std::vector<engine::QueryRun> runs;
+    runs.reserve(batch.size());
+    for (const engine::PlanExec& task : batch) {
+      runs.push_back(db->ExecutePlan(*task.query, *task.plan));
+    }
+    return runs;
+  };
+
   // A FIXED holdout (paper §5.1: comparable measurements require a fixed
   // validation set): every k-th training query, never trained on.
   std::vector<Query> effective_train;
@@ -89,29 +110,56 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
           ? std::max<int32_t>(2, static_cast<int32_t>(
                                      1.0 / options_.holdout_fraction))
           : 0;
+  std::vector<optimizer::PhysicalPlan> holdout_plans;
+  std::vector<const Query*> holdout_queries;
   for (size_t i = 0; i < train_set.size(); ++i) {
     const Query& q = train_set[i];
     if (holdout_every > 0 &&
         static_cast<int32_t>(i) % holdout_every == holdout_every - 1) {
-      const Database::Planned planned = db->PlanQuery(q);
+      Database::Planned planned = db->PlanQuery(q);
       ++report.planner_calls;
-      const engine::QueryRun run = db->ExecutePlan(q, planned.plan);
-      ++report.plans_executed;
-      report.execution_ns += run.execution_ns;
-      holdout.push_back({q, planned.plan, LatencyToTarget(run.execution_ns)});
+      holdout_queries.push_back(&q);
+      holdout_plans.push_back(std::move(planned.plan));
     } else {
       effective_train.push_back(q);
     }
   }
+  {
+    std::vector<engine::PlanExec> batch;
+    batch.reserve(holdout_plans.size());
+    for (size_t i = 0; i < holdout_plans.size(); ++i) {
+      batch.push_back({holdout_queries[i], &holdout_plans[i], 0});
+    }
+    const std::vector<engine::QueryRun> runs = execute_all(batch);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      ++report.plans_executed;
+      report.execution_ns += runs[i].execution_ns;
+      holdout.push_back({*holdout_queries[i], std::move(holdout_plans[i]),
+                         LatencyToTarget(runs[i].execution_ns)});
+    }
+  }
 
   // Bootstrap with the native optimizer's plans (expert demonstrations).
-  for (const Query& q : effective_train) {
-    const Database::Planned planned = db->PlanQuery(q);
-    ++report.planner_calls;
-    const engine::QueryRun run = db->ExecutePlan(q, planned.plan);
-    ++report.plans_executed;
-    report.execution_ns += run.execution_ns;
-    replay_.push_back({q, planned.plan, LatencyToTarget(run.execution_ns)});
+  {
+    std::vector<optimizer::PhysicalPlan> plans;
+    plans.reserve(effective_train.size());
+    for (const Query& q : effective_train) {
+      Database::Planned planned = db->PlanQuery(q);
+      ++report.planner_calls;
+      plans.push_back(std::move(planned.plan));
+    }
+    std::vector<engine::PlanExec> batch;
+    batch.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      batch.push_back({&effective_train[i], &plans[i], 0});
+    }
+    const std::vector<engine::QueryRun> runs = execute_all(batch);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      ++report.plans_executed;
+      report.execution_ns += runs[i].execution_ns;
+      replay_.push_back({effective_train[i], std::move(plans[i]),
+                         LatencyToTarget(runs[i].execution_ns)});
+    }
   }
 
   double best_holdout = 1e30;
@@ -130,15 +178,27 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
         break;  // early stopping on the fixed holdout
       }
     }
-    // On-policy collection: plan with the current network, execute, learn.
+    // On-policy collection: plan with the current network (the net is only
+    // updated in FitReplay, so the searches of one iteration are mutually
+    // independent), execute the batch, learn.
+    std::vector<optimizer::PhysicalPlan> plans;
+    plans.reserve(effective_train.size());
     for (const Query& q : effective_train) {
       SearchResult search = SearchPlan(q, db);
       report.nn_evals += search.evals;
-      const engine::QueryRun run = db->ExecutePlan(q, search.plan);
+      plans.push_back(std::move(search.plan));
+    }
+    std::vector<engine::PlanExec> batch;
+    batch.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      batch.push_back({&effective_train[i], &plans[i], 0});
+    }
+    const std::vector<engine::QueryRun> runs = execute_all(batch);
+    for (size_t i = 0; i < runs.size(); ++i) {
       ++report.plans_executed;
-      report.execution_ns += run.execution_ns;
-      replay_.push_back(
-          {q, std::move(search.plan), LatencyToTarget(run.execution_ns)});
+      report.execution_ns += runs[i].execution_ns;
+      replay_.push_back({effective_train[i], std::move(plans[i]),
+                         LatencyToTarget(runs[i].execution_ns)});
       if (static_cast<int64_t>(replay_.size()) > options_.replay_capacity) {
         replay_.erase(replay_.begin(),
                       replay_.begin() +

@@ -32,6 +32,11 @@ class NeoOptimizer : public LearnedOptimizer {
     double holdout_fraction = 0.0;
     int32_t patience = 2;
     uint64_t seed = 1;
+    /// Training-execution workers. 0 keeps the serial in-place path
+    /// (executions share the parent's cache state); >= 1 executes each
+    /// collection batch on isolated worker replicas with deterministic
+    /// replay — results are then independent of the worker count.
+    int32_t parallelism = 0;
   };
 
   NeoOptimizer();

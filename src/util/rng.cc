@@ -20,6 +20,16 @@ uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  // Hash-combine: advance a splitmix64 stream seeded by `a`, fold in `b`,
+  // and finalize. Asymmetric in (a, b), so swapped arguments give
+  // independent streams.
+  uint64_t state = a;
+  const uint64_t h = SplitMix64(&state);
+  state ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) word = SplitMix64(&sm);

@@ -62,6 +62,16 @@ class Rng {
   double spare_gaussian_ = 0.0;
 };
 
+/// Deterministically mixes two 64-bit words into one well-dispersed seed
+/// (splitmix64 finalizer over the concatenation). Used to derive independent
+/// per-query RNG streams from (global_seed, query_fingerprint[, salt])
+/// without coupling their draw counts — the stream-derivation rule of the
+/// parallel runner's determinism contract (docs/parallelism.md).
+uint64_t MixSeed(uint64_t a, uint64_t b);
+inline uint64_t MixSeed(uint64_t a, uint64_t b, uint64_t c) {
+  return MixSeed(MixSeed(a, b), c);
+}
+
 /// Precomputed cumulative table for repeated Zipf draws over a fixed domain.
 class ZipfTable {
  public:

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lqolab::util {
+
+ThreadPool::ThreadPool(int32_t threads) {
+  const int32_t count = std::max<int32_t>(1, threads);
+  threads_.reserve(static_cast<size_t>(count));
+  for (int32_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int32_t ThreadPool::DefaultParallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : static_cast<int32_t>(hw);
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int32_t, int64_t)>& fn) {
+  LQOLAB_CHECK_GE(n, 0);
+  if (n == 0) return;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LQOLAB_CHECK(job_ == nullptr);  // no concurrent/reentrant ParallelFor
+    next_item_.store(0, std::memory_order_relaxed);
+    job_ = &fn;
+    job_items_ = n;
+    workers_done_ = 0;
+    epoch = ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this, epoch] {
+    return job_epoch_ == epoch &&
+           workers_done_ == static_cast<int32_t>(threads_.size());
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int32_t worker_index) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int32_t, int64_t)>* job = nullptr;
+    int64_t items = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_epoch] {
+        return stop_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+      items = job_items_;
+    }
+    for (;;) {
+      const int64_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
+      if (item >= items) break;
+      (*job)(worker_index, item);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace lqolab::util

@@ -1,0 +1,63 @@
+#ifndef LQOLAB_UTIL_THREAD_POOL_H_
+#define LQOLAB_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lqolab::util {
+
+/// Fixed-size worker pool for data-parallel loops. Workers are created once
+/// and reused across ParallelFor calls; each call fans items out through a
+/// shared atomic counter (dynamic load balancing), so item-to-worker
+/// assignment is scheduling-dependent. Callers that need deterministic
+/// results must therefore make each item's outcome a pure function of the
+/// item itself — the contract benchkit::ParallelRunner builds on
+/// (docs/parallelism.md).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int32_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Signals shutdown and joins all workers.
+  ~ThreadPool();
+
+  int32_t size() const { return static_cast<int32_t>(threads_.size()); }
+
+  /// Runs fn(worker_index, item_index) exactly once for every item in
+  /// [0, n) and blocks until all items completed. `worker_index` is in
+  /// [0, size()): at most one item runs on a given worker index at a time,
+  /// so per-worker state needs no locking. Must not be called concurrently
+  /// or reentrantly.
+  void ParallelFor(int64_t n,
+                   const std::function<void(int32_t, int64_t)>& fn);
+
+  /// std::thread::hardware_concurrency() with a fallback of 4 when the
+  /// runtime cannot report it.
+  static int32_t DefaultParallelism();
+
+ private:
+  void WorkerLoop(int32_t worker_index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;   // ParallelFor waits for completion
+  const std::function<void(int32_t, int64_t)>* job_ = nullptr;  // guarded by mu_
+  int64_t job_items_ = 0;             // guarded by mu_
+  uint64_t job_epoch_ = 0;            // guarded by mu_; bumped per job
+  int32_t workers_done_ = 0;          // guarded by mu_
+  bool stop_ = false;                 // guarded by mu_
+  std::atomic<int64_t> next_item_{0};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_THREAD_POOL_H_

@@ -175,6 +175,23 @@ TEST_F(MeasurementTest, LqoMeasurementCarriesInferenceTime) {
   EXPECT_EQ(m.run_execution_ns.size(), 3u);
 }
 
+TEST_F(MeasurementTest, ProtocolValidationAborts) {
+  // Regression: Protocol{runs, take} used to accept a negative take and
+  // silently measure nothing. All three invariants are CHECKed at the
+  // shared run loop, so every measurement entry point trips them.
+  Protocol negative_take;
+  negative_take.take = -1;
+  EXPECT_DEATH(MeasureNative(db_, (*workload_)[0], negative_take), "take");
+  Protocol take_out_of_range;
+  take_out_of_range.runs = 3;
+  take_out_of_range.take = 3;
+  EXPECT_DEATH(MeasureNative(db_, (*workload_)[0], take_out_of_range),
+               "take");
+  Protocol no_runs;
+  no_runs.runs = 0;
+  EXPECT_DEATH(MeasureNative(db_, (*workload_)[0], no_runs), "runs");
+}
+
 TEST_F(MeasurementTest, Ci95FromExtraRuns) {
   Protocol protocol;
   protocol.runs = 6;

@@ -22,8 +22,10 @@ class DatagenTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     schema_ = new catalog::Schema(catalog::BuildImdbSchema());
-    tables_ = new std::vector<std::unique_ptr<storage::Table>>(
-        GenerateImdb(*schema_, ScaleProfile::Small(), 42));
+    tables_ = new std::vector<std::shared_ptr<storage::Table>>();
+    for (auto& t : GenerateImdb(*schema_, ScaleProfile::Small(), 42)) {
+      tables_->push_back(std::move(t));
+    }
   }
   static void TearDownTestSuite() {
     delete tables_;
@@ -37,11 +39,11 @@ class DatagenTest : public ::testing::Test {
   }
 
   static catalog::Schema* schema_;
-  static std::vector<std::unique_ptr<storage::Table>>* tables_;
+  static std::vector<std::shared_ptr<storage::Table>>* tables_;
 };
 
 catalog::Schema* DatagenTest::schema_ = nullptr;
-std::vector<std::unique_ptr<storage::Table>>* DatagenTest::tables_ = nullptr;
+std::vector<std::shared_ptr<storage::Table>>* DatagenTest::tables_ = nullptr;
 
 TEST_F(DatagenTest, RowCountsMatchProfile) {
   const ScaleProfile profile = ScaleProfile::Small();

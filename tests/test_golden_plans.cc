@@ -1,0 +1,100 @@
+// Golden-plan regression suite: snapshots the DP planner's join order,
+// operator choices and estimated cost for a spread of JOB-lite queries
+// against tests/golden/plans.txt. Any planner, estimator or datagen change
+// that shifts a plan shows up as a readable diff here.
+//
+// Regenerate the fixture after an INTENDED change with:
+//   ./build/tests/test_golden_plans --update-golden
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "query/job_workload.h"
+
+namespace lqolab {
+namespace {
+
+bool update_golden = false;
+
+std::string GoldenPath() { return std::string(LQOLAB_GOLDEN_DIR) + "/plans.txt"; }
+
+/// One line per query: "<id> | cost=<estimate> | <plan>". The plan string
+/// carries the full join order, join algorithms and access paths.
+std::vector<std::string> SnapshotLines() {
+  engine::Database::Options options;
+  options.profile = datagen::ScaleProfile::Small();
+  options.seed = 42;
+  const auto db = engine::Database::CreateImdb(options);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+
+  std::vector<std::string> lines;
+  // Every 5th query covers ~20 queries across the whole template range
+  // (2-relation lookups through the 17-relation monsters).
+  for (size_t i = 0; i < workload.size(); i += 5) {
+    const query::Query& q = workload[i];
+    const auto planned = db->PlanQuery(q);
+    char cost[64];
+    std::snprintf(cost, sizeof(cost), "%.4f", planned.estimated_cost);
+    lines.push_back(q.id + " | cost=" + cost + " | " +
+                    planned.plan.ToString(q));
+  }
+  return lines;
+}
+
+TEST(GoldenPlans, MatchesFixture) {
+  const std::vector<std::string> lines = SnapshotLines();
+  ASSERT_GE(lines.size(), 20u);
+
+  if (update_golden) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.is_open()) << GoldenPath();
+    out << "# DP planner snapshot: <query> | cost=<estimate> | <plan>\n";
+    out << "# Regenerate: ./build/tests/test_golden_plans --update-golden\n";
+    for (const std::string& line : lines) out << line << "\n";
+    std::printf("updated %s (%zu plans)\n", GoldenPath().c_str(),
+                lines.size());
+    return;
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.is_open())
+      << "missing " << GoldenPath()
+      << " — run ./build/tests/test_golden_plans --update-golden";
+  std::vector<std::string> golden;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') golden.push_back(line);
+  }
+
+  ASSERT_EQ(golden.size(), lines.size())
+      << "fixture has a different query count — regenerate with "
+         "--update-golden if the workload changed intentionally";
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(golden[i], lines[i])
+        << "plan changed for query " << i
+        << " — if intended, regenerate with --update-golden";
+  }
+}
+
+TEST(GoldenPlans, SnapshotIsDeterministic) {
+  EXPECT_EQ(SnapshotLines(), SnapshotLines());
+}
+
+}  // namespace
+}  // namespace lqolab
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      lqolab::update_golden = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

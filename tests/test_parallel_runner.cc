@@ -1,0 +1,267 @@
+// Tests for the parallel workload runner's determinism contract
+// (docs/parallelism.md): measurements are bit-identical for every worker
+// count and across repeated runs with the same seed, and the thread pool
+// dispatches every item exactly once.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchkit/parallel_runner.h"
+#include "engine/database.h"
+#include "engine/exec_batch.h"
+#include "lqo/bao.h"
+#include "query/job_workload.h"
+#include "util/thread_pool.h"
+
+namespace lqolab::benchkit {
+namespace {
+
+using engine::Database;
+using query::Query;
+
+TEST(ThreadPoolTest, ParallelForRunsEveryItemExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int32_t>> hits(257);
+  pool.ParallelFor(static_cast<int64_t>(hits.size()),
+                   [&](int32_t worker, int64_t item) {
+                     EXPECT_GE(worker, 0);
+                     EXPECT_LT(worker, 4);
+                     ++hits[static_cast<size_t>(item)];
+                   });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyJob) {
+  util::ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, [&](int32_t, int64_t) { sum += 1000; });
+  EXPECT_EQ(sum.load(), 0);
+  for (int round = 0; round < 3; ++round) {
+    pool.ParallelFor(10, [&](int32_t, int64_t item) { sum += item; });
+  }
+  EXPECT_EQ(sum.load(), 3 * 45);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(util::ThreadPool::DefaultParallelism(), 1);
+}
+
+class ParallelRunnerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Database::Options options;
+    options.profile = datagen::ScaleProfile::Small();
+    options.seed = 42;
+    db_ = Database::CreateImdb(options).release();
+    workload_ =
+        new std::vector<Query>(query::BuildJobLiteWorkload(db_->schema()));
+  }
+  static void TearDownTestSuite() {
+    delete workload_;
+    delete db_;
+    db_ = nullptr;
+    workload_ = nullptr;
+  }
+
+  static void ExpectSameMeasurements(
+      const std::vector<QueryMeasurement>& a,
+      const std::vector<QueryMeasurement>& b, const char* label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE(std::string(label) + " query " + a[i].query_id);
+      EXPECT_EQ(a[i].query_id, b[i].query_id);
+      EXPECT_EQ(a[i].joins, b[i].joins);
+      EXPECT_EQ(a[i].inference_ns, b[i].inference_ns);
+      EXPECT_EQ(a[i].planning_ns, b[i].planning_ns);
+      EXPECT_EQ(a[i].execution_ns, b[i].execution_ns);
+      EXPECT_EQ(a[i].timed_out, b[i].timed_out);
+      EXPECT_EQ(a[i].result_rows, b[i].result_rows);
+      EXPECT_EQ(a[i].run_execution_ns, b[i].run_execution_ns);
+      EXPECT_EQ(a[i].node_rows, b[i].node_rows);
+    }
+  }
+
+  static Database* db_;
+  static std::vector<Query>* workload_;
+};
+
+Database* ParallelRunnerTest::db_ = nullptr;
+std::vector<Query>* ParallelRunnerTest::workload_ = nullptr;
+
+TEST_F(ParallelRunnerTest, BitIdenticalAcrossWorkerCounts) {
+  std::vector<Query> queries(workload_->begin(), workload_->begin() + 16);
+  Protocol protocol;
+  RunnerOptions serial;
+  serial.parallelism = 1;
+  const WorkloadMeasurement baseline =
+      MeasureWorkload(db_, nullptr, queries, protocol, serial);
+  ASSERT_EQ(baseline.queries.size(), queries.size());
+  EXPECT_EQ(baseline.method, "pglite");
+  for (const int32_t parallelism : {2, 4, 7}) {
+    RunnerOptions options;
+    options.parallelism = parallelism;
+    const WorkloadMeasurement result =
+        MeasureWorkload(db_, nullptr, queries, protocol, options);
+    ExpectSameMeasurements(baseline.queries, result.queries,
+                           parallelism == 2   ? "N=2"
+                           : parallelism == 4 ? "N=4"
+                                              : "N=7");
+  }
+}
+
+TEST_F(ParallelRunnerTest, RepeatedRunsWithSameSeedMatch) {
+  std::vector<Query> queries(workload_->begin(), workload_->begin() + 8);
+  Protocol protocol;
+  RunnerOptions options;
+  options.parallelism = 3;
+  options.seed = 7;
+  const auto first = MeasureWorkload(db_, nullptr, queries, protocol, options);
+  const auto second = MeasureWorkload(db_, nullptr, queries, protocol, options);
+  ExpectSameMeasurements(first.queries, second.queries, "repeat");
+}
+
+TEST_F(ParallelRunnerTest, SeedChangesExecutionNoise) {
+  std::vector<Query> queries(workload_->begin(), workload_->begin() + 4);
+  Protocol protocol;
+  RunnerOptions a;
+  a.parallelism = 2;
+  a.seed = 1;
+  RunnerOptions b = a;
+  b.seed = 2;
+  const auto first = MeasureWorkload(db_, nullptr, queries, protocol, a);
+  const auto second = MeasureWorkload(db_, nullptr, queries, protocol, b);
+  // The modeled latency noise derives from the seed; at least one run of
+  // one query must differ between two different seeds.
+  bool any_difference = false;
+  for (size_t i = 0; i < first.queries.size(); ++i) {
+    any_difference |=
+        first.queries[i].run_execution_ns != second.queries[i].run_execution_ns;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(ParallelRunnerTest, LqoPathBitIdenticalAcrossWorkerCounts) {
+  std::vector<Query> train(workload_->begin(), workload_->begin() + 6);
+  std::vector<Query> test(workload_->begin() + 6, workload_->begin() + 14);
+  lqo::BaoOptimizer::Options bao_options;
+  bao_options.epochs = 1;
+  bao_options.train_epochs = 2;
+  lqo::BaoOptimizer bao(bao_options);
+  bao.Train(train, db_);
+  Protocol protocol;
+  std::vector<WorkloadMeasurement> results;
+  for (const int32_t parallelism : {1, 4}) {
+    RunnerOptions options;
+    options.parallelism = parallelism;
+    results.push_back(MeasureWorkload(db_, &bao, test, protocol, options));
+    EXPECT_EQ(results.back().method, "bao");
+  }
+  ExpectSameMeasurements(results[0].queries, results[1].queries, "bao 1 vs 4");
+  // Bao reports its per-hint-set plannings inside planning time.
+  for (const auto& m : results[0].queries) EXPECT_GT(m.planning_ns, 0);
+}
+
+// Stress case: many more items than workers, so every worker replica is
+// reused for many queries in scheduler-determined order. Run under
+// -DLQOLAB_SANITIZE=thread this doubles as the data-race check.
+TEST_F(ParallelRunnerTest, StressManyQueriesFewWorkers) {
+  std::vector<Query> queries;
+  for (int round = 0; round < 4; ++round) {
+    queries.insert(queries.end(), workload_->begin(), workload_->begin() + 12);
+  }
+  Protocol protocol;
+  protocol.runs = 2;
+  protocol.take = 1;
+  RunnerOptions serial;
+  serial.parallelism = 1;
+  RunnerOptions wide;
+  wide.parallelism = 3;
+  const auto a = MeasureWorkload(db_, nullptr, queries, protocol, serial);
+  const auto b = MeasureWorkload(db_, nullptr, queries, protocol, wide);
+  ExpectSameMeasurements(a.queries, b.queries, "stress");
+  // Repeated copies of a query replay the same canonical state, so the
+  // duplicate measurements must match each other too.
+  ExpectSameMeasurements(
+      std::vector<QueryMeasurement>(b.queries.begin(), b.queries.begin() + 12),
+      std::vector<QueryMeasurement>(b.queries.begin() + 12,
+                                    b.queries.begin() + 24),
+      "stress duplicate rounds");
+}
+
+TEST_F(ParallelRunnerTest, RunnerReuseAcrossWorkloads) {
+  std::vector<Query> queries(workload_->begin(), workload_->begin() + 6);
+  Protocol protocol;
+  RunnerOptions options;
+  options.parallelism = 2;
+  ParallelRunner runner(db_, options);
+  EXPECT_EQ(runner.parallelism(), 2);
+  EXPECT_EQ(runner.parent(), db_);
+  const auto first = MeasureWorkload(&runner, nullptr, queries, protocol);
+  const auto second = MeasureWorkload(&runner, nullptr, queries, protocol);
+  ExpectSameMeasurements(first.queries, second.queries, "runner reuse");
+}
+
+TEST_F(ParallelRunnerTest, CloneSharesStorageAndPlansIdentically) {
+  const auto replica = db_->CloneContextForWorker();
+  // Tables and indexes are shared, not copied.
+  EXPECT_EQ(replica->context().tables[0].get(), db_->context().tables[0].get());
+  const Query& q = (*workload_)[10];
+  const auto a = db_->PlanQuery(q);
+  const auto b = replica->PlanQuery(q);
+  EXPECT_EQ(a.planning_ns, b.planning_ns);
+  EXPECT_DOUBLE_EQ(a.estimated_cost, b.estimated_cost);
+  EXPECT_EQ(a.plan.ToString(q), b.plan.ToString(q));
+}
+
+TEST_F(ParallelRunnerTest, TrainingBatchesDeterministicAcrossWorkerCounts) {
+  std::vector<Query> train(workload_->begin(), workload_->begin() + 6);
+  std::vector<Query> test(workload_->begin() + 6, workload_->begin() + 10);
+  // Two Bao instances trained with the replay batch path at different
+  // worker counts must land on identical models (same measurements on the
+  // same test set) — the training trajectory may not depend on scheduling.
+  std::vector<WorkloadMeasurement> results;
+  for (const int32_t parallelism : {1, 3}) {
+    lqo::BaoOptimizer::Options options;
+    options.epochs = 2;
+    options.train_epochs = 2;
+    options.parallelism = parallelism;
+    lqo::BaoOptimizer bao(options);
+    bao.Train(train, db_);
+    Protocol protocol;
+    RunnerOptions measure;
+    measure.parallelism = 1;
+    results.push_back(MeasureWorkload(db_, &bao, test, protocol, measure));
+  }
+  ExpectSameMeasurements(results[0].queries, results[1].queries,
+                         "bao trained at 1 vs 3 workers");
+}
+
+TEST_F(ParallelRunnerTest, BatchExecutorReplaysWarmupTrajectory) {
+  const Query& q = (*workload_)[0];
+  const auto planned = db_->PlanQuery(q);
+  engine::BatchExecutor batch(db_, 42, 2);
+  std::vector<engine::PlanExec> tasks(3);
+  for (auto& task : tasks) {
+    task.query = &q;
+    task.plan = &planned.plan;
+  }
+  // One batch with three executions of the same query: run_index 0, 1, 2.
+  const auto runs = batch.Execute(tasks);
+  ASSERT_EQ(runs.size(), 3u);
+  // First execution is cold, later ones warm: strictly cheaper.
+  EXPECT_GT(runs[0].execution_ns, runs[1].execution_ns);
+  // A second batch executor with the same seed replays the same trajectory.
+  engine::BatchExecutor replay(db_, 42, 5);
+  const auto again = replay.Execute(tasks);
+  ASSERT_EQ(again.size(), 3u);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].execution_ns, again[i].execution_ns) << i;
+    EXPECT_EQ(runs[i].result_rows, again[i].result_rows) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lqolab::benchkit

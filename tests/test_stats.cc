@@ -108,6 +108,83 @@ TEST(Analyze, EqSelectivityOutOfRangeIsZero) {
   EXPECT_EQ(cs.EqSelectivity(kNullValue), 0.0);
 }
 
+/// Builds a table whose value distribution is picked by `shape` (uniform,
+/// Zipf-skewed, Gaussian, or few-distinct with nulls) — the shapes the
+/// generated IMDB columns actually exhibit.
+void FillRandomTable(util::Rng* rng, int shape, storage::Table* table) {
+  const int64_t rows = rng->UniformInt(200, 2000);
+  for (int64_t i = 0; i < rows; ++i) {
+    Value v = 0;
+    switch (shape % 4) {
+      case 0: v = static_cast<Value>(rng->UniformInt(-50, 50)); break;
+      case 1: v = static_cast<Value>(rng->Zipf(100, 1.2)); break;
+      case 2: v = static_cast<Value>(rng->Gaussian(0.0, 300.0)); break;
+      default:
+        v = rng->Bernoulli(0.1) ? kNullValue
+                                : static_cast<Value>(rng->UniformInt(0, 5));
+        break;
+    }
+    table->AppendRow({0, v});
+  }
+}
+
+TEST(SelectivityProperty, RandomPredicatesStayWithinUnitInterval) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 16; ++trial) {
+    storage::Table table(0, SingleIntColumnDef());
+    FillRandomTable(&rng, trial, &table);
+    const ColumnStats cs = Analyze(table).columns[1];
+    for (int p = 0; p < 64; ++p) {
+      const Value a = static_cast<Value>(rng.UniformInt(-2000, 2000));
+      const Value b = static_cast<Value>(rng.UniformInt(-2000, 2000));
+      std::vector<Value> in_list = {a};
+      if (b != a) in_list.push_back(b);
+      for (const double sel :
+           {cs.EqSelectivity(a), cs.RangeSelectivity(std::min(a, b),
+                                                     std::max(a, b)),
+            cs.InSelectivity(in_list), cs.NullSelectivity(),
+            cs.NotNullSelectivity()}) {
+        EXPECT_GE(sel, 0.0) << "trial " << trial << " a=" << a << " b=" << b;
+        EXPECT_LE(sel, 1.0) << "trial " << trial << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(SelectivityProperty, RangeSelectivityMonotoneInWidth) {
+  util::Rng rng(321);
+  for (int trial = 0; trial < 12; ++trial) {
+    storage::Table table(0, SingleIntColumnDef());
+    FillRandomTable(&rng, trial, &table);
+    const ColumnStats cs = Analyze(table).columns[1];
+    // Widening the interval on the right can only pick up more rows.
+    const Value lo = static_cast<Value>(rng.UniformInt(-600, 100));
+    double previous = 0.0;
+    for (Value hi = lo; hi < lo + 1200; hi += rng.UniformInt(1, 30)) {
+      const double sel = cs.RangeSelectivity(lo, hi);
+      EXPECT_GE(sel, previous - 1e-12) << "trial " << trial << " [" << lo
+                                       << ", " << hi << "]";
+      previous = sel;
+    }
+    // And any nested interval estimates at most what its cover does.
+    for (int p = 0; p < 32; ++p) {
+      const Value outer_lo = static_cast<Value>(rng.UniformInt(-800, 0));
+      const Value outer_hi =
+          outer_lo + static_cast<Value>(rng.UniformInt(0, 1200));
+      const Value inner_lo =
+          outer_lo + static_cast<Value>(
+                         rng.UniformInt(0, outer_hi - outer_lo));
+      const Value inner_hi =
+          inner_lo + static_cast<Value>(
+                         rng.UniformInt(0, outer_hi - inner_lo));
+      EXPECT_LE(cs.RangeSelectivity(inner_lo, inner_hi),
+                cs.RangeSelectivity(outer_lo, outer_hi) + 1e-12)
+          << "trial " << trial << " [" << inner_lo << ", " << inner_hi
+          << "] in [" << outer_lo << ", " << outer_hi << "]";
+    }
+  }
+}
+
 /// Estimator tests run against a small generated database.
 class EstimatorTest : public ::testing::Test {
  protected:
