@@ -15,6 +15,8 @@
 
 #include "benchkit/parallel_runner.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/job_workload.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -50,6 +52,58 @@ inline benchkit::RunnerOptions MeasureOptions() {
   options.seed = kSeed;
   return options;
 }
+
+/// Parses `--trace <path>` / `--trace=<path>` from the binary's argv.
+/// Returns the path, or "" when tracing was not requested.
+inline std::string TraceFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--trace=", 0) == 0) return arg.substr(8);
+  }
+  return "";
+}
+
+/// Structured-trace sink for a bench driver: a JSONL TraceWriter plus a
+/// MetricsRegistry collecting on the main thread (the parallel runners
+/// merge worker counters into it). Inactive — and metrics stay disabled,
+/// costing nothing — when no --trace path was given.
+class BenchTrace {
+ public:
+  BenchTrace(int argc, char** argv) : path_(TraceFlag(argc, argv)) {
+    if (path_.empty()) return;
+    writer_ = std::make_unique<obs::TraceWriter>(path_);
+    if (!writer_->ok()) {
+      std::fprintf(stderr, "cannot open trace file %s\n", path_.c_str());
+      std::exit(1);
+    }
+    scope_ = std::make_unique<obs::MetricsScope>(&metrics_);
+  }
+
+  bool enabled() const { return writer_ != nullptr; }
+  obs::TraceWriter* writer() { return writer_.get(); }
+
+  /// Appends one workload's records when tracing is enabled.
+  void Write(const benchkit::WorkloadMeasurement& workload) {
+    if (enabled()) benchkit::WriteWorkloadTrace(workload, writer_.get());
+  }
+
+  /// Appends the aggregated engine metrics and reports where the trace
+  /// went. Call once at the end of main.
+  void Finish() {
+    if (!enabled()) return;
+    obs::WriteMetricsTrace(metrics_, writer_.get());
+    std::printf("\ntrace: %lld records -> %s\n",
+                static_cast<long long>(writer_->records_written()),
+                path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<obs::TraceWriter> writer_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::MetricsScope> scope_;
+};
 
 /// Training worker count for the LQO Options::parallelism knob: at least 1
 /// so benches always use the deterministic replay path.

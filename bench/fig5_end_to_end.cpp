@@ -6,6 +6,9 @@
 // competitive, Neo/Balsa behind, and LEON dominated by inference time.
 //
 // Environment knobs: LQOLAB_SCALE (default 0.25), LQOLAB_SPLITS (default 9).
+// Flags: --trace <path> writes a JSONL trace (workload/query/episode/train
+// records per measurement plus a final engine-metrics record; schema in
+// docs/observability.md).
 
 #include <memory>
 
@@ -64,11 +67,12 @@ std::unique_ptr<lqo::LearnedOptimizer> MakeMethod(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Figure 5", "paper §8.2.1",
       "End-to-end performance of pglite vs Neo/Bao/Balsa/LEON on the test "
       "sets of 9 shared train/test splits.");
+  bench::BenchTrace trace(argc, argv);
 
   auto db = bench::MakeDatabase(0.25);
   const auto workload = query::BuildJobLiteWorkload(db->schema());
@@ -102,10 +106,13 @@ int main() {
                                            bench::MeasureOptions());
       } else {
         auto lqo = MakeMethod(method, bench::kSeed);
-        lqo->Train(train, db.get());
+        lqo::TrainReport report = lqo->Train(train, db.get());
         result = benchkit::MeasureWorkload(db.get(), lqo.get(), test, protocol,
                                            bench::MeasureOptions());
+        result.train_report = std::move(report);
       }
+      result.split = split.name;
+      trace.Write(result);
       table.AddRow(
           {split.name, method,
            util::FormatDuration(result.total_inference_ns()),
@@ -142,5 +149,6 @@ int main() {
       "\npaper shape: pglite best end-to-end on most splits; Bao competitive "
       "(sometimes better on execution alone, never after planning); "
       "Neo/Balsa behind; LEON's inference time dominates everything.\n");
+  trace.Finish();
   return 0;
 }

@@ -4,6 +4,8 @@
 // results, explained by how many plans each method executes or estimates.
 //
 // One split per sampler is trained here (the full grid lives in fig5).
+// Flags: --trace <path> writes a JSONL trace with per-episode training
+// telemetry (loss, plans executed, time share) per method and split.
 
 #include <memory>
 
@@ -15,12 +17,13 @@
 #include "lqo/leon.h"
 #include "lqo/neo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqolab;
   bench::PrintHeader(
       "Figure 6", "paper §8.2.2",
       "End-to-end training time vs combined test-workload runtime; one dot "
       "per (method, split).");
+  bench::BenchTrace trace(argc, argv);
 
   auto db = bench::MakeDatabase(0.25);
   const auto workload = query::BuildJobLiteWorkload(db->schema());
@@ -45,8 +48,10 @@ int main() {
     const auto train = benchkit::SelectQueries(workload, split.train_indices);
     const auto test = benchkit::SelectQueries(workload, split.test_indices);
 
-    const auto pg = benchkit::MeasureWorkload(db.get(), nullptr, test,
-                                              protocol, bench::MeasureOptions());
+    auto pg = benchkit::MeasureWorkload(db.get(), nullptr, test,
+                                        protocol, bench::MeasureOptions());
+    pg.split = split.name;
+    trace.Write(pg);
     table.AddRow({"pglite", split.name, "0 (no training)", "0", "0",
                   util::FormatDuration(pg.total_end_to_end_ns())});
 
@@ -80,8 +85,11 @@ int main() {
     }
     for (auto& method : methods) {
       const lqo::TrainReport report = method->Train(train, db.get());
-      const auto result = benchkit::MeasureWorkload(
+      auto result = benchkit::MeasureWorkload(
           db.get(), method.get(), test, protocol, bench::MeasureOptions());
+      result.split = split.name;
+      result.train_report = report;
+      trace.Write(result);
       table.AddRow({method->name(), split.name,
                     util::FormatDuration(report.training_time_ns),
                     std::to_string(report.plans_executed),
@@ -112,5 +120,6 @@ int main() {
                           totals["balsa"].train < totals["leon"].train;
   std::printf("\nmore training time => not better results%s\n",
               reproduced ? " [ordering REPRODUCED]" : " [ordering differs]");
+  trace.Finish();
   return 0;
 }

@@ -117,6 +117,72 @@ int32_t WorkloadMeasurement::timeout_count() const {
   return count;
 }
 
+void WriteWorkloadTrace(const WorkloadMeasurement& workload,
+                        obs::TraceWriter* trace) {
+  {
+    obs::JsonObject record;
+    record.Set("type", "workload");
+    record.Set("method", workload.method);
+    record.Set("split", workload.split);
+    record.Set("queries", static_cast<int64_t>(workload.queries.size()));
+    record.Set("total_inference_ns", workload.total_inference_ns());
+    record.Set("total_planning_ns", workload.total_planning_ns());
+    record.Set("total_execution_ns", workload.total_execution_ns());
+    record.Set("total_end_to_end_ns", workload.total_end_to_end_ns());
+    record.Set("timeouts", static_cast<int64_t>(workload.timeout_count()));
+    trace->Write(record);
+  }
+  for (const QueryMeasurement& q : workload.queries) {
+    obs::JsonObject record;
+    record.Set("type", "query");
+    record.Set("method", workload.method);
+    record.Set("query", q.query_id);
+    record.Set("joins", q.joins);
+    record.Set("inference_ns", q.inference_ns);
+    record.Set("planning_ns", q.planning_ns);
+    record.Set("execution_ns", q.execution_ns);
+    record.Set("end_to_end_ns", q.end_to_end_ns());
+    record.Set("timed_out", q.timed_out);
+    record.Set("result_rows", q.result_rows);
+    std::string runs = "[";
+    for (size_t r = 0; r < q.run_execution_ns.size(); ++r) {
+      if (r > 0) runs += ",";
+      runs += std::to_string(q.run_execution_ns[r]);
+    }
+    runs += "]";
+    record.SetRaw("run_execution_ns", runs);
+    trace->Write(record);
+  }
+  const lqo::TrainReport& train = workload.train_report;
+  for (const lqo::EpisodeStats& e : train.episodes) {
+    obs::JsonObject record;
+    record.Set("type", "episode");
+    record.Set("method", workload.method);
+    record.Set("episode", e.episode);
+    record.Set("loss", e.loss);
+    record.Set("plans_executed", e.plans_executed);
+    record.Set("execution_ns", e.execution_ns);
+    record.Set("nn_updates", e.nn_updates);
+    record.Set("nn_evals", e.nn_evals);
+    record.Set("training_time_ns", e.training_time_ns);
+    trace->Write(record);
+  }
+  if (train.training_time_ns > 0 || train.plans_executed > 0 ||
+      train.nn_updates > 0) {
+    obs::JsonObject record;
+    record.Set("type", "train");
+    record.Set("method", workload.method);
+    record.Set("training_time_ns", train.training_time_ns);
+    record.Set("plans_executed", train.plans_executed);
+    record.Set("nn_updates", train.nn_updates);
+    record.Set("nn_evals", train.nn_evals);
+    record.Set("planner_calls", train.planner_calls);
+    record.Set("execution_ns", train.execution_ns);
+    record.Set("episodes", static_cast<int64_t>(train.episodes.size()));
+    trace->Write(record);
+  }
+}
+
 double WorkloadMeasurement::execution_ci95_ns() const {
   if (queries.empty()) return 0.0;
   // Totals per run index, over post-warm-up runs (>= take index).

@@ -6,6 +6,7 @@
 
 #include "engine/database.h"
 #include "lqo/interface.h"
+#include "obs/trace.h"
 #include "query/query.h"
 #include "util/virtual_clock.h"
 
@@ -75,6 +76,13 @@ WorkloadMeasurement MeasureWorkloadLqo(engine::Database* db,
                                        lqo::LearnedOptimizer* lqo,
                                        const std::vector<query::Query>& qs,
                                        const Protocol& protocol);
+
+/// Appends a measured workload to a JSONL trace: one "workload" summary
+/// record, one "query" record per measured query, then one "episode" record
+/// per training episode and a "train" summary when the workload carries a
+/// TrainReport. Schema reference in docs/observability.md.
+void WriteWorkloadTrace(const WorkloadMeasurement& workload,
+                        obs::TraceWriter* trace);
 
 namespace internal {
 /// The shared run loop of the protocol: validates `protocol`, executes

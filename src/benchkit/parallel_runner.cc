@@ -1,8 +1,10 @@
 #include "benchkit/parallel_runner.h"
 
 #include <utility>
+#include <vector>
 
 #include "exec/cost_constants.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::benchkit {
@@ -27,9 +29,26 @@ ParallelRunner::~ParallelRunner() = default;
 
 void ParallelRunner::ForEachQuery(
     int64_t n, const std::function<void(Database*, int64_t)>& fn) {
-  pool_.ParallelFor(n, [this, &fn](int32_t worker, int64_t item) {
+  // Worker threads have their own thread-local registry slot (empty by
+  // default), so metrics recorded inside the pool would be lost. When the
+  // calling thread has a registry installed, give each worker a private
+  // one and merge them afterwards: counters are sums and every item runs
+  // exactly once, so the totals equal a serial run's regardless of how
+  // items were scheduled across workers.
+  obs::MetricsRegistry* parent_metrics = obs::MetricsRegistry::Current();
+  std::vector<obs::MetricsRegistry> worker_metrics(
+      parent_metrics != nullptr ? static_cast<size_t>(pool_.size()) : 0);
+  pool_.ParallelFor(n, [this, &fn, &worker_metrics](int32_t worker,
+                                                    int64_t item) {
+    obs::MetricsScope scope(
+        worker_metrics.empty()
+            ? nullptr
+            : &worker_metrics[static_cast<size_t>(worker)]);
     fn(replicas_[static_cast<size_t>(worker)].get(), item);
   });
+  for (const obs::MetricsRegistry& m : worker_metrics) {
+    parent_metrics->MergeFrom(m);
+  }
 }
 
 WorkloadMeasurement MeasureWorkload(Database* db, lqo::LearnedOptimizer* lqo,

@@ -7,6 +7,8 @@
 
 #include "catalog/imdb_schema.h"
 #include "exec/cost_constants.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/table_printer.h"
 
@@ -150,6 +152,7 @@ Database::Planned Database::PlanQuery(const query::Query& q) {
   planning += (1.0 - cached) * static_cast<double>(result.planner_steps) *
               cost::kPlanColdProbeNs;
   planned.planning_ns = static_cast<VirtualNanos>(planning);
+  obs::Observe(obs::Histogram::kPlanningLatencyNs, planned.planning_ns);
   return planned;
 }
 
@@ -180,6 +183,10 @@ QueryRun Database::ExecutePlan(const query::Query& q,
   run.result_rows = result.result_rows;
   run.pages_accessed = result.pages_accessed;
   run.node_rows = result.node_rows;
+  run.node_stats = result.node_stats;
+  obs::Count(obs::Counter::kExecPlansExecuted);
+  if (run.timed_out) obs::Count(obs::Counter::kExecTimeouts);
+  obs::Observe(obs::Histogram::kExecutionLatencyNs, run.execution_ns);
   return run;
 }
 
@@ -213,38 +220,43 @@ void Database::SetWarmupStage(const query::Query& q, int64_t run_index) {
   run_counts_[exec::QueryFingerprint(q)] = run_index;
 }
 
+namespace {
+
+obs::ExplainInput BuildExplainInput(const query::Query& q,
+                                    const catalog::Schema& schema,
+                                    const optimizer::Planner& planner,
+                                    const Database::Planned& planned,
+                                    const QueryRun& run) {
+  obs::ExplainInput in;
+  in.query = &q;
+  in.schema = &schema;
+  in.plan = &planned.plan;
+  in.estimated_rows.reserve(planned.plan.nodes.size());
+  for (const optimizer::PlanNode& node : planned.plan.nodes) {
+    in.estimated_rows.push_back(
+        planner.estimator().EstimateJoinRows(q, node.mask));
+  }
+  in.node_stats = run.node_stats;
+  in.planning_ns = run.planning_ns;
+  in.execution_ns = run.execution_ns;
+  in.timed_out = run.timed_out;
+  return in;
+}
+
+}  // namespace
+
 std::string Database::ExplainAnalyze(const query::Query& q) {
   const Planned planned = PlanQuery(q);
   const QueryRun run = ExecutePlan(q, planned.plan, planned.planning_ns);
+  return obs::ExplainAnalyzeText(
+      BuildExplainInput(q, schema_, *planner_, planned, run));
+}
 
-  std::ostringstream os;
-  os << "EXPLAIN ANALYZE " << q.id << "\n";
-  // Render the tree with estimated and actual rows per node.
-  std::function<void(int32_t, int)> render = [&](int32_t i, int depth) {
-    const optimizer::PlanNode& node = planned.plan.node(i);
-    const double est = planner_->estimator().EstimateJoinRows(q, node.mask);
-    const exec::Oracle::CardResult actual = oracle_->TrueJoinRows(q, node.mask);
-    os << std::string(static_cast<size_t>(depth) * 2, ' ') << "-> ";
-    if (node.type == optimizer::PlanNode::Type::kScan) {
-      const auto& rel = q.relations[static_cast<size_t>(node.alias)];
-      os << optimizer::ScanTypeName(node.scan_type) << " on "
-         << schema_.table(rel.table).name << " " << rel.alias;
-    } else {
-      os << optimizer::JoinAlgoName(node.algo);
-    }
-    os << "  (rows est=" << static_cast<int64_t>(est)
-       << " actual=" << (actual.overflow ? -1 : actual.rows) << ")\n";
-    if (node.type == optimizer::PlanNode::Type::kJoin) {
-      render(node.left, depth + 1);
-      render(node.right, depth + 1);
-    }
-  };
-  render(planned.plan.root, 0);
-  os << "Planning Time: " << util::FormatDuration(run.planning_ns) << "\n";
-  os << "Execution Time: " << util::FormatDuration(run.execution_ns);
-  if (run.timed_out) os << " (TIMED OUT)";
-  os << "\n";
-  return os.str();
+std::string Database::ExplainAnalyzeJson(const query::Query& q) {
+  const Planned planned = PlanQuery(q);
+  const QueryRun run = ExecutePlan(q, planned.plan, planned.planning_ns);
+  return obs::ExplainAnalyzeJson(
+      BuildExplainInput(q, schema_, *planner_, planned, run));
 }
 
 }  // namespace lqolab::engine

@@ -35,6 +35,9 @@ struct QueryRun {
   /// True output rows per plan node (parallel to the plan's node array;
   /// -1 where the oracle count overflowed).
   std::vector<int64_t> node_rows;
+  /// Full per-node statistics (rows, loops, self time, buffer tiers);
+  /// same order as node_rows. Input to obs::ExplainAnalyzeText/Json.
+  std::vector<exec::PlanNodeStats> node_stats;
 
   util::VirtualNanos total_ns() const { return planning_ns + execution_ns; }
 };
@@ -105,9 +108,16 @@ class Database {
   /// Plans and executes.
   QueryRun Run(const query::Query& q);
 
-  /// EXPLAIN ANALYZE: plans, executes, and renders the plan tree with
-  /// estimated and actual cardinalities and the time breakdown.
+  /// EXPLAIN ANALYZE: plans, executes, and renders the plan tree
+  /// PostgreSQL-style — per node estimated vs actual rows, loops, virtual
+  /// time and buffer-tier breakdown, then the planning/execution summary
+  /// (see docs/observability.md for a worked example). Execution has the
+  /// usual cache side effects.
   std::string ExplainAnalyze(const query::Query& q);
+
+  /// Same measurement as ExplainAnalyze, rendered as one line of JSON
+  /// (nested "children" arrays mirror the plan tree).
+  std::string ExplainAnalyzeJson(const query::Query& q);
 
   /// Total database size in heap pages.
   int64_t TotalPages() const;

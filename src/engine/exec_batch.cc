@@ -1,6 +1,7 @@
 #include "engine/exec_batch.h"
 
 #include "exec/oracle.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::engine {
@@ -28,8 +29,18 @@ std::vector<QueryRun> BatchExecutor::Execute(
     run_index[i] = exec_counts_[exec::QueryFingerprint(*batch[i].query)]++;
   }
   std::vector<QueryRun> runs(batch.size());
+  // Same per-worker-registry merge as ParallelRunner::ForEachQuery: worker
+  // threads collect into private registries, summed into the caller's
+  // afterwards so totals match a serial execution of the batch.
+  obs::MetricsRegistry* parent_metrics = obs::MetricsRegistry::Current();
+  std::vector<obs::MetricsRegistry> worker_metrics(
+      parent_metrics != nullptr ? static_cast<size_t>(pool_.size()) : 0);
   pool_.ParallelFor(
       static_cast<int64_t>(batch.size()), [&](int32_t worker, int64_t i) {
+        obs::MetricsScope scope(
+            worker_metrics.empty()
+                ? nullptr
+                : &worker_metrics[static_cast<size_t>(worker)]);
         Database* db = replicas_[static_cast<size_t>(worker)].get();
         const PlanExec& task = batch[static_cast<size_t>(i)];
         const int64_t stage = run_index[static_cast<size_t>(i)];
@@ -39,6 +50,9 @@ std::vector<QueryRun> BatchExecutor::Execute(
         runs[static_cast<size_t>(i)] =
             db->ExecutePlan(*task.query, *task.plan, 0, task.timeout_ns);
       });
+  for (const obs::MetricsRegistry& m : worker_metrics) {
+    parent_metrics->MergeFrom(m);
+  }
   return runs;
 }
 

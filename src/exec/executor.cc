@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/cost_constants.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::exec {
@@ -57,6 +58,7 @@ Executor::Executor(DbContext* ctx, Oracle* oracle)
 
 VirtualNanos Executor::ChargePage(uint64_t key, bool sequential) {
   ++pages_accessed_;
+  obs::Count(obs::Counter::kExecPagesAccessed);
   const AccessTier tier = ctx_->buffer_pool->Access(key);
   return TierCost(tier, sequential);
 }
@@ -337,6 +339,7 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
   LQOLAB_CHECK(!plan.empty());
   ExecutionResult result;
   result.node_rows.assign(plan.nodes.size(), 0);
+  result.node_stats.assign(plan.nodes.size(), PlanNodeStats{});
   pages_accessed_ = 0;
 
   double total = static_cast<double>(cost::kExecStartupNs);
@@ -354,25 +357,45 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
     }
   }
 
+  const storage::BufferPool& pool = *ctx_->buffer_pool;
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     const PlanNode& node = plan.nodes[i];
+    PlanNodeStats& stats = result.node_stats[i];
+    const int64_t shared_before = pool.shared_hits();
+    const int64_t os_before = pool.os_hits();
+    const int64_t disk_before = pool.disk_reads();
     bool node_overflow = false;
     VirtualNanos node_cost = 0;
     if (node.type == PlanNode::Type::kScan) {
       const Oracle::CardResult rows = oracle_->TrueJoinRows(q, node.mask);
       result.node_rows[i] = rows.rows;
+      stats.actual_rows = rows.rows;
       if (!skip[i]) {
         node_cost = ScanCost(q, node, &node_overflow);
       }
     } else {
       const Oracle::CardResult rows = oracle_->TrueJoinRows(q, node.mask);
       result.node_rows[i] = rows.overflow ? -1 : rows.rows;
+      stats.actual_rows = result.node_rows[i];
       node_cost = JoinCost(q, plan, node, &node_overflow);
+      if (node.algo == JoinAlgo::kIndexNlj && !node_overflow) {
+        // The probed inner scan restarts once per outer row (memoized
+        // oracle lookup — JoinCost already requested this cardinality).
+        const Oracle::CardResult outer =
+            oracle_->TrueJoinRows(q, plan.node(node.left).mask);
+        result.node_stats[static_cast<size_t>(node.right)].loops =
+            outer.overflow ? -1 : std::max<int64_t>(1, outer.rows);
+      }
     }
+    stats.shared_hits = pool.shared_hits() - shared_before;
+    stats.os_hits = pool.os_hits() - os_before;
+    stats.disk_reads = pool.disk_reads() - disk_before;
     if (node_overflow) {
       overflow = true;
       break;
     }
+    stats.self_time_ns =
+        SaturatingNanos(static_cast<double>(node_cost) * time_multiplier);
     total += static_cast<double>(node_cost);
     if (total * time_multiplier >= static_cast<double>(timeout_ns)) break;
   }

@@ -11,6 +11,27 @@
 
 namespace lqolab::exec {
 
+/// Per-operator runtime statistics of one execution (parallel to
+/// plan.nodes). Pure observation: collecting these never charges virtual
+/// time or mutates cache state, so executions replay bit-identically
+/// whether or not anyone reads them. Rendered by obs/explain.h as
+/// EXPLAIN ANALYZE.
+struct PlanNodeStats {
+  /// True output rows (-1 where the oracle count overflowed).
+  int64_t actual_rows = 0;
+  /// Times the operator was (re)started: 1 everywhere except the probed
+  /// inner scan of an index nested-loop join (one probe per outer row).
+  int64_t loops = 1;
+  /// Virtual time charged by this node alone (children excluded), after
+  /// warm-up/noise scaling. Index-NLJ inner probes are charged to the
+  /// join. Zero for nodes skipped by a timeout or overflow.
+  util::VirtualNanos self_time_ns = 0;
+  /// Buffer-cache tier breakdown of this node's page accesses.
+  int64_t shared_hits = 0;
+  int64_t os_hits = 0;
+  int64_t disk_reads = 0;
+};
+
 /// Outcome of one (simulated) plan execution.
 struct ExecutionResult {
   /// Simulated execution latency. Equals the timeout when `timed_out`.
@@ -24,6 +45,9 @@ struct ExecutionResult {
   /// Per plan node: true output rows (parallel to plan.nodes; join nodes
   /// whose subset overflowed report -1).
   std::vector<int64_t> node_rows;
+  /// Per plan node: rows/loops/time/buffer breakdown (parallel to
+  /// plan.nodes; node_rows is kept as the compact legacy view).
+  std::vector<PlanNodeStats> node_stats;
 };
 
 /// Virtual-time executor. Walks a physical plan bottom-up, obtains every

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "exec/cost_constants.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::exec {
@@ -130,6 +131,7 @@ const std::vector<query::BoundPredicate>& Oracle::BoundPredicates(
 Oracle::CardResult Oracle::TrueJoinRows(const Query& q, AliasMask mask) {
   LQOLAB_CHECK_MSG(q.IsConnected(mask),
                    "oracle asked for disconnected subset in " << q.id);
+  obs::Count(obs::Counter::kOracleCardinalityCalls);
   QueryMemo& memo = Memo(q);
   auto it = memo.cards.find(mask);
   if (it != memo.cards.end()) return it->second;

@@ -6,6 +6,7 @@
 #include "engine/exec_batch.h"
 #include "exec/oracle.h"
 #include "lqo/plan_search.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::lqo {
@@ -33,10 +34,12 @@ void BalsaOptimizer::EnsureModel(Database* db) {
   rng_state_ = options_.seed ^ 0xb5297a4dULL;
 }
 
-void BalsaOptimizer::Fit(const std::vector<Sample>& samples, int32_t epochs,
-                         TrainReport* report) {
+double BalsaOptimizer::Fit(const std::vector<Sample>& samples, int32_t epochs,
+                           TrainReport* report) {
   std::vector<size_t> order(samples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double loss_sum = 0.0;
+  int64_t updates = 0;
   for (int32_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t i = order.size(); i > 1; --i) {
       rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -45,11 +48,14 @@ void BalsaOptimizer::Fit(const std::vector<Sample>& samples, int32_t epochs,
     for (size_t idx : order) {
       const Sample& sample = samples[idx];
       const std::vector<float> qenc = query_encoder_->Encode(sample.query);
-      net_->TrainRegression(qenc, sample.query, sample.plan, *plan_encoder_,
-                            sample.target, adam_.get());
+      loss_sum +=
+          net_->TrainRegression(qenc, sample.query, sample.plan,
+                                *plan_encoder_, sample.target, adam_.get());
       ++report->nn_updates;
+      ++updates;
     }
   }
+  return updates > 0 ? loss_sum / static_cast<double>(updates) : 0.0;
 }
 
 SearchResult BalsaOptimizer::SearchPlan(const Query& q, Database* db,
@@ -75,6 +81,26 @@ TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
   EnsureModel(db);
   TrainReport report;
 
+  // Episode telemetry: the cost-model pretrain is episode 0, each
+  // fine-tuning iteration is one episode after it.
+  auto record_episode = [&report](int32_t episode, double loss,
+                                  const TrainReport& before) {
+    EpisodeStats stats;
+    stats.episode = episode;
+    stats.loss = loss;
+    stats.plans_executed = report.plans_executed - before.plans_executed;
+    stats.execution_ns = report.execution_ns - before.execution_ns;
+    stats.nn_updates = report.nn_updates - before.nn_updates;
+    stats.nn_evals = report.nn_evals - before.nn_evals;
+    stats.training_time_ns =
+        stats.execution_ns +
+        stats.plans_executed * timing::kTrainPlanOverheadNs +
+        stats.nn_updates * timing::kNnUpdateNs +
+        stats.nn_evals * timing::kNnEvalNs;
+    report.episodes.push_back(stats);
+    obs::Count(obs::Counter::kTrainEpisodes);
+  };
+
   // --- Phase 1: pretrain on the cost model (no execution, no expertise).
   std::vector<Sample> pretrain;
   for (const Query& q : train_set) {
@@ -89,7 +115,11 @@ TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
                std::min(cost, 1.0e18)))});
     }
   }
-  Fit(pretrain, options_.pretrain_epochs, &report);
+  {
+    const TrainReport before = report;
+    const double loss = Fit(pretrain, options_.pretrain_epochs, &report);
+    record_episode(0, loss, before);
+  }
 
   // --- Phase 2: on-policy fine-tuning with safe timeouts.
   std::unique_ptr<engine::BatchExecutor> batch_exec;
@@ -142,6 +172,7 @@ TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
     }
   };
   for (int32_t iter = 0; iter < options_.iterations; ++iter) {
+    const TrainReport before = report;
     std::vector<Sample> fresh;
     if (batch_exec != nullptr) {
       for (int32_t c = 0; c <= options_.exploration_plans; ++c) {
@@ -177,7 +208,8 @@ TrainReport BalsaOptimizer::Train(const std::vector<Query>& train_set,
       }
     }
     // Balsa trains on the most recent data, not a replay buffer.
-    Fit(fresh, options_.train_epochs, &report);
+    const double loss = Fit(fresh, options_.train_epochs, &report);
+    record_episode(iter + 1, loss, before);
   }
 
   report.training_time_ns =

@@ -58,8 +58,10 @@ class BalsaOptimizer : public LearnedOptimizer {
   };
 
   void EnsureModel(engine::Database* db);
-  void Fit(const std::vector<Sample>& samples, int32_t epochs,
-           TrainReport* report);
+  /// Trains `epochs` shuffled passes over `samples`; returns the mean
+  /// regression loss over all updates (0 when `samples` is empty).
+  double Fit(const std::vector<Sample>& samples, int32_t epochs,
+             TrainReport* report);
   SearchResult SearchPlan(const query::Query& q, engine::Database* db,
                           double epsilon);
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "engine/exec_batch.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::lqo {
@@ -43,6 +44,35 @@ DbConfig ApplyHintSet(DbConfig config, const HintSet& hints) {
   return config;
 }
 
+// PostgreSQL enable_* settings are soft: when no permitted plan exists the
+// planner falls back to a "disabled" operator anyway. A hint failure is a
+// returned plan containing an operator its hint set switched off.
+bool ViolatesHintSet(const optimizer::PhysicalPlan& plan,
+                     const HintSet& hints) {
+  using optimizer::JoinAlgo;
+  using optimizer::PlanNode;
+  using optimizer::ScanType;
+  for (const PlanNode& node : plan.nodes) {
+    if (node.type == PlanNode::Type::kJoin) {
+      if (node.algo == JoinAlgo::kHash && !hints.enable_hashjoin) return true;
+      if ((node.algo == JoinAlgo::kNestLoop ||
+           node.algo == JoinAlgo::kIndexNlj) &&
+          !hints.enable_nestloop) {
+        return true;
+      }
+      if (node.algo == JoinAlgo::kMerge && !hints.enable_mergejoin) return true;
+    } else {
+      if (node.scan_type == ScanType::kSeq && !hints.enable_seqscan)
+        return true;
+      if (node.scan_type == ScanType::kIndex && !hints.enable_indexscan)
+        return true;
+      if (node.scan_type == ScanType::kBitmap && !hints.enable_bitmapscan)
+        return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 BaoOptimizer::BaoOptimizer() : BaoOptimizer(Options()) {}
@@ -72,6 +102,10 @@ std::vector<BaoOptimizer::ArmCandidate> BaoOptimizer::PlanArms(
     db->SetConfig(ApplyHintSet(saved, hints));
     Database::Planned planned = db->PlanQuery(q);
     if (report != nullptr) ++report->planner_calls;
+    obs::Count(obs::Counter::kHintSetsPlanned);
+    if (ViolatesHintSet(planned.plan, hints)) {
+      obs::Count(obs::Counter::kHintFailures);
+    }
     ArmCandidate candidate;
     candidate.plan = std::move(planned.plan);
     candidate.planning_ns = planned.planning_ns;
@@ -82,9 +116,11 @@ std::vector<BaoOptimizer::ArmCandidate> BaoOptimizer::PlanArms(
   return candidates;
 }
 
-void BaoOptimizer::Fit(TrainReport* report) {
+double BaoOptimizer::Fit(TrainReport* report) {
   std::vector<size_t> order(experience_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double loss_sum = 0.0;
+  int64_t updates = 0;
   for (int32_t epoch = 0; epoch < options_.train_epochs; ++epoch) {
     for (size_t i = order.size(); i > 1; --i) {
       rng_state_ = rng_state_ * 6364136223846793005ULL + 1442695040888963407ULL;
@@ -92,11 +128,14 @@ void BaoOptimizer::Fit(TrainReport* report) {
     }
     for (size_t idx : order) {
       const Sample& sample = experience_[idx];
-      net_->TrainRegression({}, sample.query, sample.plan, *plan_encoder_,
-                            sample.target, adam_.get());
+      loss_sum +=
+          net_->TrainRegression({}, sample.query, sample.plan, *plan_encoder_,
+                                sample.target, adam_.get());
       ++report->nn_updates;
+      ++updates;
     }
   }
+  return updates > 0 ? loss_sum / static_cast<double>(updates) : 0.0;
 }
 
 TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
@@ -109,6 +148,7 @@ TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
         db, options_.seed, options_.parallelism);
   }
   for (int32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    const TrainReport before = report;
     const double epsilon =
         options_.initial_epsilon / static_cast<double>(epoch + 1);
     // Phase A (serial): per-arm planning, model scoring and the
@@ -162,7 +202,23 @@ TrainReport BaoOptimizer::Train(const std::vector<Query>& train_set,
       experience_.push_back({*episode[i].query, std::move(episode[i].plan),
                              LatencyToTarget(runs[i].execution_ns)});
     }
-    Fit(&report);
+    const double loss = Fit(&report);
+    // Episode telemetry: this epoch's deltas plus its share of the modeled
+    // training-time formula below.
+    EpisodeStats stats;
+    stats.episode = epoch;
+    stats.loss = loss;
+    stats.plans_executed = report.plans_executed - before.plans_executed;
+    stats.execution_ns = report.execution_ns - before.execution_ns;
+    stats.nn_updates = report.nn_updates - before.nn_updates;
+    stats.nn_evals = report.nn_evals - before.nn_evals;
+    stats.training_time_ns =
+        stats.execution_ns +
+        stats.plans_executed * timing::kTrainPlanOverheadNs +
+        stats.nn_updates * timing::kNnUpdateNs +
+        stats.nn_evals * timing::kNnEvalNs;
+    report.episodes.push_back(stats);
+    obs::Count(obs::Counter::kTrainEpisodes);
   }
   report.training_time_ns =
       report.execution_ns +

@@ -73,7 +73,9 @@ class BaoOptimizer : public LearnedOptimizer {
   };
 
   void EnsureModel(engine::Database* db);
-  void Fit(TrainReport* report);
+  /// Replays the experience buffer through the value net; returns the mean
+  /// regression loss over all updates performed.
+  double Fit(TrainReport* report);
   std::vector<ArmCandidate> PlanArms(const query::Query& q,
                                      engine::Database* db,
                                      TrainReport* report);

@@ -30,6 +30,24 @@ inline constexpr util::VirtualNanos kLeonSubplanCallNs =
     100'000'000;  // 100 ms
 }  // namespace timing
 
+/// One training episode's telemetry (an epoch for Bao, an iteration for
+/// Neo/Balsa, one query's pairwise step for LEON). Deltas, not running
+/// totals: summing a field over episodes gives the TrainReport total for
+/// the phase that emitted them. Exported as JSONL "episode" records by
+/// benchkit::WriteWorkloadTrace.
+struct EpisodeStats {
+  int32_t episode = 0;
+  /// Mean training loss of the episode's model updates (0 when the episode
+  /// performed none).
+  double loss = 0.0;
+  int64_t plans_executed = 0;
+  util::VirtualNanos execution_ns = 0;
+  int64_t nn_updates = 0;
+  int64_t nn_evals = 0;
+  /// Episode's share of modeled training time.
+  util::VirtualNanos training_time_ns = 0;
+};
+
 /// End-to-end training accounting (paper §8.2.2: data collection + model
 /// updates + ongoing evaluation + pre/postprocessing).
 struct TrainReport {
@@ -42,6 +60,8 @@ struct TrainReport {
   int64_t planner_calls = 0;
   /// Sum of virtual execution time spent collecting training data.
   util::VirtualNanos execution_ns = 0;
+  /// Per-episode telemetry in training order (see EpisodeStats).
+  std::vector<EpisodeStats> episodes;
 };
 
 /// A plan prediction with its modeled inference time (encoding + candidate

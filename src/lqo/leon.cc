@@ -7,6 +7,7 @@
 
 #include "engine/exec_batch.h"
 #include "lqo/plan_search.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::lqo {
@@ -164,6 +165,7 @@ TrainReport LeonOptimizer::Train(const std::vector<Query>& train_set,
         db, options_.seed, options_.parallelism);
   }
 
+  int32_t episode_index = 0;
   for (const Query& q : train_set) {
     // Respect the end-to-end training budget (the paper capped LEON's
     // training at 120 hours and notes the budget cuts it short).
@@ -173,6 +175,7 @@ TrainReport LeonOptimizer::Train(const std::vector<Query>& train_set,
         report.nn_updates * timing::kNnUpdateNs +
         report.nn_evals * timing::kNnEvalNs;
     if (modeled >= options_.train_budget_ns) break;
+    const TrainReport before = report;
 
     std::vector<Candidate> candidates =
         Enumerate(q, db, &report.planner_calls, &report.nn_evals);
@@ -219,18 +222,43 @@ TrainReport LeonOptimizer::Train(const std::vector<Query>& train_set,
 
     // Pairwise ranking updates on the executed plans of this query.
     const std::vector<float> qenc = query_encoder_->Encode(q);
+    double loss_sum = 0.0;
+    int64_t loss_count = 0;
     for (int32_t epoch = 0; epoch < options_.pair_epochs; ++epoch) {
       for (size_t i = 0; i < executed.size(); ++i) {
         for (size_t j = 0; j < executed.size(); ++j) {
           if (executed[i].latency >= executed[j].latency) continue;
-          net_a_->TrainPairwise(qenc, q, executed[i].plan, executed[j].plan,
-                                *plan_encoder_, adam_a_.get());
-          net_b_->TrainPairwise(qenc, q, executed[i].plan, executed[j].plan,
-                                *plan_encoder_, adam_b_.get());
+          loss_sum += net_a_->TrainPairwise(qenc, q, executed[i].plan,
+                                            executed[j].plan, *plan_encoder_,
+                                            adam_a_.get());
+          loss_sum += net_b_->TrainPairwise(qenc, q, executed[i].plan,
+                                            executed[j].plan, *plan_encoder_,
+                                            adam_b_.get());
           report.nn_updates += 2;
+          loss_count += 2;
         }
       }
     }
+
+    // One query's active-learning step is one episode; its training-time
+    // share uses LEON's formula (subplan calls dominate).
+    EpisodeStats stats;
+    stats.episode = episode_index++;
+    stats.loss =
+        loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    stats.plans_executed = report.plans_executed - before.plans_executed;
+    stats.execution_ns = report.execution_ns - before.execution_ns;
+    stats.nn_updates = report.nn_updates - before.nn_updates;
+    stats.nn_evals = report.nn_evals - before.nn_evals;
+    stats.training_time_ns =
+        stats.execution_ns +
+        (report.planner_calls - before.planner_calls) *
+            timing::kLeonSubplanCallNs +
+        stats.nn_updates * timing::kNnUpdateNs +
+        stats.nn_evals * timing::kNnEvalNs +
+        stats.plans_executed * timing::kTrainPlanOverheadNs;
+    report.episodes.push_back(stats);
+    obs::Count(obs::Counter::kTrainEpisodes);
   }
 
   report.training_time_ns =

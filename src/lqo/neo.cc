@@ -5,6 +5,7 @@
 
 #include "engine/exec_batch.h"
 #include "lqo/plan_search.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace lqolab::lqo {
@@ -31,12 +32,14 @@ void NeoOptimizer::EnsureModel(Database* db) {
   shuffle_state_ = options_.seed ^ 0x5deece66dULL;
 }
 
-void NeoOptimizer::FitReplay(Database* db, int32_t epochs,
-                             TrainReport* report) {
+double NeoOptimizer::FitReplay(Database* db, int32_t epochs,
+                               TrainReport* report) {
   (void)db;
-  if (replay_.empty()) return;
+  if (replay_.empty()) return 0.0;
   std::vector<size_t> order(replay_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double loss_sum = 0.0;
+  int64_t updates = 0;
   for (int32_t epoch = 0; epoch < epochs; ++epoch) {
     // Deterministic Fisher-Yates.
     for (size_t i = order.size(); i > 1; --i) {
@@ -47,11 +50,14 @@ void NeoOptimizer::FitReplay(Database* db, int32_t epochs,
     for (size_t idx : order) {
       const Sample& sample = replay_[idx];
       const std::vector<float> qenc = query_encoder_->Encode(sample.query);
-      net_->TrainRegression(qenc, sample.query, sample.plan, *plan_encoder_,
-                            sample.target, adam_.get());
+      loss_sum +=
+          net_->TrainRegression(qenc, sample.query, sample.plan,
+                                *plan_encoder_, sample.target, adam_.get());
       ++report->nn_updates;
+      ++updates;
     }
   }
+  return updates > 0 ? loss_sum / static_cast<double>(updates) : 0.0;
 }
 
 SearchResult NeoOptimizer::SearchPlan(const Query& q, Database* db) {
@@ -162,11 +168,36 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
     }
   }
 
+  // Per-iteration episode telemetry: deltas of the report counters plus the
+  // iteration's mean replay loss.
+  auto record_episode = [&report](int32_t episode, double loss,
+                                  const TrainReport& before) {
+    EpisodeStats stats;
+    stats.episode = episode;
+    stats.loss = loss;
+    stats.plans_executed = report.plans_executed - before.plans_executed;
+    stats.execution_ns = report.execution_ns - before.execution_ns;
+    stats.nn_updates = report.nn_updates - before.nn_updates;
+    stats.nn_evals = report.nn_evals - before.nn_evals;
+    stats.training_time_ns =
+        stats.execution_ns +
+        stats.plans_executed * timing::kTrainPlanOverheadNs +
+        stats.nn_updates * timing::kNnUpdateNs +
+        stats.nn_evals * timing::kNnEvalNs;
+    report.episodes.push_back(stats);
+    obs::Count(obs::Counter::kTrainEpisodes);
+  };
+  // The bootstrap above (holdout + expert-demonstration executions) is
+  // episode 0 — no fitting has happened yet, so its loss is 0 — keeping
+  // the invariant that episode deltas partition the report totals.
+  record_episode(0, 0.0, TrainReport{});
+
   double best_holdout = 1e30;
   int32_t worse_streak = 0;
   for (int32_t iter = 0; iter < options_.iterations; ++iter) {
     ++iterations_run_;
-    FitReplay(db, options_.train_epochs, &report);
+    const TrainReport before = report;
+    const double iter_loss = FitReplay(db, options_.train_epochs, &report);
     if (!holdout.empty()) {
       const double loss = HoldoutLoss(holdout);
       report.nn_evals += static_cast<int64_t>(holdout.size());
@@ -175,6 +206,7 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
         best_holdout = loss;
         worse_streak = 0;
       } else if (++worse_streak >= options_.patience) {
+        record_episode(iter + 1, iter_loss, before);
         break;  // early stopping on the fixed holdout
       }
     }
@@ -206,8 +238,13 @@ TrainReport NeoOptimizer::Train(const std::vector<Query>& train_set,
                            options_.replay_capacity));
       }
     }
+    record_episode(iter + 1, iter_loss, before);
   }
-  FitReplay(db, options_.train_epochs, &report);
+  {
+    const TrainReport before = report;
+    const double final_loss = FitReplay(db, options_.train_epochs, &report);
+    record_episode(iterations_run_ + 1, final_loss, before);
+  }
 
   report.training_time_ns =
       report.execution_ns +

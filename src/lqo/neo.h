@@ -66,7 +66,9 @@ class NeoOptimizer : public LearnedOptimizer {
   };
 
   void EnsureModel(engine::Database* db);
-  void FitReplay(engine::Database* db, int32_t epochs, TrainReport* report);
+  /// Trains `epochs` shuffled passes over the replay buffer; returns the
+  /// mean regression loss over all updates (0 when the buffer is empty).
+  double FitReplay(engine::Database* db, int32_t epochs, TrainReport* report);
   SearchResult SearchPlan(const query::Query& q, engine::Database* db);
 
   double HoldoutLoss(const std::vector<Sample>& holdout);

@@ -1,0 +1,44 @@
+#ifndef LQOLAB_OBS_EXPLAIN_H_
+#define LQOLAB_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "exec/executor.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::obs {
+
+/// Everything needed to render one executed plan: the plan tree, the
+/// planner's estimates and the executor's per-node statistics (parallel to
+/// plan->nodes). Assembled by engine::Database::ExplainAnalyze*.
+struct ExplainInput {
+  const query::Query* query = nullptr;
+  const catalog::Schema* schema = nullptr;
+  const optimizer::PhysicalPlan* plan = nullptr;
+  /// Estimated output rows per plan node (estimator view).
+  std::vector<double> estimated_rows;
+  /// Actual rows/loops/time/buffers per plan node (executor view).
+  std::vector<exec::PlanNodeStats> node_stats;
+  util::VirtualNanos planning_ns = 0;
+  util::VirtualNanos execution_ns = 0;
+  bool timed_out = false;
+};
+
+/// PostgreSQL-style text rendering: one line per operator with estimated
+/// vs actual rows, loops, inclusive/self time, followed by a per-node
+/// `Buffers:` line and the planning/execution time summary. A worked
+/// example lives in docs/observability.md.
+std::string ExplainAnalyzeText(const ExplainInput& in);
+
+/// Single-line JSON rendering of the same data: a nested plan tree
+/// ("children" arrays) under {"query",...,"plan":{...}}; key reference in
+/// docs/observability.md.
+std::string ExplainAnalyzeJson(const ExplainInput& in);
+
+}  // namespace lqolab::obs
+
+#endif  // LQOLAB_OBS_EXPLAIN_H_

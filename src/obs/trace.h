@@ -1,0 +1,76 @@
+#ifndef LQOLAB_OBS_TRACE_H_
+#define LQOLAB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lqolab::obs {
+
+/// Tiny insertion-ordered JSON object builder — just enough for the flat
+/// (occasionally one-level-nested via SetRaw) records of the JSONL trace
+/// format; not a general JSON library.
+class JsonObject {
+ public:
+  /// Scalar setters; keys must be plain identifiers (not escaped).
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, bool value);
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+
+  /// Inserts `raw_json` verbatim as the value (for nested objects/arrays
+  /// the caller already rendered).
+  JsonObject& SetRaw(const std::string& key, std::string raw_json);
+
+  /// Renders the object on one line, fields in insertion order.
+  std::string ToString() const;
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string Escape(const std::string& s);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Line-oriented JSONL trace file: one JSON object per line, flushed per
+/// record so partial traces of interrupted runs stay readable. Schema of
+/// the records the framework emits: docs/observability.md.
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`; check ok() before relying on output.
+  explicit TraceWriter(const std::string& path);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// True when the file opened and every write so far succeeded.
+  bool ok() const { return out_.good(); }
+  const std::string& path() const { return path_; }
+  int64_t records_written() const { return records_; }
+
+  /// Appends one record as a single line.
+  void Write(const JsonObject& record);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  int64_t records_ = 0;
+};
+
+/// Appends one {"type":"metrics",...} record with every counter and
+/// histogram of `metrics` (the aggregate snapshot of a bench run).
+void WriteMetricsTrace(const MetricsRegistry& metrics, TraceWriter* trace);
+
+}  // namespace lqolab::obs
+
+#endif  // LQOLAB_OBS_TRACE_H_

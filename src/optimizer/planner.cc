@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "exec/oracle.h"  // QueryFingerprint for GEQO seeding
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -58,6 +59,7 @@ Planner::Planner(const exec::DbContext* ctx)
     : ctx_(ctx), estimator_(ctx), cost_model_(ctx, &estimator_) {}
 
 PlanningResult Planner::Plan(const Query& q) const {
+  obs::Count(obs::Counter::kPlannerInvocations);
   const auto& cfg = ctx_->config;
   if (q.relation_count() >= 2 && cfg.join_collapse_limit <= 1) {
     // Join order follows the FROM clause.
@@ -175,6 +177,7 @@ PlanningResult Planner::PlanDynamicProgramming(const Query& q,
     BuildPlanFromDp(dp, q, full, &result.plan);
   }
   result.plan.Validate(q);
+  obs::Count(obs::Counter::kPlannerDpSubproblems, result.planner_steps);
   return result;
 }
 
@@ -299,9 +302,11 @@ PlanningResult Planner::PlanGenetic(const Query& q,
     std::vector<AliasId> order;
     double fitness = kImpossibleCost;
   };
+  int64_t plans_costed = 0;
   auto evaluate = [&](Individual* ind) {
     ind->fitness = CostJoinOrder(q, ind->order, nullptr,
                                  &result.planner_steps);
+    ++plans_costed;
   };
 
   std::vector<Individual> population(
@@ -357,6 +362,8 @@ PlanningResult Planner::PlanGenetic(const Query& q,
   result.estimated_cost =
       CostJoinOrder(q, best.order, &result.plan, nullptr);
   result.plan.Validate(q);
+  obs::Count(obs::Counter::kPlannerGeqoGenerations, params.generations);
+  obs::Count(obs::Counter::kPlannerGeqoPlansCosted, plans_costed);
   return result;
 }
 

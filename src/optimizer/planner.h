@@ -35,6 +35,11 @@ struct GeqoParams {
 /// connected subgraphs (bushy or left-deep), switching to the genetic
 /// optimizer (GEQO) at config.geqo_threshold relations, exactly like
 /// PostgreSQL. All decisions are made on ESTIMATED cardinalities.
+///
+/// When metrics collection is enabled on the calling thread (obs/metrics.h),
+/// planning emits the planner_* counters — invocations, DP subproblems,
+/// GEQO generations and plans costed — without affecting the modeled
+/// planning time.
 class Planner {
  public:
   explicit Planner(const exec::DbContext* ctx);

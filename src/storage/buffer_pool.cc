@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace lqolab::storage {
 
 BufferPool::BufferPool(int64_t shared_pages, int64_t os_pages)
@@ -18,20 +20,29 @@ uint64_t BufferPool::PageKey(catalog::TableId table, PageKind kind,
 }
 
 AccessTier BufferPool::Access(uint64_t page_key) {
+  const int64_t evictions_before = evictions();
+  AccessTier tier;
   if (shared_.Touch(page_key)) {
     ++shared_hits_;
     // Keep the OS tier's recency roughly in sync: a page hot in shared
     // buffers stays resident in the OS cache model as well.
     os_.Touch(page_key);
-    return AccessTier::kSharedHit;
-  }
-  // Missed shared buffers; Touch() above already inserted it there.
-  if (os_.Touch(page_key)) {
+    tier = AccessTier::kSharedHit;
+    obs::Count(obs::Counter::kBufferSharedHits);
+  } else if (os_.Touch(page_key)) {
+    // Missed shared buffers; Touch() above already inserted it there.
     ++os_hits_;
-    return AccessTier::kOsHit;
+    tier = AccessTier::kOsHit;
+    obs::Count(obs::Counter::kBufferOsHits);
+  } else {
+    ++disk_reads_;
+    tier = AccessTier::kDisk;
+    obs::Count(obs::Counter::kBufferDiskReads);
   }
-  ++disk_reads_;
-  return AccessTier::kDisk;
+  if (const int64_t evicted = evictions() - evictions_before; evicted > 0) {
+    obs::Count(obs::Counter::kBufferEvictions, evicted);
+  }
+  return tier;
 }
 
 void BufferPool::DropCaches() {

@@ -55,6 +55,8 @@ class BufferPool {
   int64_t shared_hits() const { return shared_hits_; }
   int64_t os_hits() const { return os_hits_; }
   int64_t disk_reads() const { return disk_reads_; }
+  /// Pages evicted from either tier over the pool's lifetime.
+  int64_t evictions() const { return shared_.evictions() + os_.evictions(); }
 
  private:
   LruCache shared_;

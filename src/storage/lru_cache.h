@@ -29,6 +29,7 @@ class LruCache {
     if (static_cast<int64_t>(positions_.size()) >= capacity_) {
       positions_.erase(order_.back());
       order_.pop_back();
+      ++evictions_;
     }
     order_.push_front(key);
     positions_[key] = order_.begin();
@@ -52,9 +53,12 @@ class LruCache {
 
   int64_t size() const { return static_cast<int64_t>(positions_.size()); }
   int64_t capacity() const { return capacity_; }
+  /// Entries evicted over the cache's lifetime (survives Clear/Resize).
+  int64_t evictions() const { return evictions_; }
 
  private:
   int64_t capacity_;
+  int64_t evictions_ = 0;
   std::list<uint64_t> order_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> positions_;
 };

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Checks that every intra-repository markdown link resolves to an existing
+# file or directory. External links (http/https/mailto) and pure #anchors
+# are skipped. Usage: check_docs_links.sh [repo_root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$root" || exit 1
+
+errors=0
+checked=0
+
+# Markdown files tracked in the docs surface of the repo (skip build trees
+# and third-party checkouts if any appear later).
+mapfile -t files < <(find . -name '*.md' \
+    -not -path './build*' -not -path './.git/*' | sort)
+
+for file in "${files[@]}"; do
+  dir=$(dirname "$file")
+  # Extract [text](target) links; strip any #anchor suffix.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+      # Targets with spaces are code snippets (e.g. C++ lambdas) the
+      # regex picked up, not links.
+      *[[:space:]]*) continue ;;
+    esac
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    checked=$((checked + 1))
+    # Links resolve relative to the containing file.
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN: $file -> $target"
+      errors=$((errors + 1))
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*](//; s/)$//')
+done
+
+echo "checked $checked intra-repo links in ${#files[@]} markdown files"
+if [ "$errors" -gt 0 ]; then
+  echo "$errors broken link(s)"
+  exit 1
+fi
+exit 0

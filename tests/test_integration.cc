@@ -146,8 +146,9 @@ TEST(Integration, ExplainAnalyzeRendersEverything) {
   const Query q = query::BuildJobQuery(db->schema(), 1, 'a');
   const std::string text = db->ExplainAnalyze(q);
   EXPECT_NE(text.find("EXPLAIN ANALYZE 1a"), std::string::npos);
-  EXPECT_NE(text.find("rows est="), std::string::npos);
-  EXPECT_NE(text.find("actual="), std::string::npos);
+  EXPECT_NE(text.find("est rows="), std::string::npos);
+  EXPECT_NE(text.find("actual rows="), std::string::npos);
+  EXPECT_NE(text.find("Buffers: shared hit="), std::string::npos);
   EXPECT_NE(text.find("Planning Time:"), std::string::npos);
   EXPECT_NE(text.find("Execution Time:"), std::string::npos);
 }
