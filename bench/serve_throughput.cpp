@@ -1,0 +1,269 @@
+// Throughput/latency benchmark for serve::QueryServer: drives the JOB-lite
+// workload through each routing arm (pglite, lqo, lqo with a tight deadline
+// over deliberately degraded plans, shadow) for several epochs, with the
+// plan cache on and off, publishing a model mid-load on the lqo arm. Emits
+// one JSON document (stdout, or the file given as argv[1]) with wall-clock
+// QPS, virtual-latency percentiles, cache hit rate, fallback rate and a
+// 1-vs-N-worker determinism verdict per arm — see BENCH_serve.json at the
+// repo root for a recorded run.
+//
+// Wall-clock QPS measures the machine; the virtual-time columns and the
+// determinism verdicts are machine-independent.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "lqo/native_passthrough.h"
+#include "serve/query_server.h"
+#include "util/statistics.h"
+
+namespace {
+
+using namespace lqolab;
+using serve::QueryServer;
+using serve::RouteMode;
+using serve::ServedQuery;
+using serve::ServerOptions;
+
+/// A deliberately bad model for the fallback arm: degrades every operator
+/// of the native plan to the slowest choice, so execution blows through the
+/// arm's tight deadline and exercises the timeout-fallback protocol.
+class SlowPlanOptimizer : public lqo::NativePassthroughOptimizer {
+ public:
+  std::string name() const override { return "slow_plan"; }
+
+  lqo::Prediction Plan(const query::Query& q,
+                       engine::Database* db) override {
+    lqo::Prediction prediction = NativePassthroughOptimizer::Plan(q, db);
+    for (optimizer::PlanNode& node : prediction.plan.nodes) {
+      if (node.type == optimizer::PlanNode::Type::kScan) {
+        node.scan_type = optimizer::ScanType::kSeq;
+        node.index_column = catalog::kInvalidColumn;
+      } else {
+        node.algo = optimizer::JoinAlgo::kNestLoop;
+      }
+    }
+    return prediction;
+  }
+};
+
+struct ArmSpec {
+  std::string name;
+  RouteMode route;
+  bool plan_cache;
+  util::VirtualNanos lqo_deadline_ns;
+  bool slow_model;     // publish SlowPlanOptimizer instead of passthrough
+  bool swap_mid_load;  // publish a fresh model after the first epoch
+};
+
+struct ArmResult {
+  ArmSpec spec;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double avg_planning_ns = 0.0;
+  double cache_hit_rate = 0.0;
+  double fallback_rate = 0.0;
+  int64_t queries = 0;
+  int64_t fallbacks = 0;
+  uint64_t model_version = 0;
+  bool deterministic = false;
+};
+
+std::vector<ServedQuery> DriveArm(engine::Database* db,
+                                  const std::vector<query::Query>& workload,
+                                  const ArmSpec& spec, int epochs,
+                                  int32_t workers, double* wall_ms) {
+  ServerOptions options;
+  options.workers = workers;
+  options.route = spec.route;
+  if (!spec.plan_cache) options.cache.capacity_per_shard = 0;
+  options.lqo_deadline_ns = spec.lqo_deadline_ns;
+  QueryServer server(db, options);
+  if (spec.route != RouteMode::kPglite) {
+    if (spec.slow_model) {
+      server.PublishModel(std::make_shared<SlowPlanOptimizer>());
+    } else {
+      server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  std::vector<std::future<ServedQuery>> futures;
+  futures.reserve(workload.size() * static_cast<size_t>(epochs));
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const query::Query& q : workload) {
+      futures.push_back(server.Submit(q));
+    }
+    if (spec.swap_mid_load && epoch == 0) {
+      // Hot swap while the first epoch is still in flight: in-flight
+      // queries finish on their snapshot, later ones re-plan (and the
+      // version change invalidates every cached LQO plan).
+      server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+    }
+  }
+  std::vector<ServedQuery> served;
+  served.reserve(futures.size());
+  for (auto& future : futures) served.push_back(future.get());
+  server.Drain();
+  *wall_ms = std::chrono::duration<double, std::milli>(Clock::now() - start)
+                 .count();
+  return served;
+}
+
+/// Scheduling-independent fields only: plans and replayed executions must
+/// match query-for-query across worker counts; cache hits and planning
+/// times may legitimately differ (they depend on processing order).
+bool SameServedResults(const std::vector<ServedQuery>& a,
+                       const std::vector<ServedQuery>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].query_id != b[i].query_id ||
+        a[i].result_rows != b[i].result_rows ||
+        a[i].execution_ns != b[i].execution_ns ||
+        a[i].timed_out != b[i].timed_out || a[i].fell_back != b[i].fell_back ||
+        a[i].plan != b[i].plan) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ArmResult RunArm(engine::Database* db,
+                 const std::vector<query::Query>& workload,
+                 const ArmSpec& spec, int epochs, int32_t workers) {
+  ArmResult result;
+  result.spec = spec;
+  const std::vector<ServedQuery> served =
+      DriveArm(db, workload, spec, epochs, workers, &result.wall_ms);
+
+  std::vector<double> latencies;
+  latencies.reserve(served.size());
+  int64_t cache_hits = 0;
+  double planning_total = 0.0;
+  for (const ServedQuery& s : served) {
+    latencies.push_back(static_cast<double>(s.latency_ns()));
+    planning_total += static_cast<double>(s.planning_ns);
+    if (s.cache_hit) ++cache_hits;
+    if (s.fell_back) ++result.fallbacks;
+  }
+  result.queries = static_cast<int64_t>(served.size());
+  result.qps = static_cast<double>(served.size()) / (result.wall_ms / 1e3);
+  result.p50_ns = util::Percentile(latencies, 50.0);
+  result.p95_ns = util::Percentile(latencies, 95.0);
+  result.p99_ns = util::Percentile(latencies, 99.0);
+  result.avg_planning_ns = planning_total / static_cast<double>(served.size());
+  result.cache_hit_rate =
+      static_cast<double>(cache_hits) / static_cast<double>(served.size());
+  result.fallback_rate = static_cast<double>(result.fallbacks) /
+                         static_cast<double>(served.size());
+
+  // Determinism: replay the whole arm single-threaded and compare
+  // query-for-query.
+  double serial_wall_ms = 0.0;
+  const std::vector<ServedQuery> serial =
+      DriveArm(db, workload, spec, epochs, /*workers=*/1, &serial_wall_ms);
+  result.deterministic = SameServedResults(served, serial);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lqolab;
+
+  auto db = bench::MakeDatabase(0.25);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  const int epochs = 3;
+  // At least 4 workers even on a single-core box: the determinism check
+  // compares against a 1-worker replay, which only means something when the
+  // primary run actually interleaves.
+  const int32_t workers =
+      bench::EnvParallelism() > 0
+          ? bench::EnvParallelism()
+          : std::max<int32_t>(4, util::ThreadPool::DefaultParallelism());
+
+  // 50 us of virtual time: far below any cold multi-join execution, so the
+  // degraded plans of the fallback arm reliably hit the deadline.
+  constexpr util::VirtualNanos kTightDeadlineNs = 50'000;
+
+  const std::vector<ArmSpec> arms = {
+      {"pglite", RouteMode::kPglite, true, 0, false, false},
+      {"pglite_cache_off", RouteMode::kPglite, false, 0, false, false},
+      {"lqo", RouteMode::kLqo, true, 0, false, true},
+      {"lqo_tight_deadline", RouteMode::kLqo, true, kTightDeadlineNs, true,
+       false},
+      {"shadow", RouteMode::kShadow, true, 0, false, false},
+  };
+
+  std::fprintf(stderr,
+               "serving %zu queries x %d epochs per arm (%d workers)...\n",
+               workload.size(), epochs, workers);
+  std::vector<ArmResult> results;
+  for (const ArmSpec& spec : arms) {
+    results.push_back(RunArm(db.get(), workload, spec, epochs, workers));
+    const ArmResult& r = results.back();
+    std::fprintf(stderr,
+                 "  %-18s qps=%7.0f p50=%.2fms hit=%4.0f%% fallback=%4.0f%% "
+                 "%s\n",
+                 r.spec.name.c_str(), r.qps, r.p50_ns / 1e6,
+                 r.cache_hit_rate * 100.0, r.fallback_rate * 100.0,
+                 r.deterministic ? "deterministic" : "[MISMATCH]");
+  }
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"serve_throughput\",\n";
+  json += "  \"queries\": " + std::to_string(workload.size()) + ",\n";
+  json += "  \"epochs\": " + std::to_string(epochs) + ",\n";
+  json += "  \"workers\": " + std::to_string(workers) + ",\n";
+  json += "  \"arms\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ArmResult& r = results[i];
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"route\": \"%s\", \"plan_cache\": %s, \"queries\": %lld, "
+        "\"wall_ms\": %.1f, \"qps\": %.0f, "
+        "\"latency_virtual_ns\": {\"p50\": %.0f, \"p95\": %.0f, "
+        "\"p99\": %.0f}, \"avg_planning_ns\": %.0f, "
+        "\"cache_hit_rate\": %.4f, \"fallback_rate\": %.4f, "
+        "\"fallbacks\": %lld, \"deterministic\": %s}%s\n",
+        r.spec.name.c_str(), r.spec.plan_cache ? "true" : "false",
+        static_cast<long long>(r.queries), r.wall_ms, r.qps, r.p50_ns,
+        r.p95_ns, r.p99_ns, r.avg_planning_ns, r.cache_hit_rate,
+        r.fallback_rate, static_cast<long long>(r.fallbacks),
+        r.deterministic ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+    json += buffer;
+  }
+  json += "  ]\n}\n";
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", argv[1]);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+
+  bool ok = true;
+  for (const ArmResult& r : results) ok &= r.deterministic;
+  // The warm cache must deliver a measurable planning-time reduction, and
+  // the tight-deadline arm must actually fall back.
+  ok &= results[0].avg_planning_ns < results[1].avg_planning_ns;
+  ok &= results[3].fallback_rate > 0.0;
+  return ok ? 0 : 1;
+}

@@ -75,6 +75,9 @@ class Database {
 
   const catalog::Schema& schema() const { return schema_; }
   const DbConfig& config() const { return ctx_.config; }
+  /// Generation seed; worker replicas inherit it, and serve::QueryServer
+  /// adopts it as the default replay seed.
+  uint64_t seed() const { return seed_; }
   exec::DbContext& context() { return ctx_; }
   exec::Oracle& oracle() { return *oracle_; }
   const optimizer::Planner& planner() const { return *planner_; }

@@ -1,0 +1,29 @@
+#include "lqo/native_passthrough.h"
+
+namespace lqolab::lqo {
+
+TrainReport NativePassthroughOptimizer::Train(
+    const std::vector<query::Query>& train_set, engine::Database* db) {
+  (void)train_set;
+  (void)db;
+  return TrainReport{};
+}
+
+Prediction NativePassthroughOptimizer::Plan(const query::Query& q,
+                                            engine::Database* db) {
+  const engine::Database::Planned planned = db->PlanQuery(q);
+  Prediction prediction;
+  prediction.plan = planned.plan;
+  prediction.planning_ns = planned.planning_ns;
+  prediction.inference_ns = 0;
+  prediction.nn_evals = 0;
+  return prediction;
+}
+
+EncodingSpec NativePassthroughOptimizer::encoding_spec() const {
+  return {"NativePassthrough",
+          "-", "-", "-", "-", "-", "-", "-", "-",
+          "none", "none", "Plan", "Static", "yes"};
+}
+
+}  // namespace lqolab::lqo

@@ -1,0 +1,31 @@
+#ifndef LQOLAB_LQO_NATIVE_PASSTHROUGH_H_
+#define LQOLAB_LQO_NATIVE_PASSTHROUGH_H_
+
+#include <string>
+#include <vector>
+
+#include "lqo/interface.h"
+
+namespace lqolab::lqo {
+
+/// A control "LQO" that defers every decision to the native planner:
+/// Plan() returns Database::PlanQuery's plan with the engine's modeled
+/// planning time and zero inference cost; Train() is a no-op. It is the
+/// zero-regression arm of serving experiments — routing through it must
+/// reproduce pglite exactly — and the natural first payload of a hot-swap
+/// slot before a trained model is published (serve::QueryServer).
+class NativePassthroughOptimizer : public LearnedOptimizer {
+ public:
+  std::string name() const override { return "native_passthrough"; }
+
+  TrainReport Train(const std::vector<query::Query>& train_set,
+                    engine::Database* db) override;
+
+  Prediction Plan(const query::Query& q, engine::Database* db) override;
+
+  EncodingSpec encoding_spec() const override;
+};
+
+}  // namespace lqolab::lqo
+
+#endif  // LQOLAB_LQO_NATIVE_PASSTHROUGH_H_

@@ -33,6 +33,14 @@ constexpr CounterInfo kCounterInfo[] = {
     {"hint_sets_planned", "lqo"},
     {"hint_failures", "lqo"},
     {"train_episodes", "lqo"},
+    {"plan_cache_hits", "serve"},
+    {"plan_cache_misses", "serve"},
+    {"plan_cache_evictions", "serve"},
+    {"serve_queries", "serve"},
+    {"serve_rejected", "serve"},
+    {"serve_fallbacks", "serve"},
+    {"serve_lqo_planned", "serve"},
+    {"serve_model_swaps", "serve"},
 };
 static_assert(sizeof(kCounterInfo) / sizeof(kCounterInfo[0]) ==
                   static_cast<size_t>(Counter::kCounterCount),

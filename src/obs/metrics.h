@@ -31,7 +31,16 @@ enum class Counter : int32_t {
   kHintSetsPlanned,  ///< Bao-style per-hint-set planner round trips.
   kHintFailures,     ///< Plans that violated their hint set (soft enable_*).
   kTrainEpisodes,    ///< LQO training episodes recorded.
-  kCounterCount      ///< Sentinel; not a counter.
+  // serve
+  kPlanCacheHits,       ///< Plan-cache lookups served from the cache.
+  kPlanCacheMisses,     ///< Plan-cache lookups that had to plan.
+  kPlanCacheEvictions,  ///< Cached plans dropped (capacity or Clear).
+  kServeQueries,        ///< Queries served to completion by a QueryServer.
+  kServeRejected,       ///< Admissions rejected on a full queue (TrySubmit).
+  kServeFallbacks,      ///< LQO-plan timeouts re-executed on the pglite plan.
+  kServeLqoPlanned,     ///< Inference calls through the published model.
+  kServeModelSwaps,     ///< Models published to a hot-swap slot.
+  kCounterCount         ///< Sentinel; not a counter.
 };
 
 /// Identity of every histogram. Same fixed-enum scheme as Counter.
@@ -43,7 +52,8 @@ enum class Histogram : int32_t {
 
 /// Stable snake_case name of a counter (used as its JSON key).
 const char* CounterName(Counter c);
-/// Layer that emits the counter ("storage", "exec", "optimizer", "lqo").
+/// Layer that emits the counter ("storage", "exec", "optimizer", "lqo",
+/// "serve").
 const char* CounterLayer(Counter c);
 /// Stable snake_case name of a histogram.
 const char* HistogramName(Histogram h);

@@ -1,0 +1,114 @@
+#ifndef LQOLAB_SERVE_HOT_SWAP_H_
+#define LQOLAB_SERVE_HOT_SWAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "obs/metrics.h"
+
+// The lock-free path needs std::atomic<std::shared_ptr>. Under
+// ThreadSanitizer we use the mutex slot instead: libstdc++ 12's _Sp_atomic
+// releases its internal pointer-word spinlock with relaxed ordering on the
+// load path, which TSAN reports as a race between Publish and Acquire —
+// inside the library, not in this protocol. The mutex slot has identical
+// semantics and TSAN models it exactly.
+#if !defined(__cpp_lib_atomic_shared_ptr) || defined(__SANITIZE_THREAD__)
+#define LQOLAB_SERVE_HOT_SWAP_LOCKED 1
+#endif
+#if !defined(LQOLAB_SERVE_HOT_SWAP_LOCKED) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LQOLAB_SERVE_HOT_SWAP_LOCKED 1
+#endif
+#endif
+
+namespace lqolab::serve {
+
+/// Lock-free publication slot for a shared model (hot swap). A trainer
+/// thread publishes fully built, immutable-from-the-reader's-view snapshots
+/// with Publish(); serving threads read the current snapshot with
+/// Acquire(). Both sides touch a single atomic shared_ptr, so:
+///  - readers never block a publish and a publish never blocks readers
+///    (no mutex on the hot path);
+///  - a reader sees either the old snapshot or the new one, never a torn
+///    mix — the pointer and its version travel together inside one
+///    heap-allocated Versioned block;
+///  - the old model stays alive until the last in-flight query holding its
+///    shared_ptr finishes, then frees (safe memory reclamation for free).
+///
+/// The slot does NOT make the payload's methods thread-safe. Callers whose
+/// payload mutates on use (e.g. lqo::LearnedOptimizer::Plan) must add their
+/// own serialization around the call — see serve::QueryServer, which keeps
+/// one inference mutex per server, mirroring the single model-server
+/// process of the original Bao/Neo deployments.
+template <typename T>
+class HotSwapSlot {
+ public:
+  struct Snapshot {
+    std::shared_ptr<T> value;
+    /// Publication sequence number, starting at 1; 0 means "nothing
+    /// published yet" (value is null).
+    uint64_t version = 0;
+  };
+
+  HotSwapSlot() = default;
+  HotSwapSlot(const HotSwapSlot&) = delete;
+  HotSwapSlot& operator=(const HotSwapSlot&) = delete;
+
+  /// Returns the current snapshot ({nullptr, 0} before the first Publish).
+  Snapshot Acquire() const {
+#if defined(LQOLAB_SERVE_HOT_SWAP_LOCKED)
+    std::shared_ptr<const Versioned> current;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current = cell_;
+    }
+#else
+    const std::shared_ptr<const Versioned> current =
+        cell_.load(std::memory_order_acquire);
+#endif
+    if (current == nullptr) return Snapshot{};
+    return Snapshot{current->value, current->version};
+  }
+
+  /// Atomically replaces the published value; returns the new version.
+  /// Counts obs::Counter::kServeModelSwaps on the calling thread.
+  uint64_t Publish(std::shared_ptr<T> value) {
+    auto next = std::make_shared<const Versioned>(
+        Versioned{std::move(value), versions_.fetch_add(1) + 1});
+    const uint64_t version = next->version;
+#if defined(LQOLAB_SERVE_HOT_SWAP_LOCKED)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cell_ = std::move(next);
+    }
+#else
+    cell_.store(std::move(next), std::memory_order_release);
+#endif
+    obs::Count(obs::Counter::kServeModelSwaps);
+    return version;
+  }
+
+  /// Version of the current snapshot (0 before the first Publish).
+  uint64_t version() const { return Acquire().version; }
+
+ private:
+  struct Versioned {
+    std::shared_ptr<T> value;
+    uint64_t version;
+  };
+
+#if defined(LQOLAB_SERVE_HOT_SWAP_LOCKED)
+  mutable std::mutex mu_;
+  std::shared_ptr<const Versioned> cell_;  // guarded by mu_
+#else
+  std::atomic<std::shared_ptr<const Versioned>> cell_;
+#endif
+  std::atomic<uint64_t> versions_{0};
+};
+
+}  // namespace lqolab::serve
+
+#endif  // LQOLAB_SERVE_HOT_SWAP_H_

@@ -1,0 +1,103 @@
+#ifndef LQOLAB_SERVE_PLAN_CACHE_H_
+#define LQOLAB_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/config.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "storage/lru_cache.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::serve {
+
+/// Modeled cost of serving a plan from the cache (fingerprint hash + shard
+/// lookup), charged as the hit's planning time. Orders of magnitude below
+/// even the cheapest cold planning, like a PostgreSQL prepared-statement
+/// generic-plan reuse.
+inline constexpr util::VirtualNanos kPlanCacheHitNs = 20'000;  // 20 us
+
+/// Canonical cache key of a (query, configuration, model) triple: mixes the
+/// query fingerprint (tables + join graph + bound predicates, see
+/// exec::QueryFingerprint) with every configuration knob the planner reads
+/// (enable_* switches, GEQO settings, memory sizing, estimator variant) and
+/// the serving model's hot-swap version. Two lookups collide only when the
+/// same planner would produce the same plan; publishing a new model changes
+/// `model_version` and thus invalidates every LQO-routed entry at once.
+uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
+                      uint64_t model_version = 0);
+
+/// A cached planning outcome: the plan plus the timing the cold plan paid
+/// (kept for reporting; a hit charges only kPlanCacheHitNs).
+struct CachedPlan {
+  optimizer::PhysicalPlan plan;
+  util::VirtualNanos planning_ns = 0;
+  util::VirtualNanos inference_ns = 0;
+  double estimated_cost = 0.0;
+};
+
+struct PlanCacheOptions {
+  /// Number of independently locked shards (keys are striped by hash).
+  int32_t shards = 8;
+  /// Plans per shard; 0 disables the cache (every lookup misses, inserts
+  /// are dropped).
+  int64_t capacity_per_shard = 64;
+};
+
+/// Sharded LRU plan cache. Each shard pairs a storage::LruCache (recency
+/// order + the lifetime eviction counter, shared with the buffer-cache
+/// model rather than duplicated here) with the plan payloads, under its own
+/// mutex — concurrent lookups of different shards never contend. Hit, miss
+/// and eviction counts flow into the calling thread's
+/// obs::MetricsRegistry.
+class PlanCache {
+ public:
+  explicit PlanCache(const PlanCacheOptions& options);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `key`, refreshing its recency, or nullptr
+  /// on a miss. The returned snapshot stays valid after eviction (shared
+  /// ownership).
+  std::shared_ptr<const CachedPlan> Lookup(uint64_t key);
+
+  /// Caches `plan` under `key`, evicting the shard's LRU entry if full.
+  /// Re-inserting an existing key refreshes recency and replaces the
+  /// payload. No-op when the cache is disabled.
+  void Insert(uint64_t key, std::shared_ptr<const CachedPlan> plan);
+
+  /// Drops every cached plan (dropped entries count as evictions).
+  void Clear();
+
+  bool enabled() const { return capacity_per_shard_ > 0; }
+  int64_t capacity() const {
+    return capacity_per_shard_ * static_cast<int64_t>(shards_.size());
+  }
+  /// Cached plans across all shards.
+  int64_t size() const;
+  /// Lifetime evictions across all shards (from the underlying LruCaches).
+  int64_t evictions() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    storage::LruCache lru;
+    std::unordered_map<uint64_t, std::shared_ptr<const CachedPlan>> plans;
+
+    explicit Shard(int64_t capacity) : lru(capacity) {}
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  int64_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lqolab::serve
+
+#endif  // LQOLAB_SERVE_PLAN_CACHE_H_

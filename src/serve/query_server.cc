@@ -1,0 +1,280 @@
+#include "serve/query_server.h"
+
+#include <utility>
+
+#include "exec/cost_constants.h"
+#include "exec/oracle.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace lqolab::serve {
+
+using engine::Database;
+using query::Query;
+using util::VirtualNanos;
+
+namespace {
+
+/// Salt bit distinguishing a fallback re-execution's replay stream from the
+/// primary attempt's (both must be pure functions of the admission, not of
+/// scheduling).
+constexpr uint64_t kFallbackSaltBit = 1ull << 63;
+
+}  // namespace
+
+const char* RouteModeName(RouteMode mode) {
+  switch (mode) {
+    case RouteMode::kPglite:
+      return "pglite";
+    case RouteMode::kLqo:
+      return "lqo";
+    case RouteMode::kShadow:
+      return "shadow";
+  }
+  return "unknown";
+}
+
+QueryServer::QueryServer(Database* db, const ServerOptions& options)
+    : parent_(db),
+      options_(options),
+      seed_(options.seed != 0 ? options.seed : db->seed()),
+      cache_(options.cache) {
+  LQOLAB_CHECK(db != nullptr);
+  LQOLAB_CHECK_GT(options_.queue_capacity, 0);
+  planning_db_ = db->CloneContextForWorker();
+  const int32_t workers = options_.workers > 0
+                              ? options_.workers
+                              : util::ThreadPool::DefaultParallelism();
+  states_.reserve(static_cast<size_t>(workers));
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int32_t w = 0; w < workers; ++w) {
+    auto state = std::make_unique<WorkerState>();
+    state->db = db->CloneContextForWorker();
+    states_.push_back(std::move(state));
+  }
+  for (int32_t w = 0; w < workers; ++w) {
+    workers_.emplace_back(&QueryServer::WorkerLoop, this,
+                          states_[static_cast<size_t>(w)].get());
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+std::future<ServedQuery> QueryServer::Submit(Query q) {
+  std::future<ServedQuery> result;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    LQOLAB_CHECK(!stopping_);
+    space_cv_.wait(lock, [&] {
+      return stopping_ ||
+             static_cast<int32_t>(queue_.size()) < options_.queue_capacity;
+    });
+    LQOLAB_CHECK(!stopping_);
+    Ticket ticket;
+    ticket.query = std::move(q);
+    ticket.id = next_ticket_++;
+    ticket.occurrence = occurrences_[exec::QueryFingerprint(ticket.query)]++;
+    result = ticket.promise.get_future();
+    queue_.push_back(std::move(ticket));
+  }
+  queue_cv_.notify_one();
+  return result;
+}
+
+bool QueryServer::TrySubmit(Query q, std::future<ServedQuery>* result) {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    LQOLAB_CHECK(!stopping_);
+    if (static_cast<int32_t>(queue_.size()) >= options_.queue_capacity) {
+      obs::Count(obs::Counter::kServeRejected);
+      return false;
+    }
+    Ticket ticket;
+    ticket.query = std::move(q);
+    ticket.id = next_ticket_++;
+    ticket.occurrence = occurrences_[exec::QueryFingerprint(ticket.query)]++;
+    *result = ticket.promise.get_future();
+    queue_.push_back(std::move(ticket));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+uint64_t QueryServer::PublishModel(
+    std::shared_ptr<lqo::LearnedOptimizer> model) {
+  return model_.Publish(std::move(model));
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+obs::MetricsRegistry QueryServer::SnapshotMetrics() const {
+  obs::MetricsRegistry merged;
+  for (const auto& state : states_) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    merged.MergeFrom(state->metrics);
+  }
+  return merged;
+}
+
+void QueryServer::WorkerLoop(WorkerState* state) {
+  for (;;) {
+    Ticket ticket;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    space_cv_.notify_one();
+    ServedQuery served;
+    {
+      // The state lock is uncontended in steady state (one worker, one
+      // state); SnapshotMetrics takes it briefly for a consistent copy.
+      std::lock_guard<std::mutex> lock(state->mu);
+      obs::MetricsScope scope(&state->metrics);
+      served = Process(state->db.get(), ticket);
+    }
+    ticket.promise.set_value(std::move(served));
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+QueryServer::Acquired QueryServer::NativePlan(Database* replica,
+                                              const Query& q) {
+  const uint64_t key = PlanCacheKey(q, replica->config(), /*model_version=*/0);
+  if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
+    return {std::move(hit), true};
+  }
+  const Database::Planned planned = replica->PlanQuery(q);
+  CachedPlan cached;
+  cached.plan = planned.plan;
+  cached.planning_ns = planned.planning_ns;
+  cached.estimated_cost = planned.estimated_cost;
+  auto snapshot = std::make_shared<const CachedPlan>(std::move(cached));
+  cache_.Insert(key, snapshot);
+  return {std::move(snapshot), false};
+}
+
+QueryServer::Acquired QueryServer::LqoPlan(const Query& q) {
+  const HotSwapSlot<lqo::LearnedOptimizer>::Snapshot snapshot =
+      model_.Acquire();
+  if (snapshot.value == nullptr) return {};
+  const uint64_t key = PlanCacheKey(q, parent_->config(), snapshot.version);
+  if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
+    return {std::move(hit), true};
+  }
+  lqo::Prediction prediction;
+  {
+    // One inference at a time: models mutate internal state while planning
+    // and may re-plan through the planning replica's configuration.
+    std::lock_guard<std::mutex> lock(inference_mu_);
+    prediction = snapshot.value->Plan(q, planning_db_.get());
+  }
+  obs::Count(obs::Counter::kServeLqoPlanned);
+  CachedPlan cached;
+  cached.plan = std::move(prediction.plan);
+  cached.inference_ns = prediction.inference_ns;
+  // Forced plans skip join-order search in the engine; hint-based methods
+  // (Bao) report their per-hint-set plannings instead — the same accounting
+  // as benchkit::MeasureWorkload.
+  cached.planning_ns =
+      prediction.planning_ns > 0
+          ? prediction.planning_ns
+          : static_cast<VirtualNanos>(q.relation_count()) *
+                exec::cost::kPlanPerRelationNs;
+  auto shared = std::make_shared<const CachedPlan>(std::move(cached));
+  cache_.Insert(key, shared);
+  return {std::move(shared), false};
+}
+
+ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket) {
+  const Query& q = ticket.query;
+  ServedQuery served;
+  served.query_id = q.id;
+  served.ticket = ticket.id;
+  served.route = options_.route;
+
+  const auto execute = [&](const optimizer::PhysicalPlan& plan,
+                           VirtualNanos planning_ns, VirtualNanos deadline,
+                           uint64_t salt) {
+    if (options_.deterministic_replay) {
+      replica->BeginQueryReplay(seed_, q, salt);
+    }
+    return replica->ExecutePlan(q, plan, planning_ns, deadline);
+  };
+
+  Acquired lqo;
+  if (options_.route != RouteMode::kPglite) lqo = LqoPlan(q);
+
+  if (options_.route == RouteMode::kLqo && lqo.plan != nullptr) {
+    served.cache_hit = lqo.cache_hit;
+    served.inference_ns = lqo.cache_hit ? 0 : lqo.plan->inference_ns;
+    served.planning_ns =
+        lqo.cache_hit ? kPlanCacheHitNs : lqo.plan->planning_ns;
+    engine::QueryRun run = execute(lqo.plan->plan, served.planning_ns,
+                                   options_.lqo_deadline_ns,
+                                   ticket.occurrence);
+    served.plan = lqo.plan->plan.ToString(q);
+    if (run.timed_out) {
+      // The paper's timeout protocol: abandon the learned plan, re-execute
+      // the query on the pglite plan, charge the wasted attempt.
+      served.fell_back = true;
+      served.wasted_ns = run.execution_ns;
+      obs::Count(obs::Counter::kServeFallbacks);
+      const Acquired native = NativePlan(replica, q);
+      const VirtualNanos replan_ns =
+          native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
+      served.planning_ns += replan_ns;
+      run = execute(native.plan->plan, replan_ns, /*deadline=*/0,
+                    ticket.occurrence | kFallbackSaltBit);
+      served.plan = native.plan->plan.ToString(q);
+    }
+    served.execution_ns = run.execution_ns;
+    served.timed_out = run.timed_out;
+    served.result_rows = run.result_rows;
+  } else {
+    // Native execution: the pglite route, the shadow route, and the lqo
+    // route before any model is published.
+    const Acquired native = NativePlan(replica, q);
+    served.cache_hit = native.cache_hit;
+    served.planning_ns =
+        native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
+    if (options_.route == RouteMode::kShadow && lqo.plan != nullptr) {
+      served.shadow_plan = lqo.plan->plan.ToString(q);
+      served.inference_ns = lqo.cache_hit ? 0 : lqo.plan->inference_ns;
+    }
+    const engine::QueryRun run = execute(native.plan->plan,
+                                         served.planning_ns, /*deadline=*/0,
+                                         ticket.occurrence);
+    served.plan = native.plan->plan.ToString(q);
+    served.execution_ns = run.execution_ns;
+    served.timed_out = run.timed_out;
+    served.result_rows = run.result_rows;
+  }
+
+  obs::Count(obs::Counter::kServeQueries);
+  return served;
+}
+
+}  // namespace lqolab::serve

@@ -1,0 +1,207 @@
+#ifndef LQOLAB_SERVE_QUERY_SERVER_H_
+#define LQOLAB_SERVE_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/database.h"
+#include "lqo/interface.h"
+#include "obs/metrics.h"
+#include "query/query.h"
+#include "serve/hot_swap.h"
+#include "serve/plan_cache.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::serve {
+
+/// How the server turns an admitted query into an executable plan.
+enum class RouteMode {
+  kPglite,  ///< Native planner only (the paper's baseline that wins Fig. 5).
+  kLqo,     ///< Published model plans; timeout falls back to the pglite plan.
+  kShadow,  ///< Model plans (recorded), but the pglite plan executes.
+};
+
+const char* RouteModeName(RouteMode mode);
+
+struct ServerOptions {
+  /// Worker threads, each owning a Database::CloneContextForWorker replica;
+  /// 0 means util::ThreadPool::DefaultParallelism().
+  int32_t workers = 0;
+  /// Bounded admission queue: Submit blocks when full (backpressure),
+  /// TrySubmit rejects.
+  int32_t queue_capacity = 128;
+  RouteMode route = RouteMode::kPglite;
+  /// Plan-cache geometry; capacity_per_shard 0 disables caching.
+  PlanCacheOptions cache;
+  /// Deadline for executing an LQO-routed plan (the paper's timeout
+  /// protocol); on expiry the query re-executes on the pglite plan and the
+  /// fallback is recorded. 0 uses the configured statement timeout.
+  util::VirtualNanos lqo_deadline_ns = 0;
+  /// When true (default), every execution starts from the canonical replay
+  /// state (Database::BeginQueryReplay with a salt fixed at admission), so
+  /// per-query results are identical for any worker count. When false,
+  /// executions share each replica's warm cache state — higher fidelity to
+  /// a long-running server, but results become scheduling-dependent.
+  bool deterministic_replay = true;
+  /// Replay seed; 0 adopts the parent database's generation seed.
+  uint64_t seed = 0;
+};
+
+/// Outcome of one served query, delivered through the Submit future.
+struct ServedQuery {
+  std::string query_id;
+  int64_t ticket = 0;
+  RouteMode route = RouteMode::kPglite;
+  bool cache_hit = false;
+  /// LQO plan hit its deadline; the pglite plan produced the answer.
+  bool fell_back = false;
+  /// The final answer itself timed out (statement timeout on the winning
+  /// plan); result_rows is 0.
+  bool timed_out = false;
+  int64_t result_rows = 0;
+  util::VirtualNanos inference_ns = 0;
+  util::VirtualNanos planning_ns = 0;
+  /// Execution time of the winning plan.
+  util::VirtualNanos execution_ns = 0;
+  /// Virtual time burned on a timed-out LQO attempt before falling back
+  /// (equals the deadline when fell_back).
+  util::VirtualNanos wasted_ns = 0;
+  /// One-line rendering of the executed plan.
+  std::string plan;
+  /// In shadow mode: the plan the model proposed (not executed).
+  std::string shadow_plan;
+
+  /// Client-visible latency in virtual time.
+  util::VirtualNanos latency_ns() const {
+    return inference_ns + planning_ns + wasted_ns + execution_ns;
+  }
+};
+
+/// A long-lived, concurrent query-serving front end over one database: a
+/// bounded admission queue fans queries out to a pool of worker threads,
+/// each executing on an isolated engine replica
+/// (Database::CloneContextForWorker). Plans come from a sharded LRU plan
+/// cache backed by the pluggable router (pglite / published LQO / shadow);
+/// LQO-routed plans run under a per-query deadline with the paper's
+/// timeout-fallback protocol. Models are published through a lock-free
+/// HotSwapSlot, so training can continue while the server drains traffic.
+/// Full architecture notes: docs/serving.md.
+class QueryServer {
+ public:
+  /// Spawns the worker pool. `db` must outlive the server; the server never
+  /// executes on it (replicas only), but LQO inference plans through a
+  /// dedicated replica as well, so `db` stays untouched throughout.
+  QueryServer(engine::Database* db, const ServerOptions& options);
+
+  /// Shuts down: drains the queue, joins the workers.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits a query, blocking while the queue is full (backpressure). The
+  /// future resolves when a worker finishes the query. Must not be called
+  /// after Shutdown().
+  std::future<ServedQuery> Submit(query::Query q);
+
+  /// Non-blocking admission: returns false (and counts
+  /// obs::Counter::kServeRejected on the calling thread) when the queue is
+  /// full.
+  bool TrySubmit(query::Query q, std::future<ServedQuery>* result);
+
+  /// Publishes a trained model to the router (atomic hot swap; never blocks
+  /// serving). In-flight queries finish on the snapshot they acquired; the
+  /// version change invalidates every LQO-routed plan-cache entry. Returns
+  /// the new model version.
+  uint64_t PublishModel(std::shared_ptr<lqo::LearnedOptimizer> model);
+
+  /// Blocks until the queue is empty and no query is in flight.
+  void Drain();
+
+  /// Stops admissions, drains, and joins the worker pool. Idempotent;
+  /// called by the destructor.
+  void Shutdown();
+
+  /// Merged engine/serve counters of all workers (callable while serving;
+  /// the snapshot is consistent per worker, workers are merged in index
+  /// order).
+  obs::MetricsRegistry SnapshotMetrics() const;
+
+  int32_t workers() const { return static_cast<int32_t>(workers_.size()); }
+  const PlanCache& plan_cache() const { return cache_; }
+  uint64_t model_version() const { return model_.version(); }
+  uint64_t seed() const { return seed_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Ticket {
+    query::Query query;
+    int64_t id = 0;
+    /// 0-based occurrence of this query fingerprint among admissions;
+    /// fixes the replay salt at admission so executions are independent of
+    /// which worker runs them, in which order.
+    uint64_t occurrence = 0;
+    std::promise<ServedQuery> promise;
+  };
+
+  struct WorkerState {
+    /// Held for the duration of each ticket (uncontended) and briefly by
+    /// SnapshotMetrics.
+    mutable std::mutex mu;
+    std::unique_ptr<engine::Database> db;
+    obs::MetricsRegistry metrics;
+  };
+
+  /// A plan pulled from the cache (`cache_hit`) or produced cold.
+  struct Acquired {
+    std::shared_ptr<const CachedPlan> plan;
+    bool cache_hit = false;
+  };
+
+  void WorkerLoop(WorkerState* state);
+  ServedQuery Process(engine::Database* replica, const Ticket& ticket);
+
+  /// Returns the native plan for `q`, through the cache (planning on the
+  /// worker's own replica on a miss — identical plan on every worker).
+  Acquired NativePlan(engine::Database* replica, const query::Query& q);
+  /// Returns the published model's plan for `q` (inference serialized on
+  /// the dedicated planning replica), through the cache; `plan` is null
+  /// when no model is published.
+  Acquired LqoPlan(const query::Query& q);
+
+  engine::Database* parent_;
+  ServerOptions options_;
+  uint64_t seed_;
+  PlanCache cache_;
+  HotSwapSlot<lqo::LearnedOptimizer> model_;
+
+  /// Serializes model inference; models mutate internal state when
+  /// planning, and the original systems run one model-server process.
+  std::mutex inference_mu_;
+  std::unique_ptr<engine::Database> planning_db_;  // guarded by inference_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // workers: ticket available / stopping
+  std::condition_variable space_cv_;  // submitters: queue has room
+  std::condition_variable idle_cv_;   // Drain: queue empty and none in flight
+  std::deque<Ticket> queue_;
+  std::unordered_map<uint64_t, uint64_t> occurrences_;
+  int64_t next_ticket_ = 0;
+  int64_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lqolab::serve
+
+#endif  // LQOLAB_SERVE_QUERY_SERVER_H_

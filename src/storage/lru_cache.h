@@ -18,8 +18,11 @@ class LruCache {
   }
 
   /// Looks up `key`; on hit moves it to the front and returns true, on miss
-  /// inserts it (evicting the LRU entry if full) and returns false.
-  bool Touch(uint64_t key) {
+  /// inserts it (evicting the LRU entry if full) and returns false. When an
+  /// eviction occurs and `evicted` is non-null, stores the evicted key (so
+  /// callers keeping a payload per key — e.g. serve::PlanCache — can drop
+  /// the matching entry).
+  bool Touch(uint64_t key, uint64_t* evicted = nullptr) {
     if (capacity_ == 0) return false;
     auto it = positions_.find(key);
     if (it != positions_.end()) {
@@ -27,6 +30,7 @@ class LruCache {
       return true;
     }
     if (static_cast<int64_t>(positions_.size()) >= capacity_) {
+      if (evicted != nullptr) *evicted = order_.back();
       positions_.erase(order_.back());
       order_.pop_back();
       ++evictions_;
@@ -39,7 +43,10 @@ class LruCache {
   /// True when `key` is resident; does not update recency.
   bool Contains(uint64_t key) const { return positions_.count(key) > 0; }
 
+  /// Drops every entry. Dropped entries count as evictions: the lifetime
+  /// counter tracks every removal, whether capacity-driven or bulk.
   void Clear() {
+    evictions_ += static_cast<int64_t>(positions_.size());
     order_.clear();
     positions_.clear();
   }
@@ -53,7 +60,8 @@ class LruCache {
 
   int64_t size() const { return static_cast<int64_t>(positions_.size()); }
   int64_t capacity() const { return capacity_; }
-  /// Entries evicted over the cache's lifetime (survives Clear/Resize).
+  /// Entries evicted over the cache's lifetime, including entries dropped
+  /// by Clear() and capacity changes (Resize()).
   int64_t evictions() const { return evictions_; }
 
  private:

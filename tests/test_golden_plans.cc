@@ -16,6 +16,7 @@
 
 #include "engine/database.h"
 #include "query/job_workload.h"
+#include "serve/query_server.h"
 
 namespace lqolab {
 namespace {
@@ -84,6 +85,44 @@ TEST(GoldenPlans, MatchesFixture) {
 
 TEST(GoldenPlans, SnapshotIsDeterministic) {
   EXPECT_EQ(SnapshotLines(), SnapshotLines());
+}
+
+/// Serving the same fingerprint through the plan cache must return a plan
+/// byte-identical to the cold plan — and both must match the fixture.
+TEST(GoldenPlans, PlanCacheHitsAreByteIdenticalToFixture) {
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.is_open())
+      << "missing " << GoldenPath()
+      << " — run ./build/tests/test_golden_plans --update-golden";
+  std::vector<std::string> golden_plans;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    // "<id> | cost=<estimate> | <plan>" — keep the plan segment.
+    golden_plans.push_back(line.substr(line.rfind(" | ") + 3));
+  }
+
+  engine::Database::Options options;
+  options.profile = datagen::ScaleProfile::Small();
+  options.seed = 42;
+  const auto db = engine::Database::CreateImdb(options);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  serve::QueryServer server(db.get(), server_options);
+
+  size_t g = 0;
+  for (size_t i = 0; i < workload.size(); i += 5, ++g) {
+    ASSERT_LT(g, golden_plans.size());
+    const serve::ServedQuery cold = server.Submit(workload[i]).get();
+    const serve::ServedQuery warm = server.Submit(workload[i]).get();
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_TRUE(warm.cache_hit) << workload[i].id;
+    EXPECT_EQ(warm.plan, cold.plan) << workload[i].id;
+    EXPECT_EQ(cold.plan, golden_plans[g]) << workload[i].id;
+  }
+  EXPECT_EQ(g, golden_plans.size());
 }
 
 }  // namespace

@@ -126,6 +126,39 @@ TEST(LruCache, ResizeClears) {
   EXPECT_EQ(cache.capacity(), 8);
 }
 
+TEST(LruCache, TouchReportsEvictedKey) {
+  LruCache cache(1);
+  uint64_t evicted = 0;
+  EXPECT_FALSE(cache.Touch(7, &evicted));
+  EXPECT_EQ(evicted, 0u);  // no eviction on the first insert
+  EXPECT_FALSE(cache.Touch(9, &evicted));
+  EXPECT_EQ(evicted, 7u);
+  EXPECT_EQ(cache.evictions(), 1);
+}
+
+TEST(LruCache, ClearCountsDroppedEntriesAsEvictions) {
+  LruCache cache(4);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  // The lifetime eviction counter includes entries dropped wholesale.
+  EXPECT_EQ(cache.evictions(), 3);
+}
+
+TEST(LruCache, ResizeCountsDroppedEntriesAsEvictions) {
+  LruCache cache(4);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Resize(1);  // capacity shrink clears, which must count
+  EXPECT_EQ(cache.evictions(), 2);
+  cache.Touch(3);
+  cache.Touch(4);  // evicts 3
+  EXPECT_EQ(cache.evictions(), 3);
+}
+
 TEST(BufferPool, TierProgression) {
   BufferPool pool(4, 16);
   const uint64_t key = BufferPool::PageKey(1, PageKind::kHeap, -1, 0);
