@@ -39,6 +39,11 @@ struct DbConfig {
   int32_t geqo_threshold = 12;
   /// When 1, the join order follows the FROM-clause order (no reordering).
   int32_t join_collapse_limit = 8;
+  /// Seed mixed into GEQO's per-query RNG stream (pglite's geqo_seed).
+  /// Planner::Plan threads it into GeqoParams, so two databases with the
+  /// same configuration — including CloneContextForWorker replicas and
+  /// fuzzer replays — genetically plan the same query identically.
+  uint64_t geqo_seed = 0;
 
   // --- Working memory (MB) ------------------------------------------------
   int64_t work_mem_mb = 4;

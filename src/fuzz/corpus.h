@@ -1,0 +1,48 @@
+#ifndef LQOLAB_FUZZ_CORPUS_H_
+#define LQOLAB_FUZZ_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+
+namespace lqolab::fuzz {
+
+/// Text form of a query, stable across database rebuilds: tables and
+/// columns by name, string literals as text (they rebind against whatever
+/// dictionary the replaying database has). One declaration per line:
+///
+///   query <id>
+///   relation <table> <alias>
+///   edge <alias>.<column> <alias>.<column>
+///   pred <alias>.<column> eq|in <int>... | 's'...
+///   pred <alias>.<column> range <lo> <hi>
+///   pred <alias>.<column> isnull|notnull
+///
+/// '#' starts a comment. SerializeQuery + ParseQuery round-trip every
+/// generated query to an identical structure (same fingerprint).
+std::string SerializeQuery(const query::Query& q,
+                           const catalog::Schema& schema);
+
+bool ParseQuery(const std::string& text, const catalog::Schema& schema,
+                query::Query* out, std::string* error);
+
+/// Writes `q` (with `note` as a leading comment) to
+/// `<dir>/<id>.repro`, creating `dir` if needed. Returns the path, or ""
+/// on I/O failure.
+std::string WriteReproducer(const std::string& dir, const query::Query& q,
+                            const catalog::Schema& schema,
+                            const std::string& note);
+
+/// Loads one reproducer file.
+bool LoadReproducer(const std::string& path, const catalog::Schema& schema,
+                    query::Query* out, std::string* error);
+
+/// All *.repro files under `dir`, sorted by name; empty when the directory
+/// does not exist.
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+}  // namespace lqolab::fuzz
+
+#endif  // LQOLAB_FUZZ_CORPUS_H_

@@ -47,6 +47,8 @@ struct PlanNode {
   JoinAlgo algo = JoinAlgo::kHash;
   int32_t left = -1;
   int32_t right = -1;
+
+  bool operator==(const PlanNode&) const = default;
 };
 
 /// A physical plan: a binary tree of joins over base-relation scans.
@@ -55,6 +57,11 @@ struct PlanNode {
 struct PhysicalPlan {
   std::vector<PlanNode> nodes;
   int32_t root = -1;
+
+  /// Structural equality: identical node arrays (including child indices
+  /// and index columns) and the same root. Every planner builds trees in
+  /// post order, so equal trees compare equal node-for-node.
+  bool operator==(const PhysicalPlan&) const = default;
 
   /// Appends a scan leaf and returns its node index.
   int32_t AddScan(query::AliasId alias, ScanType type,

@@ -1,0 +1,174 @@
+#include "optimizer/plan_hint.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lqolab::optimizer {
+
+namespace {
+
+/// Recursive-descent parser over the hint grammar (see plan_hint.h).
+class HintParser {
+ public:
+  HintParser(const std::string& text, const query::Query& q,
+             PhysicalPlan* out)
+      : text_(text), q_(q), out_(out) {}
+
+  bool Parse(std::string* error) {
+    const int32_t root = ParseNode();
+    if (root < 0) {
+      *error = error_;
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      *error = "trailing input at offset " + std::to_string(pos_);
+      return false;
+    }
+    out_->root = root;
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    error_ = std::string("expected '") + c + "' at offset " +
+             std::to_string(pos_);
+    return false;
+  }
+
+  /// Identifier: [A-Za-z0-9_]+ (covers operator names and aliases).
+  std::string ParseIdent() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  /// Returns the new node's index or -1 on error (error_ set).
+  int32_t ParseNode() {
+    const std::string name = ParseIdent();
+    if (name.empty()) {
+      error_ = "expected operator name at offset " + std::to_string(pos_);
+      return -1;
+    }
+    for (JoinAlgo algo : {JoinAlgo::kHash, JoinAlgo::kNestLoop,
+                          JoinAlgo::kIndexNlj, JoinAlgo::kMerge}) {
+      if (name == JoinAlgoName(algo)) return ParseJoin(algo);
+    }
+    for (ScanType type : {ScanType::kSeq, ScanType::kIndex, ScanType::kBitmap,
+                          ScanType::kTid}) {
+      if (name == ScanTypeName(type)) return ParseScan(type);
+    }
+    error_ = "unknown operator '" + name + "'";
+    return -1;
+  }
+
+  int32_t ParseJoin(JoinAlgo algo) {
+    if (!Consume('(')) return -1;
+    const int32_t left = ParseNode();
+    if (left < 0) return -1;
+    if (!Consume(',')) return -1;
+    const int32_t right = ParseNode();
+    if (right < 0) return -1;
+    if (!Consume(')')) return -1;
+    if ((out_->node(left).mask & out_->node(right).mask) != 0) {
+      error_ = "join inputs overlap";
+      return -1;
+    }
+    return out_->AddJoin(algo, left, right);
+  }
+
+  int32_t ParseScan(ScanType type) {
+    if (!Consume('(')) return -1;
+    const std::string alias = ParseIdent();
+    query::AliasId id = -1;
+    for (size_t i = 0; i < q_.relations.size(); ++i) {
+      if (q_.relations[i].alias == alias) {
+        id = static_cast<query::AliasId>(i);
+        break;
+      }
+    }
+    if (id < 0) {
+      error_ = "unknown alias '" + alias + "'";
+      return -1;
+    }
+    catalog::ColumnId index_column = catalog::kInvalidColumn;
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '#') {
+      ++pos_;
+      const std::string digits = ParseIdent();
+      char* end = nullptr;
+      const long value = std::strtol(digits.c_str(), &end, 10);
+      if (digits.empty() || *end != '\0') {
+        error_ = "bad index column '" + digits + "'";
+        return -1;
+      }
+      index_column = static_cast<catalog::ColumnId>(value);
+    }
+    if (!Consume(')')) return -1;
+    return out_->AddScan(id, type, index_column);
+  }
+
+  const std::string& text_;
+  const query::Query& q_;
+  PhysicalPlan* out_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::string RenderPlanHint(const PhysicalPlan& plan, const query::Query& q) {
+  LQOLAB_CHECK(!plan.empty());
+  std::ostringstream os;
+  std::function<void(int32_t)> render = [&](int32_t i) {
+    const PlanNode& n = plan.node(i);
+    if (n.type == PlanNode::Type::kScan) {
+      os << ScanTypeName(n.scan_type) << "("
+         << q.relations[static_cast<size_t>(n.alias)].alias;
+      if (n.index_column != catalog::kInvalidColumn) {
+        os << "#" << n.index_column;
+      }
+      os << ")";
+      return;
+    }
+    os << JoinAlgoName(n.algo) << "(";
+    render(n.left);
+    os << ", ";
+    render(n.right);
+    os << ")";
+  };
+  render(plan.root);
+  return os.str();
+}
+
+bool ParsePlanHint(const std::string& hint, const query::Query& q,
+                   PhysicalPlan* out, std::string* error) {
+  LQOLAB_CHECK(out != nullptr);
+  LQOLAB_CHECK(error != nullptr);
+  *out = PhysicalPlan();
+  HintParser parser(hint, q, out);
+  return parser.Parse(error);
+}
+
+}  // namespace lqolab::optimizer

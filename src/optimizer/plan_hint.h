@@ -1,0 +1,35 @@
+#ifndef LQOLAB_OPTIMIZER_PLAN_HINT_H_
+#define LQOLAB_OPTIMIZER_PLAN_HINT_H_
+
+#include <string>
+
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+
+namespace lqolab::optimizer {
+
+/// Lossless textual plan hints (the pg_hint_plan-style exchange format of
+/// the serving and fuzzing layers). The grammar extends ToString() with the
+/// probe column of index-driven scans, which ToString drops:
+///
+///   plan := node
+///   node := scan | join
+///   scan := ScanTypeName '(' alias ['#' column_id] ')'
+///   join := JoinAlgoName '(' node ', ' node ')'
+///
+/// e.g. "HashJoin(SeqScan(t), IndexNlj(SeqScan(mc), IndexScan(cn#1)))".
+/// RenderPlanHint + ParsePlanHint round-trip every valid plan exactly
+/// (same node array, same root).
+std::string RenderPlanHint(const PhysicalPlan& plan, const query::Query& q);
+
+/// Parses a hint back into a plan, resolving aliases against `q`. The tree
+/// is rebuilt in post order (left subtree, right subtree, join), matching
+/// how every planner lays out its node array. Returns false and sets
+/// `*error` on malformed input, unknown aliases or join algorithms;
+/// `*out` is unspecified on failure.
+bool ParsePlanHint(const std::string& hint, const query::Query& q,
+                   PhysicalPlan* out, std::string* error);
+
+}  // namespace lqolab::optimizer
+
+#endif  // LQOLAB_OPTIMIZER_PLAN_HINT_H_

@@ -74,7 +74,9 @@ PlanningResult Planner::Plan(const Query& q) const {
     return result;
   }
   if (cfg.geqo && q.relation_count() >= cfg.geqo_threshold) {
-    return PlanGenetic(q, GeqoParams{});
+    GeqoParams params;
+    params.seed = cfg.geqo_seed;
+    return PlanGenetic(q, params);
   }
   return PlanDynamicProgramming(q, cfg.enable_bushy);
 }

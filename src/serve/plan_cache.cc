@@ -25,6 +25,7 @@ uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
   key = util::MixSeed(key, flags);
   key = util::MixSeed(key, static_cast<uint64_t>(config.geqo_threshold),
                       static_cast<uint64_t>(config.join_collapse_limit));
+  key = util::MixSeed(key, config.geqo_seed);
   key = util::MixSeed(key, static_cast<uint64_t>(config.work_mem_mb),
                       static_cast<uint64_t>(config.shared_buffers_mb));
   key = util::MixSeed(key, static_cast<uint64_t>(config.effective_cache_size_mb),

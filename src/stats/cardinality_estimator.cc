@@ -1,6 +1,8 @@
 #include "stats/cardinality_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/check.h"
@@ -12,6 +14,22 @@ using query::AliasMask;
 using query::JoinEdge;
 using query::Predicate;
 using query::Query;
+
+namespace {
+
+/// Join selectivities must be finite and strictly positive: a NaN (missing
+/// stats combined with a poisoned join_selectivity_scale) would propagate
+/// through every cost comparison, and a hard zero erases the base
+/// cardinalities it multiplies, collapsing whole subplans to one row. NaN
+/// falls back to the uninformative 1.0; zero clamps to the smallest normal
+/// double — far below any selectivity real statistics can produce, so no
+/// legitimate estimate is perturbed.
+double ClampJoinSelectivity(double s) {
+  if (std::isnan(s)) return 1.0;
+  return std::min(1.0, std::max(std::numeric_limits<double>::min(), s));
+}
+
+}  // namespace
 
 CardinalityEstimator::CardinalityEstimator(const exec::DbContext* ctx)
     : ctx_(ctx) {
@@ -67,8 +85,8 @@ double CardinalityEstimator::EdgeSelectivity(const Query& q,
     // Ablation: plain 1/max(nd) with null-fraction correction.
     const double nd = std::max<double>(
         1.0, static_cast<double>(std::max(ls.n_distinct, rs.n_distinct)));
-    return std::min(1.0, scale * ls.NotNullSelectivity() *
-                             rs.NotNullSelectivity() / nd);
+    return ClampJoinSelectivity(scale * ls.NotNullSelectivity() *
+                                rs.NotNullSelectivity() / nd);
   }
 
   double matched = 0.0;
@@ -92,7 +110,7 @@ double CardinalityEstimator::EdgeSelectivity(const Query& q,
       1.0, static_cast<double>(std::max(ls.n_distinct, rs.n_distinct)) -
                static_cast<double>(
                    std::min(ls.mcv_values.size(), rs.mcv_values.size())));
-  return std::min(1.0, scale * (matched + rest_l * rest_r / rest_nd));
+  return ClampJoinSelectivity(scale * (matched + rest_l * rest_r / rest_nd));
 }
 
 double CardinalityEstimator::EstimateJoinRows(const Query& q,
@@ -107,10 +125,14 @@ double CardinalityEstimator::EstimateJoinRows(const Query& q,
     for (const JoinEdge& edge : q.edges) {
       if ((mask & query::MaskOf(edge.left_alias)) &&
           (mask & query::MaskOf(edge.right_alias))) {
-        rows *= EdgeSelectivity(q, edge);
+        // Clamp after every edge, not once at the end: applying a dozen
+        // selectivities at once can underflow the running product to 0,
+        // which a final max(1, ...) would then freeze at exactly one row
+        // regardless of the base cardinalities.
+        rows = std::max(1.0, rows * EdgeSelectivity(q, edge));
       }
     }
-    return std::max(1.0, rows);
+    return rows;
   }
   // Stepwise estimate in the spirit of calc_joinrel_size_estimate: grow the
   // subset one relation at a time (largest filtered base last, mirroring
@@ -155,17 +177,19 @@ double CardinalityEstimator::EstimateJoinRows(const Query& q,
       }
       break;
     }
-    double selectivity = 1.0;
+    rows *= base[next];
     for (const JoinEdge& edge : q.edges) {
       const AliasMask l = query::MaskOf(edge.left_alias);
       const AliasMask r = query::MaskOf(edge.right_alias);
       const AliasMask next_bit = query::MaskOf(members[next]);
       if (((l & covered) && (r & next_bit)) ||
           ((r & covered) && (l & next_bit))) {
-        selectivity *= EdgeSelectivity(q, edge);
+        // Per-edge clamp, as above: cliques connect each new relation to
+        // the whole covered set, and multiplying all of those edge
+        // selectivities before clamping can underflow to 0.
+        rows = std::max(1.0, rows * EdgeSelectivity(q, edge));
       }
     }
-    rows = std::max(1.0, rows * base[next] * selectivity);
     used[next] = 1;
     covered |= query::MaskOf(members[next]);
   }

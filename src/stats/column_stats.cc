@@ -12,28 +12,47 @@ using storage::Value;
 
 namespace {
 
+/// Fractional bucket position of `v` in [0, buckets]: the index of the
+/// bucket containing v plus linear interpolation inside it. All comparisons
+/// happen in doubles — casting v back to Value truncates toward zero, which
+/// used to shift negative query bounds into the wrong bucket. Duplicate
+/// bounds (duplicate-heavy columns produce runs of equal equi-depth bounds)
+/// are handled by always interpolating in the last bucket whose lower bound
+/// is <= v, whose width is then strictly positive.
+double BucketPosition(const std::vector<Value>& bounds, double v) {
+  const double buckets = static_cast<double>(bounds.size() - 1);
+  if (v <= static_cast<double>(bounds.front())) return 0.0;
+  if (v >= static_cast<double>(bounds.back())) return buckets;
+  const auto it = std::upper_bound(
+      bounds.begin(), bounds.end(), v,
+      [](double value, Value bound) { return value < static_cast<double>(bound); });
+  // Everything before `it` is <= v, so b is the last such index; since
+  // bounds.front() <= v < bounds.back(), b is in [0, size-2] and
+  // bounds[b+1] > v >= bounds[b] gives a strictly positive width.
+  const size_t b = static_cast<size_t>(it - bounds.begin()) - 1;
+  const double width =
+      static_cast<double>(bounds[b + 1]) - static_cast<double>(bounds[b]);
+  const double frac =
+      width <= 0.0 ? 0.5 : (v - static_cast<double>(bounds[b])) / width;
+  const double position =
+      static_cast<double>(b) + std::min(1.0, std::max(0.0, frac));
+  return std::min(buckets, std::max(0.0, position));
+}
+
 /// Fraction of histogram mass inside [lo, hi], linearly interpolated within
 /// buckets (PostgreSQL's ineq_histogram_selectivity approach).
 double HistogramRangeFraction(const std::vector<Value>& bounds, Value lo,
                               Value hi) {
   if (bounds.size() < 2) return 0.0;
+  if (bounds.front() == bounds.back()) {
+    // All bounds equal: the histogram is a point mass; inclusive ranges
+    // either cover it entirely or not at all.
+    return lo <= bounds.front() && bounds.front() <= hi ? 1.0 : 0.0;
+  }
   const double buckets = static_cast<double>(bounds.size() - 1);
-  auto position = [&](double v) {
-    // Returns the fractional bucket position of v in [0, buckets].
-    if (v <= bounds.front()) return 0.0;
-    if (v >= bounds.back()) return buckets;
-    const auto it = std::upper_bound(bounds.begin(), bounds.end(),
-                                     static_cast<Value>(v));
-    const size_t b = static_cast<size_t>(it - bounds.begin()) - 1;
-    const double width = static_cast<double>(bounds[b + 1]) -
-                         static_cast<double>(bounds[b]);
-    const double frac =
-        width <= 0.0 ? 0.5 : (v - static_cast<double>(bounds[b])) / width;
-    return static_cast<double>(b) + std::min(1.0, std::max(0.0, frac));
-  };
-  const double span = position(static_cast<double>(hi) + 0.5) -
-                      position(static_cast<double>(lo) - 0.5);
-  return std::max(0.0, span / buckets);
+  const double span = BucketPosition(bounds, static_cast<double>(hi) + 0.5) -
+                      BucketPosition(bounds, static_cast<double>(lo) - 0.5);
+  return std::min(1.0, std::max(0.0, span / buckets));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
+#include "optimizer/plan_hint.h"
 #include "query/job_workload.h"
 #include "serve/query_server.h"
 
@@ -85,6 +86,52 @@ TEST(GoldenPlans, MatchesFixture) {
 
 TEST(GoldenPlans, SnapshotIsDeterministic) {
   EXPECT_EQ(SnapshotLines(), SnapshotLines());
+}
+
+/// Every workload plan must survive a hint round trip: render the planned
+/// tree to the hint grammar (optimizer/plan_hint.h), re-parse it against
+/// the same query, and get back a structurally identical plan that renders
+/// to the same bytes. This is the contract the fuzzer's hint check and any
+/// pg_hint_plan-style LQO integration rely on.
+TEST(GoldenPlans, PlansRoundTripThroughHintGrammar) {
+  engine::Database::Options options;
+  options.profile = datagen::ScaleProfile::Small();
+  options.seed = 42;
+  const auto db = engine::Database::CreateImdb(options);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  for (const query::Query& q : workload) {
+    const auto planned = db->PlanQuery(q);
+    const std::string hint = optimizer::RenderPlanHint(planned.plan, q);
+    optimizer::PhysicalPlan reparsed;
+    std::string error;
+    ASSERT_TRUE(optimizer::ParsePlanHint(hint, q, &reparsed, &error))
+        << q.id << ": " << error << "\n" << hint;
+    EXPECT_TRUE(reparsed == planned.plan) << q.id << "\n" << hint;
+    EXPECT_EQ(optimizer::RenderPlanHint(reparsed, q), hint) << q.id;
+  }
+}
+
+/// The hint parser must reject structurally broken hints instead of
+/// handing the executor a malformed tree.
+TEST(GoldenPlans, HintParserRejectsMalformedHints) {
+  engine::Database::Options options;
+  options.profile = datagen::ScaleProfile::Small();
+  options.seed = 42;
+  const auto db = engine::Database::CreateImdb(options);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  const query::Query& q = workload[0];
+  optimizer::PhysicalPlan plan;
+  std::string error;
+  EXPECT_FALSE(optimizer::ParsePlanHint("", q, &plan, &error));
+  EXPECT_FALSE(optimizer::ParsePlanHint("SeqScan(zz)", q, &plan, &error))
+      << "unknown alias must be rejected";
+  EXPECT_FALSE(optimizer::ParsePlanHint("HashJoin(SeqScan(t))", q, &plan,
+                                        &error))
+      << "join arity must be enforced";
+  const std::string valid = optimizer::RenderPlanHint(
+      db->PlanQuery(q).plan, q);
+  EXPECT_FALSE(optimizer::ParsePlanHint(valid + ")", q, &plan, &error))
+      << "trailing garbage must be rejected";
 }
 
 /// Serving the same fingerprint through the plan cache must return a plan

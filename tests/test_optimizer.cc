@@ -298,6 +298,43 @@ TEST(Planner, DispatchRespectsGeqoThreshold) {
   EXPECT_FALSE(db->planner().Plan(big).used_geqo);
 }
 
+TEST(Planner, GeqoSeedFlowsFromConfigIntoPlan) {
+  auto db = MakeDb();
+  const Query q = query::BuildJobQuery(db->schema(), 29, 'a');
+
+  // Plan() must thread config.geqo_seed into GeqoParams: planning through
+  // the dispatcher and calling PlanGenetic with the same seed directly are
+  // byte-identical.
+  DbConfig config = DbConfig::OurFramework();
+  config.geqo_seed = 12345;
+  db->SetConfig(config);
+  const PlanningResult via_plan = db->planner().Plan(q);
+  ASSERT_TRUE(via_plan.used_geqo);
+  GeqoParams params;
+  params.seed = 12345;
+  const PlanningResult direct = db->planner().PlanGenetic(q, params);
+  EXPECT_EQ(via_plan.plan.ToString(q), direct.plan.ToString(q));
+  EXPECT_EQ(via_plan.estimated_cost, direct.estimated_cost);
+
+  // The knob is live: some nearby seed must genetically plan differently
+  // than seed 0 on a 17-relation query.
+  const std::string base =
+      db->planner().PlanGenetic(q, GeqoParams{}).plan.ToString(q);
+  bool differs = false;
+  for (uint64_t seed = 1; seed <= 16 && !differs; ++seed) {
+    GeqoParams p;
+    p.seed = seed;
+    differs = db->planner().PlanGenetic(q, p).plan.ToString(q) != base;
+  }
+  EXPECT_TRUE(differs);
+
+  // Worker replicas inherit the configured seed and plan identically —
+  // the property parallel replay and fuzz replays rely on.
+  const auto replica = db->CloneContextForWorker();
+  EXPECT_EQ(replica->planner().Plan(q).plan.ToString(q),
+            via_plan.plan.ToString(q));
+}
+
 TEST(Planner, JoinCollapseLimitForcesFromOrder) {
   DbConfig config = DbConfig::OurFramework();
   config.join_collapse_limit = 1;

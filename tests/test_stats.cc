@@ -83,6 +83,52 @@ TEST(Analyze, RangeSelectivityFullDomain) {
   EXPECT_EQ(cs.RangeSelectivity(10, 5), 0.0);
 }
 
+/// Hand-built histograms targeting the interpolation edge cases: negative
+/// domains (the old bucket search truncated the -0.5/+0.5 interpolation
+/// offsets toward zero), values below bounds.front(), zero-width buckets,
+/// and fully degenerate all-equal bounds.
+TEST(Analyze, HistogramNegativeDomainInterpolation) {
+  ColumnStats cs;
+  cs.row_count = 100;
+  cs.histogram_bounds = {-10, -5, 0};
+  cs.histogram_fraction = 1.0;
+  // [-8, -6] spans positions (-8.5, -5.5) of the first 5-wide bucket:
+  // (0.9 - 0.3) / 2 buckets = 0.3 of the histogram.
+  EXPECT_NEAR(cs.RangeSelectivity(-8, -6), 0.3, 1e-9);
+  EXPECT_NEAR(cs.RangeSelectivity(-10, 0), 1.0, 1e-9);
+  EXPECT_EQ(cs.RangeSelectivity(-100, -50), 0.0);
+  EXPECT_EQ(cs.RangeSelectivity(50, 100), 0.0);
+}
+
+TEST(Analyze, HistogramAllEqualBoundsActAsPointMass) {
+  ColumnStats cs;
+  cs.row_count = 10;
+  cs.histogram_bounds = {7, 7, 7};
+  cs.histogram_fraction = 1.0;
+  EXPECT_EQ(cs.RangeSelectivity(0, 10), 1.0);
+  EXPECT_EQ(cs.RangeSelectivity(7, 7), 1.0);
+  EXPECT_EQ(cs.RangeSelectivity(8, 10), 0.0);
+  EXPECT_EQ(cs.RangeSelectivity(0, 6), 0.0);
+}
+
+TEST(Analyze, HistogramZeroWidthBucketsStayInUnitInterval) {
+  ColumnStats cs;
+  cs.row_count = 10;
+  cs.histogram_bounds = {0, 5, 5, 5, 9};  // repeated interior bound
+  cs.histogram_fraction = 1.0;
+  double previous_width_sel = 0.0;
+  for (Value hi = -2; hi <= 11; ++hi) {
+    const double sel = cs.RangeSelectivity(-2, hi);
+    ASSERT_TRUE(std::isfinite(sel)) << "hi=" << hi;
+    ASSERT_GE(sel, 0.0) << "hi=" << hi;
+    ASSERT_LE(sel, 1.0) << "hi=" << hi;
+    // Growing the range can only grow the selectivity.
+    ASSERT_GE(sel, previous_width_sel - 1e-12) << "hi=" << hi;
+    previous_width_sel = sel;
+  }
+  EXPECT_NEAR(cs.RangeSelectivity(-2, 11), 1.0, 1e-9);
+}
+
 TEST(Analyze, HistogramBoundsSorted) {
   const catalog::TableDef def = SingleIntColumnDef();
   storage::Table table(0, def);
@@ -291,6 +337,57 @@ TEST_F(EstimatorTest, EdgeSelectivityWithinUnit) {
       EXPECT_LE(sel, 1.0) << q.id;
     }
   }
+}
+
+/// A poisoned join_selectivity_scale (0, or NaN from a bad sweep config)
+/// must not leak out of EdgeSelectivity: 0 used to zero the stepwise
+/// selectivity product and freeze every deeper join estimate at the clamp,
+/// and NaN poisoned every cost downstream.
+TEST_F(EstimatorTest, EdgeSelectivitySurvivesPoisonedScale) {
+  const engine::DbConfig saved = db_->config();
+  const auto& estimator = db_->planner().estimator();
+  const query::Query& q = (*workload_)[0];
+  ASSERT_FALSE(q.edges.empty());
+
+  engine::DbConfig poisoned = saved;
+  poisoned.join_selectivity_scale = 0.0;
+  db_->SetConfig(poisoned);
+  for (const auto& edge : q.edges) {
+    const double sel = estimator.EdgeSelectivity(q, edge);
+    EXPECT_GT(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
+  EXPECT_GE(estimator.EstimateJoinRows(q, q.FullMask()), 1.0);
+
+  poisoned.join_selectivity_scale = std::nan("");
+  db_->SetConfig(poisoned);
+  for (const auto& edge : q.edges) {
+    const double sel = estimator.EdgeSelectivity(q, edge);
+    EXPECT_TRUE(std::isfinite(sel));
+    EXPECT_GT(sel, 0.0);
+    EXPECT_LE(sel, 1.0);
+  }
+  const double rows = estimator.EstimateJoinRows(q, q.FullMask());
+  EXPECT_TRUE(std::isfinite(rows));
+  EXPECT_GE(rows, 1.0);
+  db_->SetConfig(saved);
+}
+
+/// The per-edge >= 1 row clamp: a chain of extremely selective joins must
+/// never freeze at exactly the clamp while edges remain, and the estimate
+/// must stay finite and positive however deep the chain gets.
+TEST_F(EstimatorTest, DeepChainEstimatesStayPositiveUnderTinyScale) {
+  const engine::DbConfig saved = db_->config();
+  engine::DbConfig tiny = saved;
+  tiny.join_selectivity_scale = 1e-30;
+  db_->SetConfig(tiny);
+  const auto& estimator = db_->planner().estimator();
+  for (const auto& q : *workload_) {
+    const double rows = estimator.EstimateJoinRows(q, q.FullMask());
+    EXPECT_TRUE(std::isfinite(rows)) << q.id;
+    EXPECT_GE(rows, 1.0) << q.id;
+  }
+  db_->SetConfig(saved);
 }
 
 /// Property sweep over all 113 queries: subset estimates are monotone-ish
