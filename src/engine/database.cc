@@ -117,15 +117,26 @@ void Database::InitRuntime() {
 }
 
 void Database::SetConfig(const DbConfig& config) {
+  LQOLAB_CHECK(TrySetConfig(config).ok());
+}
+
+util::Status Database::TrySetConfig(const DbConfig& config) {
   const bool memory_changed =
       config.shared_buffers_mb != ctx_.config.shared_buffers_mb ||
       config.ram_mb != ctx_.config.ram_mb;
-  ctx_.config = config;
   if (memory_changed) {
-    ctx_.buffer_pool->Resize(ScaledPages(config.shared_buffers_mb),
-                             ScaledPages(config.ram_mb));
+    if (config.shared_buffers_mb <= 0 || config.ram_mb <= 0) {
+      return util::Status(util::StatusCode::kResourceExhausted,
+                          "non-positive buffer sizing");
+    }
+    const util::Status status =
+        ctx_.buffer_pool->TryResize(ScaledPages(config.shared_buffers_mb),
+                                    ScaledPages(config.ram_mb));
+    if (!status.ok()) return status;  // Old config and caches intact.
     run_counts_.clear();
   }
+  ctx_.config = config;
+  return util::Status::Ok();
 }
 
 int64_t Database::TotalPages() const {
@@ -167,7 +178,8 @@ double Database::WarmupMultiplier(const query::Query& q) {
 QueryRun Database::ExecutePlan(const query::Query& q,
                                const optimizer::PhysicalPlan& plan,
                                VirtualNanos planning_ns,
-                               VirtualNanos timeout_ns) {
+                               VirtualNanos timeout_ns,
+                               const exec::QueryDeadline* deadline) {
   const double warm = WarmupMultiplier(q);
   const double noise =
       std::exp(noise_rng_.Gaussian(0.0, cost::kNoiseSigma));
@@ -175,8 +187,9 @@ QueryRun Database::ExecutePlan(const query::Query& q,
       timeout_ns > 0 ? timeout_ns
                      : ctx_.config.statement_timeout_ms * util::kNanosPerMilli;
   const exec::ExecutionResult result =
-      executor_->Execute(q, plan, timeout, warm * noise);
+      executor_->Execute(q, plan, timeout, warm * noise, deadline);
   QueryRun run;
+  run.status = result.status;
   run.planning_ns = planning_ns;
   run.execution_ns = result.execution_ns;
   run.timed_out = result.timed_out;

@@ -25,6 +25,10 @@ int64_t ScaledPages(int64_t mb);
 
 /// Outcome of one planned-and-executed query.
 struct QueryRun {
+  /// Execution outcome classification (see exec::ExecutionResult::status):
+  /// OK, kDeadlineExceeded (== timed_out), a cancel code, or an injected
+  /// fault code. Success paths never change: default status is OK.
+  util::Status status;
   util::VirtualNanos planning_ns = 0;
   util::VirtualNanos execution_ns = 0;
   bool timed_out = false;
@@ -85,8 +89,15 @@ class Database {
   /// Changes the configuration. Memory-sizing changes resize (and thus
   /// clear) the buffer cache; pure planner switches (enable_*, geqo) do
   /// not — Bao-style hint sets can be applied per query without losing
-  /// cache state.
+  /// cache state. Aborts on an invalid (e.g. non-positive memory) config;
+  /// use TrySetConfig where allocation pressure must degrade gracefully.
   void SetConfig(const DbConfig& config);
+
+  /// Like SetConfig, but returns kResourceExhausted instead of aborting
+  /// when the memory sizing cannot be satisfied (non-positive or
+  /// overflowing shared_buffers/ram). On error the configuration and the
+  /// buffer cache are left unchanged.
+  util::Status TrySetConfig(const DbConfig& config);
 
   /// Plans a query under the current configuration; returns the plan plus
   /// the modeled planning time.
@@ -102,11 +113,14 @@ class Database {
   /// Executes a caller-provided plan (the pg_hint_plan path used by LQOs).
   /// Applies warm-up state and execution noise; mutates cache state.
   /// `timeout_ns` overrides the configured statement timeout when > 0
-  /// (Balsa-style training timeouts).
+  /// (Balsa-style training timeouts). A non-null `deadline` lets another
+  /// thread cancel the execution mid-plan (serve shutdown); the cancel code
+  /// surfaces in QueryRun::status.
   QueryRun ExecutePlan(const query::Query& q,
                        const optimizer::PhysicalPlan& plan,
                        util::VirtualNanos planning_ns = 0,
-                       util::VirtualNanos timeout_ns = 0);
+                       util::VirtualNanos timeout_ns = 0,
+                       const exec::QueryDeadline* deadline = nullptr);
 
   /// Plans and executes.
   QueryRun Run(const query::Query& q);

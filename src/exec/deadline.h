@@ -1,0 +1,53 @@
+#ifndef LQOLAB_EXEC_DEADLINE_H_
+#define LQOLAB_EXEC_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace lqolab::exec {
+
+/// Cross-thread cancellation token for one in-flight execution. The
+/// statement timeout already bounds *virtual* time inside the executor;
+/// QueryDeadline covers the external axis — a client abort or server
+/// shutdown cancelling work mid-plan from another thread. The executor
+/// polls `cancelled()` at every plan-node boundary, so a cancel lands
+/// within one node's evaluation.
+///
+/// Cancellation is sticky and first-cancel-wins: the first Cancel() fixes
+/// the code surfaced in ExecutionResult::status.
+class QueryDeadline {
+ public:
+  QueryDeadline() = default;
+
+  QueryDeadline(const QueryDeadline&) = delete;
+  QueryDeadline& operator=(const QueryDeadline&) = delete;
+
+  /// Requests cancellation. Safe from any thread; later calls are no-ops.
+  void Cancel(util::StatusCode code = util::StatusCode::kCancelled) {
+    int32_t expected = kNotCancelled;
+    code_.compare_exchange_strong(expected, static_cast<int32_t>(code),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+
+  bool cancelled() const {
+    return code_.load(std::memory_order_acquire) != kNotCancelled;
+  }
+
+  /// The first cancel's code; kOk when not cancelled.
+  util::StatusCode code() const {
+    const int32_t raw = code_.load(std::memory_order_acquire);
+    return raw == kNotCancelled ? util::StatusCode::kOk
+                                : static_cast<util::StatusCode>(raw);
+  }
+
+ private:
+  static constexpr int32_t kNotCancelled = -1;
+  std::atomic<int32_t> code_{kNotCancelled};
+};
+
+}  // namespace lqolab::exec
+
+#endif  // LQOLAB_EXEC_DEADLINE_H_

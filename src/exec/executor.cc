@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/cost_constants.h"
+#include "faultlib/faultlib.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -59,8 +60,17 @@ Executor::Executor(DbContext* ctx, Oracle* oracle)
 VirtualNanos Executor::ChargePage(uint64_t key, bool sequential) {
   ++pages_accessed_;
   obs::Count(obs::Counter::kExecPagesAccessed);
+  // Single choke point of every buffer access: the canonical storage fault
+  // site. Errors latch into fault_status_ (the walk aborts at the next node
+  // boundary); latency spikes charge extra virtual time like a slow read.
+  const faultlib::FaultAction fault = LQOLAB_FAULT_POINT("buffer.read_page");
+  if (fault.is_error() && fault_status_.ok()) {
+    fault_status_ = fault.error("buffer.read_page");
+  }
   const AccessTier tier = ctx_->buffer_pool->Access(key);
-  return TierCost(tier, sequential);
+  VirtualNanos nanos = TierCost(tier, sequential);
+  if (fault.is_latency()) nanos += fault.latency_ns;
+  return nanos;
 }
 
 VirtualNanos Executor::ChargeHeapFetches(catalog::TableId table,
@@ -255,6 +265,14 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
       const double batches =
           std::max(1.0, build_bytes / static_cast<double>(work_mem_bytes));
       if (batches > 1.0) {
+        // work_mem pressure: the build side spills to temp batches. This is
+        // the allocation-pressure fault site for hash joins.
+        const faultlib::FaultAction fault = LQOLAB_FAULT_POINT("buffer.alloc");
+        if (fault.is_error() && fault_status_.ok()) {
+          fault_status_ = fault.error("buffer.alloc");
+        } else if (fault.is_latency()) {
+          io += static_cast<double>(fault.latency_ns);
+        }
         cpu *= 1.0 + cost::kSpillPassPenalty * SafeLog2(batches);
         // Spilled batches are written to and re-read from temp files.
         const double spill_pages =
@@ -318,6 +336,14 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
         double c = rows * SafeLog2(rows) * cost::kSortItemNs;
         const double bytes = rows * cost::kBytesPerTupleSlot;
         if (bytes > static_cast<double>(work_mem_bytes)) {
+          // work_mem pressure: external merge sort (see hash-spill site).
+          const faultlib::FaultAction fault =
+              LQOLAB_FAULT_POINT("buffer.alloc");
+          if (fault.is_error() && fault_status_.ok()) {
+            fault_status_ = fault.error("buffer.alloc");
+          } else if (fault.is_latency()) {
+            io += static_cast<double>(fault.latency_ns);
+          }
           c *= 1.0 + cost::kSpillPassPenalty;
           io += 2.0 * (rows / storage::kRowsPerPage) *
                 static_cast<double>(cost::kDiskSeqReadNs);
@@ -335,12 +361,14 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
 
 ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
                                   VirtualNanos timeout_ns,
-                                  double time_multiplier) {
+                                  double time_multiplier,
+                                  const QueryDeadline* deadline) {
   LQOLAB_CHECK(!plan.empty());
   ExecutionResult result;
   result.node_rows.assign(plan.nodes.size(), 0);
   result.node_stats.assign(plan.nodes.size(), PlanNodeStats{});
   pages_accessed_ = 0;
+  fault_status_ = util::Status::Ok();
 
   double total = static_cast<double>(cost::kExecStartupNs);
   bool overflow = false;
@@ -359,6 +387,22 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
 
   const storage::BufferPool& pool = *ctx_->buffer_pool;
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    // Node boundary: the cancellation poll point and the landing spot for
+    // any fault latched inside the previous node's page charges.
+    if (deadline != nullptr && deadline->cancelled()) {
+      result.status = util::Status(deadline->code(), "execution cancelled");
+      obs::Count(obs::Counter::kExecCancelled);
+      break;
+    }
+    if (!fault_status_.ok()) break;
+    const faultlib::FaultAction node_fault = LQOLAB_FAULT_POINT("exec.node");
+    if (node_fault.is_error()) {
+      fault_status_ = node_fault.error("exec.node");
+      break;
+    }
+    if (node_fault.is_latency()) {
+      total += static_cast<double>(node_fault.latency_ns);
+    }
     const PlanNode& node = plan.nodes[i];
     PlanNodeStats& stats = result.node_stats[i];
     const int64_t shared_before = pool.shared_hits();
@@ -402,9 +446,21 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
 
   result.pages_accessed = pages_accessed_;
   const double scaled = total * time_multiplier;
+  if (result.status.ok() && !fault_status_.ok()) {
+    // A fault latched during the final node never reached a boundary check.
+    result.status = fault_status_;
+  }
+  if (!result.status.ok()) {
+    // Cancelled or faulted mid-plan: report the partial latency, no rows.
+    result.execution_ns =
+        SaturatingNanos(std::min(scaled, static_cast<double>(timeout_ns)));
+    return result;
+  }
   if (overflow || scaled >= static_cast<double>(timeout_ns)) {
     result.timed_out = true;
     result.execution_ns = timeout_ns;
+    result.status = util::Status(util::StatusCode::kDeadlineExceeded,
+                                 "statement timeout");
     return result;
   }
   result.execution_ns = SaturatingNanos(scaled);

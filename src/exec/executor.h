@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "exec/db_context.h"
+#include "exec/deadline.h"
 #include "exec/oracle.h"
 #include "optimizer/physical_plan.h"
 #include "query/query.h"
+#include "util/status.h"
 #include "util/virtual_clock.h"
 
 namespace lqolab::exec {
@@ -34,6 +36,12 @@ struct PlanNodeStats {
 
 /// Outcome of one (simulated) plan execution.
 struct ExecutionResult {
+  /// Outcome classification: OK on success, kDeadlineExceeded when
+  /// `timed_out`, the cancel code (kCancelled/kShutdown) when a
+  /// QueryDeadline aborted the walk, or the injected code of a faultlib
+  /// error (kUnavailable/kResourceExhausted). Non-OK results report the
+  /// partial latency accumulated before the abort and zero result_rows.
+  util::Status status;
   /// Simulated execution latency. Equals the timeout when `timed_out`.
   util::VirtualNanos execution_ns = 0;
   bool timed_out = false;
@@ -65,11 +73,14 @@ class Executor {
 
   /// Executes `plan` for `q`. `time_multiplier` scales all charges (used by
   /// the engine for warm-up state and execution noise); `timeout_ns` bounds
-  /// the reported latency, marking the result timed out.
+  /// the reported latency, marking the result timed out. A non-null
+  /// `deadline` is polled at every plan-node boundary so another thread can
+  /// cancel the walk mid-plan (result.status carries the cancel code).
   ExecutionResult Execute(const query::Query& q,
                           const optimizer::PhysicalPlan& plan,
                           util::VirtualNanos timeout_ns,
-                          double time_multiplier = 1.0);
+                          double time_multiplier = 1.0,
+                          const QueryDeadline* deadline = nullptr);
 
  private:
   /// Charges one page access and returns its cost. `sequential` selects the
@@ -100,6 +111,9 @@ class Executor {
   DbContext* ctx_;
   Oracle* oracle_;
   int64_t pages_accessed_ = 0;
+  /// First injected fault error of the current execution (sticky until the
+  /// node-boundary check aborts the walk); OK when no fault fired.
+  util::Status fault_status_;
 };
 
 }  // namespace lqolab::exec

@@ -1,0 +1,142 @@
+#include "faultlib/faultlib.h"
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lqolab::faultlib {
+
+namespace internal {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace internal
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kError:
+      return "error";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kPoison:
+      return "poison";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Uniform double in [0, 1) derived from one mixed word (53 mantissa bits),
+// matching util::Rng::Uniform's resolution without consuming a generator.
+double UniformFromWord(uint64_t word) {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+obs::Counter FireCounter(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLatency:
+      return obs::Counter::kFaultInjectedLatency;
+    case FaultKind::kPoison:
+      return obs::Counter::kFaultInjectedPoison;
+    default:
+      return obs::Counter::kFaultInjectedErrors;
+  }
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
+  for (const FaultRule& rule : plan_.rules) {
+    LQOLAB_CHECK(!rule.point.empty());
+    LQOLAB_CHECK_GE(rule.probability, 0.0);
+    LQOLAB_CHECK_GE(rule.every_nth, 0);
+    LQOLAB_CHECK_GE(rule.skip_hits, 0);
+    auto state = std::make_unique<PointState>();
+    state->rule = rule;
+    // Independent decision stream per point: (plan seed, point-name hash).
+    state->stream_seed =
+        util::MixSeed(plan_.seed, std::hash<std::string_view>{}(rule.point));
+    auto [it, inserted] = points_.emplace(rule.point, std::move(state));
+    LQOLAB_CHECK(inserted);  // One rule per point keeps decisions unambiguous.
+  }
+}
+
+const FaultInjector::PointState* FaultInjector::Find(
+    std::string_view point) const {
+  auto it = points_.find(point);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+FaultAction FaultInjector::Hit(std::string_view point) {
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultAction{};
+  PointState& state = *it->second;
+  const FaultRule& rule = state.rule;
+
+  // k is this hit's index in the point's lifetime sequence; the fire
+  // decision is a pure function of (stream_seed, k).
+  const int64_t k = state.hits.fetch_add(1, std::memory_order_relaxed);
+  if (k < rule.skip_hits) return FaultAction{};
+
+  bool fire;
+  if (rule.every_nth > 0) {
+    fire = (k - rule.skip_hits) % rule.every_nth == rule.every_nth - 1;
+  } else {
+    fire = UniformFromWord(util::MixSeed(
+               state.stream_seed, static_cast<uint64_t>(k))) < rule.probability;
+  }
+  if (!fire) return FaultAction{};
+
+  if (rule.max_fires >= 0) {
+    // Claim a fire slot; losers past the cap put the slot count back.
+    const int64_t f = state.fires.fetch_add(1, std::memory_order_relaxed);
+    if (f >= rule.max_fires) {
+      state.fires.fetch_sub(1, std::memory_order_relaxed);
+      return FaultAction{};
+    }
+  } else {
+    state.fires.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  obs::Count(FireCounter(rule.kind));
+  FaultAction action;
+  action.kind = rule.kind;
+  action.error_code = rule.error_code;
+  action.latency_ns = rule.latency_ns;
+  return action;
+}
+
+int64_t FaultInjector::hits(std::string_view point) const {
+  const PointState* state = Find(point);
+  return state == nullptr ? 0 : state->hits.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::fires(std::string_view point) const {
+  const PointState* state = Find(point);
+  return state == nullptr ? 0 : state->fires.load(std::memory_order_relaxed);
+}
+
+int64_t FaultInjector::total_fires() const {
+  int64_t total = 0;
+  for (const auto& [point, state] : points_) {
+    total += state->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<PointStats> FaultInjector::Stats() const {
+  std::vector<PointStats> stats;
+  stats.reserve(plan_.rules.size());
+  for (const FaultRule& rule : plan_.rules) {
+    const PointState* state = Find(rule.point);
+    PointStats entry;
+    entry.point = rule.point;
+    entry.kind = rule.kind;
+    entry.hits = state->hits.load(std::memory_order_relaxed);
+    entry.fires = state->fires.load(std::memory_order_relaxed);
+    stats.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+}  // namespace lqolab::faultlib

@@ -1,0 +1,187 @@
+#ifndef LQOLAB_FAULTLIB_FAULTLIB_H_
+#define LQOLAB_FAULTLIB_FAULTLIB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::faultlib {
+
+/// What an armed fault point does when it fires.
+enum class FaultKind : int32_t {
+  kNone = 0,  ///< Nothing fired.
+  kError,     ///< Inject a typed util::Status error at the site.
+  kLatency,   ///< Inject a virtual-time latency spike at the site.
+  kPoison,    ///< Corrupt the site's output (site-defined, e.g. a degraded
+              ///< learned plan) without signalling an error.
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// The decision handed back to an instrumentation site for one hit.
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  util::StatusCode error_code = util::StatusCode::kUnavailable;
+  util::VirtualNanos latency_ns = 0;
+
+  bool fired() const { return kind != FaultKind::kNone; }
+  bool is_error() const { return kind == FaultKind::kError; }
+  bool is_latency() const { return kind == FaultKind::kLatency; }
+  bool is_poison() const { return kind == FaultKind::kPoison; }
+
+  /// The typed status an error action injects.
+  util::Status error(std::string_view point) const {
+    return util::Status(error_code,
+                        "injected fault at " + std::string(point));
+  }
+};
+
+/// One rule arming a named fault point. Firing is deterministic: the
+/// decision for hit #k of a point is a pure function of
+/// (plan seed, point name, k), so single-threaded runs replay exactly and
+/// multi-threaded runs fire the same *number* of faults per point (which
+/// queries absorb them depends on scheduling; see docs/robustness.md).
+struct FaultRule {
+  /// Site name, e.g. "buffer.read_page" (catalog in docs/robustness.md).
+  std::string point;
+  FaultKind kind = FaultKind::kError;
+  /// Per-hit fire probability, evaluated from the seeded per-point stream.
+  /// Ignored when every_nth > 0.
+  double probability = 0.0;
+  /// Deterministic trigger-count mode: fire on every Nth armed hit
+  /// (1 = every hit). 0 selects probability mode.
+  int64_t every_nth = 0;
+  /// Arm the rule only after this many hits (lets a scenario skip warm-up).
+  int64_t skip_hits = 0;
+  /// Stop firing after this many fires; -1 = unlimited.
+  int64_t max_fires = -1;
+  /// Status injected by kError rules.
+  util::StatusCode error_code = util::StatusCode::kUnavailable;
+  /// Virtual latency added by kLatency rules.
+  util::VirtualNanos latency_ns = 0;
+};
+
+/// A named, seeded fault schedule: the full configuration of one chaos
+/// scenario. Plain data — build it once, run it through a FaultInjector.
+struct FaultPlan {
+  std::string name = "faults";
+  uint64_t seed = 42;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+  FaultPlan& Add(FaultRule rule) {
+    rules.push_back(std::move(rule));
+    return *this;
+  }
+};
+
+/// Per-point lifetime totals, for reports and assertions.
+struct PointStats {
+  std::string point;
+  FaultKind kind = FaultKind::kNone;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+/// Runtime state of one fault schedule: per-point hit/fire counters and the
+/// seeded decision streams. Thread-safe — the point table is immutable
+/// after construction and the counters are atomics — so one injector can
+/// cover a whole QueryServer worker pool.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Records one hit of `point` and returns the action to apply (kNone for
+  /// unarmed points). Fires are counted on the calling thread's
+  /// obs::MetricsRegistry (fault_* counters).
+  FaultAction Hit(std::string_view point);
+
+  /// Lifetime hits/fires of one point (0/0 when the point is unarmed).
+  int64_t hits(std::string_view point) const;
+  int64_t fires(std::string_view point) const;
+  /// Fires across every armed point.
+  int64_t total_fires() const;
+  /// Per-point totals in rule order.
+  std::vector<PointStats> Stats() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct PointState {
+    FaultRule rule;
+    uint64_t stream_seed = 0;
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> fires{0};
+  };
+
+  const PointState* Find(std::string_view point) const;
+
+  FaultPlan plan_;
+  // Heterogeneous lookup so Hit(string_view) never allocates.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_map<std::string, std::unique_ptr<PointState>, StringHash,
+                     std::equal_to<>>
+      points_;
+};
+
+namespace internal {
+extern std::atomic<FaultInjector*> g_injector;
+}  // namespace internal
+
+/// The process-wide active injector, or nullptr when fault injection is
+/// disabled (the default). Unlike obs::MetricsScope this is global, not
+/// thread-local: faults must reach QueryServer worker threads the test or
+/// bench did not spawn itself.
+inline FaultInjector* Current() {
+  return internal::g_injector.load(std::memory_order_acquire);
+}
+
+/// RAII activation of one injector. Scopes nest (the previous injector is
+/// restored on destruction); activate before traffic starts and deactivate
+/// after it drains — sites sample Current() once per hit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector)
+      : saved_(internal::g_injector.exchange(injector,
+                                             std::memory_order_acq_rel)) {}
+  ~ScopedFaultInjection() {
+    internal::g_injector.store(saved_, std::memory_order_release);
+  }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* saved_;
+};
+
+/// Instrumentation-site entry point: one atomic load and a branch when
+/// disabled (the zero-cost contract), a seeded decision when enabled.
+inline FaultAction Check(std::string_view point) {
+  FaultInjector* injector = Current();
+  return injector == nullptr ? FaultAction{} : injector->Hit(point);
+}
+
+}  // namespace lqolab::faultlib
+
+/// Named fault point. Usage at a site:
+///   const auto fault = LQOLAB_FAULT_POINT("buffer.read_page");
+///   if (fault.is_error()) { ...propagate fault.error(...)... }
+#define LQOLAB_FAULT_POINT(point) ::lqolab::faultlib::Check(point)
+
+#endif  // LQOLAB_FAULTLIB_FAULTLIB_H_

@@ -415,6 +415,33 @@ void DifferentialOracle::CheckExecution(const Query& q,
                " for " + q.id});
     }
   }
+
+  // Fault mode: replay every arm under injected faults. Faults are allowed
+  // to cost availability (typed error, timeout) but never correctness — a
+  // faulted run that completes must report the clean cardinality.
+  if (options_.fault_plan.empty()) return;
+  ++report->checks.fault_execution;
+  faultlib::FaultPlan per_query = options_.fault_plan;
+  per_query.seed =
+      util::MixSeed(options_.fault_plan.seed, exec::QueryFingerprint(q));
+  for (const ArmPlan& arm : plans) {
+    faultlib::FaultInjector injector(per_query);
+    faultlib::ScopedFaultInjection inject(&injector);
+    const std::unique_ptr<engine::Database> replica =
+        db_->CloneContextForWorker();
+    replica->BeginQueryReplay(options_.exec_seed, q);
+    const engine::QueryRun run =
+        replica->ExecutePlan(q, arm.plan, 0, options_.exec_timeout_ns);
+    ++report->plans_executed;
+    if (!run.status.ok() || run.timed_out) continue;  // Availability loss.
+    if (run.result_rows != outcomes.front().rows) {
+      report->discrepancies.push_back(
+          {"fault_execution",
+           "injected faults changed result rows of " + q.id + " (" +
+               arm.name + "): " + std::to_string(run.result_rows) +
+               " != clean " + std::to_string(outcomes.front().rows)});
+    }
+  }
 }
 
 void DifferentialOracle::CheckPlanRoundTrips(const Query& q,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "faultlib/faultlib.h"
 #include "lqo/interface.h"
 #include "query/query.h"
 #include "util/virtual_clock.h"
@@ -21,10 +22,12 @@ struct CheckCounts {
   int64_t plan_cache = 0;        ///< PlanCache round trips.
   int64_t hint_roundtrip = 0;    ///< Hint render/parse round trips.
   int64_t corpus_roundtrip = 0;  ///< Corpus serialize/parse round trips.
+  int64_t fault_execution = 0;   ///< Fault-mode re-executions (availability
+                                 ///< may drop, cardinality must not change).
 
   int64_t total() const {
     return cost_enumeration + execution + estimator + plan_cache +
-           hint_roundtrip + corpus_roundtrip;
+           hint_roundtrip + corpus_roundtrip + fault_execution;
   }
   CheckCounts& operator+=(const CheckCounts& o) {
     cost_enumeration += o.cost_enumeration;
@@ -33,6 +36,7 @@ struct CheckCounts {
     plan_cache += o.plan_cache;
     hint_roundtrip += o.hint_roundtrip;
     corpus_roundtrip += o.corpus_roundtrip;
+    fault_execution += o.fault_execution;
     return *this;
   }
 };
@@ -78,6 +82,13 @@ struct DifferentialOptions {
   util::VirtualNanos exec_timeout_ns = 600'000'000'000;  // 10 virtual min
   /// Replay seed used for every differential execution.
   uint64_t exec_seed = 42;
+  /// Optional fault mode: when the plan has rules, every arm that passed
+  /// the clean execution check re-runs under a per-query FaultInjector
+  /// seeded from (fault_plan.seed, query fingerprint). A faulted run may
+  /// lose availability (typed error, timeout) but a faulted run that
+  /// SUCCEEDS must report the clean run's result cardinality — injected
+  /// faults must never silently corrupt answers.
+  faultlib::FaultPlan fault_plan;
 };
 
 /// Counts the join result by plain backtracking over filtered base rows —

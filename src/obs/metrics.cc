@@ -25,6 +25,7 @@ constexpr CounterInfo kCounterInfo[] = {
     {"exec_pages_accessed", "exec"},
     {"exec_plans_executed", "exec"},
     {"exec_timeouts", "exec"},
+    {"exec_cancelled", "exec"},
     {"oracle_cardinality_calls", "exec"},
     {"planner_invocations", "optimizer"},
     {"planner_dp_subproblems", "optimizer"},
@@ -41,6 +42,16 @@ constexpr CounterInfo kCounterInfo[] = {
     {"serve_fallbacks", "serve"},
     {"serve_lqo_planned", "serve"},
     {"serve_model_swaps", "serve"},
+    {"serve_retries", "serve"},
+    {"serve_shutdown_dropped", "serve"},
+    {"serve_infer_faults", "serve"},
+    {"serve_breaker_trips", "serve"},
+    {"serve_breaker_short_circuits", "serve"},
+    {"serve_breaker_probes", "serve"},
+    {"serve_breaker_recoveries", "serve"},
+    {"fault_injected_errors", "fault"},
+    {"fault_injected_latency", "fault"},
+    {"fault_injected_poison", "fault"},
 };
 static_assert(sizeof(kCounterInfo) / sizeof(kCounterInfo[0]) ==
                   static_cast<size_t>(Counter::kCounterCount),

@@ -21,6 +21,7 @@ enum class Counter : int32_t {
   kExecPagesAccessed,       ///< Buffer-pool operations charged by the executor.
   kExecPlansExecuted,       ///< Plan executions through engine::Database.
   kExecTimeouts,            ///< Executions that hit the statement timeout.
+  kExecCancelled,           ///< Executions aborted by a QueryDeadline cancel.
   kOracleCardinalityCalls,  ///< True-cardinality requests to exec::Oracle.
   // optimizer
   kPlannerInvocations,      ///< Planner::Plan entry points.
@@ -40,7 +41,18 @@ enum class Counter : int32_t {
   kServeFallbacks,      ///< LQO-plan timeouts re-executed on the pglite plan.
   kServeLqoPlanned,     ///< Inference calls through the published model.
   kServeModelSwaps,     ///< Models published to a hot-swap slot.
-  kCounterCount         ///< Sentinel; not a counter.
+  kServeRetries,        ///< Re-executions after a retryable transient fault.
+  kServeShutdownDropped,  ///< Queued queries surfaced as kShutdown at drain.
+  kServeInferFaults,      ///< Inference faults absorbed by routing native.
+  kServeBreakerTrips,          ///< Circuit breaker kClosed -> kOpen edges.
+  kServeBreakerShortCircuits,  ///< LQO requests short-circuited while open.
+  kServeBreakerProbes,         ///< Half-open probe requests let through.
+  kServeBreakerRecoveries,     ///< Circuit breaker kHalfOpen -> kClosed edges.
+  // faultlib
+  kFaultInjectedErrors,   ///< kError fault-point fires.
+  kFaultInjectedLatency,  ///< kLatency fault-point fires.
+  kFaultInjectedPoison,   ///< kPoison fault-point fires.
+  kCounterCount           ///< Sentinel; not a counter.
 };
 
 /// Identity of every histogram. Same fixed-enum scheme as Counter.

@@ -1,9 +1,11 @@
 #include "serve/query_server.h"
 
+#include <chrono>
 #include <utility>
 
 #include "exec/cost_constants.h"
 #include "exec/oracle.h"
+#include "faultlib/faultlib.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -19,6 +21,21 @@ namespace {
 /// primary attempt's (both must be pure functions of the admission, not of
 /// scheduling).
 constexpr uint64_t kFallbackSaltBit = 1ull << 63;
+
+/// Degrades a plan to the canonical pathological shape — every scan
+/// sequential, every join a nested loop (the shape test_serve's
+/// SlowPlanOptimizer produces). Models a "lqo.infer" poison fault: the
+/// model answered, but with a corrupted prediction.
+void DegradePlan(optimizer::PhysicalPlan* plan) {
+  for (optimizer::PlanNode& node : plan->nodes) {
+    if (node.type == optimizer::PlanNode::Type::kScan) {
+      node.scan_type = optimizer::ScanType::kSeq;
+      node.index_column = catalog::kInvalidColumn;
+    } else {
+      node.algo = optimizer::JoinAlgo::kNestLoop;
+    }
+  }
+}
 
 }  // namespace
 
@@ -38,7 +55,8 @@ QueryServer::QueryServer(Database* db, const ServerOptions& options)
     : parent_(db),
       options_(options),
       seed_(options.seed != 0 ? options.seed : db->seed()),
-      cache_(options.cache) {
+      cache_(options.cache),
+      breaker_(options.breaker) {
   LQOLAB_CHECK(db != nullptr);
   LQOLAB_CHECK_GT(options_.queue_capacity, 0);
   planning_db_ = db->CloneContextForWorker();
@@ -64,12 +82,16 @@ std::future<ServedQuery> QueryServer::Submit(Query q) {
   std::future<ServedQuery> result;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
-    LQOLAB_CHECK(!stopping_);
     space_cv_.wait(lock, [&] {
       return stopping_ ||
              static_cast<int32_t>(queue_.size()) < options_.queue_capacity;
     });
-    LQOLAB_CHECK(!stopping_);
+    if (stopping_) {
+      // Racing with Shutdown: the query will never run. Resolve it as an
+      // explicit kShutdown result instead of aborting the process.
+      lock.unlock();
+      return ShutdownFuture(q);
+    }
     Ticket ticket;
     ticket.query = std::move(q);
     ticket.id = next_ticket_++;
@@ -84,7 +106,13 @@ std::future<ServedQuery> QueryServer::Submit(Query q) {
 bool QueryServer::TrySubmit(Query q, std::future<ServedQuery>* result) {
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
-    LQOLAB_CHECK(!stopping_);
+    if (stopping_) {
+      // Accepted and explicitly refused (not backpressure): hand back an
+      // immediately-resolved kShutdown result.
+      lock.unlock();
+      *result = ShutdownFuture(q);
+      return true;
+    }
     if (static_cast<int32_t>(queue_.size()) >= options_.queue_capacity) {
       obs::Count(obs::Counter::kServeRejected);
       return false;
@@ -110,13 +138,59 @@ void QueryServer::Drain() {
   idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
 }
 
-void QueryServer::Shutdown() {
+ServedQuery QueryServer::ShutdownResult(const Query& q, int64_t ticket_id) {
+  ServedQuery served;
+  served.query_id = q.id;
+  served.ticket = ticket_id;
+  served.route = options_.route;
+  served.status = util::Status(util::StatusCode::kShutdown,
+                               "server shut down before execution");
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    // Shutdown/Submit run on client threads with no MetricsScope; record
+    // on the server's own control registry instead.
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_metrics_.Add(obs::Counter::kServeShutdownDropped, 1);
+  }
+  return served;
+}
+
+std::future<ServedQuery> QueryServer::ShutdownFuture(const Query& q) {
+  std::promise<ServedQuery> promise;
+  promise.set_value(ShutdownResult(q, /*ticket_id=*/-1));
+  return promise.get_future();
+}
+
+void QueryServer::Shutdown() {
+  std::vector<Ticket> dropped;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
     stopping_ = true;
+    queue_cv_.notify_all();
+    space_cv_.notify_all();
+    // Bounded drain: give the workers a window to absorb the backlog.
+    idle_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.shutdown_drain_ms),
+                      [&] { return queue_.empty() && in_flight_ == 0; });
+    // Whatever is still queued will never run; claim it for explicit
+    // kShutdown resolution below.
+    while (!queue_.empty()) {
+      dropped.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // Cancel in-flight executions mid-plan; each worker's executor observes
+    // the deadline at its next node boundary and returns kShutdown. The
+    // deadline object lives on the worker's stack, but the pointer is only
+    // registered while valid and we hold queue_mu_, so the Cancel is safe.
+    for (auto& state : states_) {
+      if (state->active_deadline != nullptr) {
+        state->active_deadline->Cancel(util::StatusCode::kShutdown);
+      }
+    }
   }
   queue_cv_.notify_all();
-  space_cv_.notify_all();
+  for (Ticket& ticket : dropped) {
+    ticket.promise.set_value(ShutdownResult(ticket.query, ticket.id));
+  }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -128,12 +202,17 @@ obs::MetricsRegistry QueryServer::SnapshotMetrics() const {
     std::lock_guard<std::mutex> lock(state->mu);
     merged.MergeFrom(state->metrics);
   }
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    merged.MergeFrom(control_metrics_);
+  }
   return merged;
 }
 
 void QueryServer::WorkerLoop(WorkerState* state) {
   for (;;) {
     Ticket ticket;
+    exec::QueryDeadline deadline;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -141,6 +220,7 @@ void QueryServer::WorkerLoop(WorkerState* state) {
       ticket = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
+      state->active_deadline = &deadline;  // Shutdown cancels through this.
     }
     space_cv_.notify_one();
     ServedQuery served;
@@ -149,11 +229,29 @@ void QueryServer::WorkerLoop(WorkerState* state) {
       // state); SnapshotMetrics takes it briefly for a consistent copy.
       std::lock_guard<std::mutex> lock(state->mu);
       obs::MetricsScope scope(&state->metrics);
-      served = Process(state->db.get(), ticket);
+      int32_t retries = 0;
+      VirtualNanos backoff = 0;
+      for (;;) {
+        served = Process(state->db.get(), ticket, &deadline);
+        // Retry only transient faults, and only within the bounded budget.
+        // Timeouts, deadline expiry and cancellation are never retried:
+        // that work already consumed its budget (or its caller is gone).
+        if (!served.status.retryable() || retries >= options_.max_retries ||
+            deadline.cancelled()) {
+          break;
+        }
+        backoff += options_.retry_backoff_ns << retries;
+        ++retries;
+        obs::Count(obs::Counter::kServeRetries);
+      }
+      served.retries = retries;
+      served.backoff_ns = backoff;
+      obs::Count(obs::Counter::kServeQueries);
     }
     ticket.promise.set_value(std::move(served));
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
+      state->active_deadline = nullptr;
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }
@@ -184,6 +282,15 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q) {
   if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
     return {std::move(hit), true};
   }
+  // Model-serving fault site: inference errors, latency spikes, and
+  // poisoned predictions (all on the cache-miss path — a cache hit never
+  // touches the model).
+  const faultlib::FaultAction fault = LQOLAB_FAULT_POINT("lqo.infer");
+  if (fault.is_error()) {
+    Acquired failed;
+    failed.infer_fault = true;
+    return failed;
+  }
   lqo::Prediction prediction;
   {
     // One inference at a time: models mutate internal state while planning
@@ -205,31 +312,69 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q) {
                 exec::cost::kPlanPerRelationNs;
   auto shared = std::make_shared<const CachedPlan>(std::move(cached));
   cache_.Insert(key, shared);
-  return {std::move(shared), false};
+  Acquired out;
+  out.plan = std::move(shared);
+  if (fault.is_latency()) out.infer_latency_ns = fault.latency_ns;
+  if (fault.is_poison()) {
+    // Corrupted prediction: this acquisition executes a degraded copy. The
+    // cache keeps the clean plan, so the poison stays confined to the hit
+    // that drew it instead of persisting beyond its fault schedule.
+    CachedPlan poisoned = *out.plan;
+    DegradePlan(&poisoned.plan);
+    out.plan = std::make_shared<const CachedPlan>(std::move(poisoned));
+  }
+  return out;
 }
 
-ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket) {
+ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
+                                 const exec::QueryDeadline* deadline) {
   const Query& q = ticket.query;
   ServedQuery served;
   served.query_id = q.id;
   served.ticket = ticket.id;
   served.route = options_.route;
 
+  // Worker-replica fault site: the whole attempt fails before any engine
+  // work — exactly the transient failure WorkerLoop's bounded retry covers.
+  const faultlib::FaultAction worker_fault =
+      LQOLAB_FAULT_POINT("serve.worker");
+  if (worker_fault.is_error()) {
+    served.status = worker_fault.error("serve.worker");
+    return served;
+  }
+
   const auto execute = [&](const optimizer::PhysicalPlan& plan,
-                           VirtualNanos planning_ns, VirtualNanos deadline,
+                           VirtualNanos planning_ns, VirtualNanos deadline_ns,
                            uint64_t salt) {
     if (options_.deterministic_replay) {
       replica->BeginQueryReplay(seed_, q, salt);
     }
-    return replica->ExecutePlan(q, plan, planning_ns, deadline);
+    return replica->ExecutePlan(q, plan, planning_ns, deadline_ns, deadline);
   };
 
+  // The breaker gates the LQO arm only: after a failure/timeout streak the
+  // route short-circuits straight to the native plan.
   Acquired lqo;
-  if (options_.route != RouteMode::kPglite) lqo = LqoPlan(q);
+  bool lqo_allowed = true;
+  if (options_.route == RouteMode::kLqo) {
+    lqo_allowed = breaker_.AllowRequest();
+    served.breaker_short_circuit = !lqo_allowed;
+  }
+  if (options_.route != RouteMode::kPglite && lqo_allowed) {
+    lqo = LqoPlan(q);
+    if (lqo.infer_fault) {
+      served.infer_fault = true;
+      obs::Count(obs::Counter::kServeInferFaults);
+      // A dead model server is the arm's failure; the query itself is
+      // served from the native plan below, no retry needed.
+      if (options_.route == RouteMode::kLqo) breaker_.RecordFailure();
+    }
+  }
 
   if (options_.route == RouteMode::kLqo && lqo.plan != nullptr) {
     served.cache_hit = lqo.cache_hit;
-    served.inference_ns = lqo.cache_hit ? 0 : lqo.plan->inference_ns;
+    served.inference_ns =
+        (lqo.cache_hit ? 0 : lqo.plan->inference_ns) + lqo.infer_latency_ns;
     served.planning_ns =
         lqo.cache_hit ? kPlanCacheHitNs : lqo.plan->planning_ns;
     engine::QueryRun run = execute(lqo.plan->plan, served.planning_ns,
@@ -238,7 +383,9 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket) {
     served.plan = lqo.plan->plan.ToString(q);
     if (run.timed_out) {
       // The paper's timeout protocol: abandon the learned plan, re-execute
-      // the query on the pglite plan, charge the wasted attempt.
+      // the query on the pglite plan, charge the wasted attempt. Blowing
+      // the deadline is the model's failure — the breaker hears about it.
+      breaker_.RecordFailure();
       served.fell_back = true;
       served.wasted_ns = run.execution_ns;
       obs::Count(obs::Counter::kServeFallbacks);
@@ -249,20 +396,32 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket) {
       run = execute(native.plan->plan, replan_ns, /*deadline=*/0,
                     ticket.occurrence | kFallbackSaltBit);
       served.plan = native.plan->plan.ToString(q);
+    } else {
+      // Success, or a storage/cancellation failure that is not the model's
+      // doing (a transient exec fault retries the whole attempt instead).
+      breaker_.RecordSuccess();
     }
     served.execution_ns = run.execution_ns;
     served.timed_out = run.timed_out;
     served.result_rows = run.result_rows;
+    served.status = run.status;
   } else {
-    // Native execution: the pglite route, the shadow route, and the lqo
-    // route before any model is published.
+    // Native execution: the pglite route, the shadow route, the lqo route
+    // before any model is published, and every degraded lqo path (breaker
+    // open, inference fault).
+    if (options_.route == RouteMode::kLqo && lqo_allowed && !lqo.infer_fault) {
+      // Allowed through the breaker but no model is published: a healthy
+      // no-op for the arm (keeps AllowRequest/Record* exactly paired).
+      breaker_.RecordSuccess();
+    }
     const Acquired native = NativePlan(replica, q);
     served.cache_hit = native.cache_hit;
     served.planning_ns =
         native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
     if (options_.route == RouteMode::kShadow && lqo.plan != nullptr) {
       served.shadow_plan = lqo.plan->plan.ToString(q);
-      served.inference_ns = lqo.cache_hit ? 0 : lqo.plan->inference_ns;
+      served.inference_ns =
+          (lqo.cache_hit ? 0 : lqo.plan->inference_ns) + lqo.infer_latency_ns;
     }
     const engine::QueryRun run = execute(native.plan->plan,
                                          served.planning_ns, /*deadline=*/0,
@@ -271,9 +430,9 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket) {
     served.execution_ns = run.execution_ns;
     served.timed_out = run.timed_out;
     served.result_rows = run.result_rows;
+    served.status = run.status;
   }
 
-  obs::Count(obs::Counter::kServeQueries);
   return served;
 }
 

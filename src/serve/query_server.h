@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "engine/database.h"
+#include "exec/deadline.h"
 #include "lqo/interface.h"
 #include "obs/metrics.h"
 #include "query/query.h"
+#include "serve/circuit_breaker.h"
 #include "serve/hot_swap.h"
 #include "serve/plan_cache.h"
+#include "util/status.h"
 #include "util/virtual_clock.h"
 
 namespace lqolab::serve {
@@ -53,6 +56,21 @@ struct ServerOptions {
   bool deterministic_replay = true;
   /// Replay seed; 0 adopts the parent database's generation seed.
   uint64_t seed = 0;
+  /// Bounded retry of transient worker faults: a query whose attempt ends
+  /// with a retryable status (kUnavailable / kResourceExhausted) re-runs up
+  /// to this many extra times. Deadline expiry, timeouts and cancellation
+  /// are never retried — that work already consumed its budget. All queries
+  /// here are read-only, hence idempotent; a mutating route must not opt in.
+  int32_t max_retries = 2;
+  /// Virtual backoff before retry k (1-based): retry_backoff_ns << (k-1).
+  /// Charged to the client-visible latency (ServedQuery::backoff_ns).
+  util::VirtualNanos retry_backoff_ns = 100'000;
+  /// Bounded wall-clock drain at Shutdown: queued queries still unclaimed
+  /// after this many milliseconds resolve as explicit kShutdown results
+  /// instead of executing.
+  int32_t shutdown_drain_ms = 2'000;
+  /// Circuit breaker guarding the LQO route (consulted in kLqo mode only).
+  CircuitBreakerOptions breaker;
 };
 
 /// Outcome of one served query, delivered through the Submit future.
@@ -60,6 +78,18 @@ struct ServedQuery {
   std::string query_id;
   int64_t ticket = 0;
   RouteMode route = RouteMode::kPglite;
+  /// Final outcome: OK on success, kShutdown when the server stopped before
+  /// (or while) running the query, kDeadlineExceeded when `timed_out`, or
+  /// the fault code when every retry was exhausted.
+  util::Status status;
+  /// Transient-fault retries performed (0 on the common path).
+  int32_t retries = 0;
+  /// Virtual backoff charged by those retries; part of latency_ns().
+  util::VirtualNanos backoff_ns = 0;
+  /// The circuit breaker short-circuited the LQO route to pglite.
+  bool breaker_short_circuit = false;
+  /// Model inference failed (injected fault); served from the native plan.
+  bool infer_fault = false;
   bool cache_hit = false;
   /// LQO plan hit its deadline; the pglite plan produced the answer.
   bool fell_back = false;
@@ -81,7 +111,7 @@ struct ServedQuery {
 
   /// Client-visible latency in virtual time.
   util::VirtualNanos latency_ns() const {
-    return inference_ns + planning_ns + wasted_ns + execution_ns;
+    return inference_ns + planning_ns + wasted_ns + backoff_ns + execution_ns;
   }
 };
 
@@ -108,13 +138,16 @@ class QueryServer {
   QueryServer& operator=(const QueryServer&) = delete;
 
   /// Admits a query, blocking while the queue is full (backpressure). The
-  /// future resolves when a worker finishes the query. Must not be called
-  /// after Shutdown().
+  /// future resolves when a worker finishes the query. Racing with
+  /// Shutdown() is safe: once the server is stopping, the returned future
+  /// resolves immediately with status kShutdown.
   std::future<ServedQuery> Submit(query::Query q);
 
   /// Non-blocking admission: returns false (and counts
   /// obs::Counter::kServeRejected on the calling thread) when the queue is
-  /// full.
+  /// full. During shutdown, returns true with an immediately-resolved
+  /// kShutdown future (the query was accepted and explicitly refused, not
+  /// backpressured).
   bool TrySubmit(query::Query q, std::future<ServedQuery>* result);
 
   /// Publishes a trained model to the router (atomic hot swap; never blocks
@@ -126,8 +159,11 @@ class QueryServer {
   /// Blocks until the queue is empty and no query is in flight.
   void Drain();
 
-  /// Stops admissions, drains, and joins the worker pool. Idempotent;
-  /// called by the destructor.
+  /// Stops admissions, drains the queue for at most
+  /// ServerOptions::shutdown_drain_ms, resolves any still-queued query with
+  /// status kShutdown, cancels in-flight executions mid-plan through their
+  /// QueryDeadline, and joins the worker pool. Every future ever handed out
+  /// is guaranteed to resolve. Idempotent; called by the destructor.
   void Shutdown();
 
   /// Merged engine/serve counters of all workers (callable while serving;
@@ -137,6 +173,8 @@ class QueryServer {
 
   int32_t workers() const { return static_cast<int32_t>(workers_.size()); }
   const PlanCache& plan_cache() const { return cache_; }
+  /// The breaker guarding the LQO route (observable for tests/benches).
+  const CircuitBreaker& breaker() const { return breaker_; }
   uint64_t model_version() const { return model_.version(); }
   uint64_t seed() const { return seed_; }
   const ServerOptions& options() const { return options_; }
@@ -158,16 +196,30 @@ class QueryServer {
     mutable std::mutex mu;
     std::unique_ptr<engine::Database> db;
     obs::MetricsRegistry metrics;
+    /// Cancellation token of the ticket this worker is executing, or null
+    /// when idle. Guarded by queue_mu_; Shutdown cancels through it.
+    exec::QueryDeadline* active_deadline = nullptr;
   };
 
   /// A plan pulled from the cache (`cache_hit`) or produced cold.
   struct Acquired {
     std::shared_ptr<const CachedPlan> plan;
     bool cache_hit = false;
+    /// Inference failed with an injected fault (plan is null).
+    bool infer_fault = false;
+    /// Injected inference latency spike for this acquisition (not cached).
+    util::VirtualNanos infer_latency_ns = 0;
   };
 
   void WorkerLoop(WorkerState* state);
-  ServedQuery Process(engine::Database* replica, const Ticket& ticket);
+  ServedQuery Process(engine::Database* replica, const Ticket& ticket,
+                      const exec::QueryDeadline* deadline);
+
+  /// An immediately-resolved kShutdown result for a query refused at
+  /// admission; counts kServeShutdownDropped on the control registry.
+  std::future<ServedQuery> ShutdownFuture(const query::Query& q);
+  /// Builds the kShutdown result for a refused/dropped ticket.
+  ServedQuery ShutdownResult(const query::Query& q, int64_t ticket_id);
 
   /// Returns the native plan for `q`, through the cache (planning on the
   /// worker's own replica on a miss — identical plan on every worker).
@@ -182,6 +234,12 @@ class QueryServer {
   uint64_t seed_;
   PlanCache cache_;
   HotSwapSlot<lqo::LearnedOptimizer> model_;
+  CircuitBreaker breaker_;
+
+  /// Counters emitted by non-worker threads (shutdown drops); merged into
+  /// SnapshotMetrics alongside the per-worker registries.
+  mutable std::mutex control_mu_;
+  obs::MetricsRegistry control_metrics_;
 
   /// Serializes model inference; models mutate internal state when
   /// planning, and the original systems run one model-server process.

@@ -51,8 +51,19 @@ void BufferPool::DropCaches() {
 }
 
 void BufferPool::Resize(int64_t shared_pages, int64_t os_pages) {
-  shared_.Resize(shared_pages);
-  os_.Resize(os_pages);
+  LQOLAB_CHECK(TryResize(shared_pages, os_pages).ok());
+}
+
+util::Status BufferPool::TryResize(int64_t shared_pages, int64_t os_pages) {
+  // Validate both tiers before mutating either, so a failed resize never
+  // leaves the pool half-resized (or even half-cleared).
+  if (shared_pages < 0 || os_pages < 0) {
+    return util::Status(util::StatusCode::kResourceExhausted,
+                        "buffer pool sizing not satisfiable");
+  }
+  util::Status status = shared_.TryResize(shared_pages);
+  if (status.ok()) status = os_.TryResize(os_pages);
+  return status;
 }
 
 }  // namespace lqolab::storage

@@ -5,6 +5,7 @@
 
 #include "catalog/schema.h"
 #include "storage/lru_cache.h"
+#include "util/status.h"
 
 namespace lqolab::storage {
 
@@ -46,8 +47,15 @@ class BufferPool {
   /// survives).
   void DropSharedBuffers() { shared_.Clear(); }
 
-  /// Reconfigures tier capacities; clears both tiers.
+  /// Reconfigures tier capacities; clears both tiers. Aborts on an
+  /// unsatisfiable sizing; use TryResize where allocation pressure must
+  /// degrade to a typed error.
   void Resize(int64_t shared_pages, int64_t os_pages);
+
+  /// Like Resize, but validates both capacities first and returns
+  /// kResourceExhausted — leaving the pool fully unchanged, contents
+  /// included — when either cannot be satisfied.
+  util::Status TryResize(int64_t shared_pages, int64_t os_pages);
 
   int64_t shared_capacity() const { return shared_.capacity(); }
   int64_t os_capacity() const { return os_.capacity(); }

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace lqolab::storage {
 
@@ -52,10 +54,24 @@ class LruCache {
   }
 
   /// Changes the capacity; clears contents (a resized cache is cold).
+  /// Aborts on a negative capacity; use TryResize where allocation pressure
+  /// must degrade to a typed error instead.
   void Resize(int64_t capacity) {
-    LQOLAB_CHECK_GE(capacity, 0);
+    LQOLAB_CHECK(TryResize(capacity).ok());
+  }
+
+  /// Like Resize, but an unsatisfiable capacity (negative — e.g. an
+  /// overflowed bytes->pages computation under allocation pressure) returns
+  /// kResourceExhausted and leaves the cache untouched.
+  util::Status TryResize(int64_t capacity) {
+    if (capacity < 0) {
+      return util::Status(util::StatusCode::kResourceExhausted,
+                          "lru capacity " + std::to_string(capacity) +
+                              " not satisfiable");
+    }
     capacity_ = capacity;
     Clear();
+    return util::Status::Ok();
   }
 
   int64_t size() const { return static_cast<int64_t>(positions_.size()); }

@@ -1,0 +1,92 @@
+#ifndef LQOLAB_UTIL_STATUS_H_
+#define LQOLAB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace lqolab::util {
+
+/// Typed failure codes for the graceful-degradation paths (faults,
+/// deadlines, allocation pressure, shutdown). The engine has no exceptions
+/// (util/check.h): recoverable failures travel through Status values in
+/// result structs instead, and only genuine invariant violations abort.
+enum class StatusCode : int32_t {
+  kOk = 0,
+  /// Externally cancelled (deadline cancellation, client abort).
+  kCancelled,
+  /// Virtual-time deadline / statement timeout expired.
+  kDeadlineExceeded,
+  /// Allocation pressure: a work_mem-style memory request cannot be met.
+  kResourceExhausted,
+  /// Transient fault (injected I/O error, worker-replica fault); a retry
+  /// on a fresh attempt may succeed.
+  kUnavailable,
+  /// The server is shutting down; the query was never (fully) run.
+  kShutdown,
+  /// Unclassified internal failure.
+  kInternal,
+};
+
+/// Stable snake_case name of a status code.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kShutdown:
+      return "shutdown";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+/// A code plus a human-readable detail. Default-constructed Status is OK,
+/// so result structs gain a `status` field without changing any existing
+/// success path.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Transient failures worth retrying on a fresh attempt. Deadline
+  /// expiry, cancellation and shutdown are never retryable: the work
+  /// already consumed its budget or the caller is going away.
+  bool retryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
+
+  std::string ToString() const {
+    if (ok()) return "ok";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace lqolab::util
+
+#endif  // LQOLAB_UTIL_STATUS_H_

@@ -124,8 +124,8 @@ TEST(MetricsRegistryTest, MergeAndReset) {
 
 TEST(MetricsRegistryTest, CounterNamesAreUniqueAndLayered) {
   std::set<std::string> names;
-  const std::set<std::string> layers = {"storage", "exec", "optimizer", "lqo",
-                                        "serve"};
+  const std::set<std::string> layers = {"storage", "exec",  "optimizer",
+                                        "lqo",     "serve", "fault"};
   for (int32_t i = 0; i < static_cast<int32_t>(Counter::kCounterCount); ++i) {
     const Counter c = static_cast<Counter>(i);
     ASSERT_NE(CounterName(c), nullptr);

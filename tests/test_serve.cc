@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
+#include "faultlib/faultlib.h"
 #include "lqo/native_passthrough.h"
 #include "obs/metrics.h"
 #include "query/job_workload.h"
 #include "serve/hot_swap.h"
 #include "serve/plan_cache.h"
 #include "serve/query_server.h"
+#include "util/status.h"
 
 namespace lqolab {
 namespace {
@@ -246,6 +248,158 @@ TEST(QueryServer, TimeoutFallbackReturnsPgliteResult) {
 
   const obs::MetricsRegistry metrics = server.SnapshotMetrics();
   EXPECT_EQ(metrics.Get(obs::Counter::kServeFallbacks), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeQueries), 1);
+}
+
+/// Workload()[109] is the one JOB-lite query whose fully degraded plan
+/// (all-seq-scan, all-nest-loop) runs ~3x slower than the native plan
+/// (~7.2ms vs ~2.4ms of virtual time, cold): a 5ms deadline admits every
+/// healthy plan and rejects every degraded one, with margin on both sides.
+constexpr size_t kDegradableQuery = 109;
+constexpr util::VirtualNanos kDiscriminatingDeadlineNs = 5'000'000;
+
+TEST(QueryServer, InjectedSlowPlanFaultTriggersTimeoutFallback) {
+  ServerOptions options;
+  options.workers = 1;
+  options.route = RouteMode::kLqo;
+  options.lqo_deadline_ns = kDiscriminatingDeadlineNs;
+  QueryServer server(SharedDb(), options);
+  // A healthy model this time: the runaway plan comes from faultlib
+  // poisoning a single inference, not from the model itself.
+  server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+
+  faultlib::FaultPlan plan;
+  faultlib::FaultRule poison;
+  poison.point = "lqo.infer";
+  poison.kind = faultlib::FaultKind::kPoison;
+  poison.every_nth = 1;
+  poison.max_fires = 1;
+  plan.Add(poison);
+  faultlib::FaultInjector injector(plan);
+
+  const query::Query& q = Workload()[kDegradableQuery];
+  ServedQuery served;
+  {
+    faultlib::ScopedFaultInjection inject(&injector);
+    served = server.Submit(q).get();
+  }
+  // The poisoned plan blew the deadline; the pglite plan answered.
+  const engine::QueryRun expected = ExpectedRun(q, /*salt=*/1ull << 63);
+  EXPECT_TRUE(served.fell_back);
+  EXPECT_EQ(served.result_rows, expected.result_rows);
+  EXPECT_EQ(served.wasted_ns, options.lqo_deadline_ns);
+
+  // The poison was not cached: the next admission of the same query serves
+  // the clean model plan with no fallback.
+  const ServedQuery clean = server.Submit(q).get();
+  EXPECT_FALSE(clean.fell_back);
+  EXPECT_EQ(clean.result_rows, ExpectedRun(q).result_rows);
+
+  const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeFallbacks), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kFaultInjectedPoison), 1);
+}
+
+TEST(QueryServer, InferenceFaultServesNativelyAndIsCounted) {
+  ServerOptions options;
+  options.workers = 1;
+  options.route = RouteMode::kLqo;
+  QueryServer server(SharedDb(), options);
+  server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+
+  faultlib::FaultPlan plan;
+  faultlib::FaultRule rule;
+  rule.point = "lqo.infer";
+  rule.kind = faultlib::FaultKind::kError;
+  rule.every_nth = 1;
+  rule.max_fires = 1;
+  plan.Add(rule);
+  faultlib::FaultInjector injector(plan);
+  faultlib::ScopedFaultInjection inject(&injector);
+
+  const query::Query& q = Workload()[0];
+  const ServedQuery served = server.Submit(q).get();
+  // Inference failed, so the native planner answered — correct result,
+  // no fallback (nothing was executing under the LQO deadline).
+  EXPECT_TRUE(served.infer_fault);
+  EXPECT_TRUE(served.status.ok());
+  EXPECT_FALSE(served.fell_back);
+  EXPECT_EQ(served.result_rows, ExpectedRun(q).result_rows);
+
+  const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeInferFaults), 1);
+}
+
+TEST(QueryServer, CircuitBreakerTripsAndRecovers) {
+  ServerOptions options;
+  options.workers = 1;
+  options.route = RouteMode::kLqo;
+  options.lqo_deadline_ns = kDiscriminatingDeadlineNs;
+  options.cache.capacity_per_shard = 0;  // Plan (and fail) every admission.
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_requests = 2;
+  options.breaker.probe_successes = 1;
+  QueryServer server(SharedDb(), options);
+  server.PublishModel(std::make_shared<SlowPlanOptimizer>());
+
+  const query::Query& q = Workload()[kDegradableQuery];
+  // Two straight timeout-fallbacks trip the breaker.
+  for (int i = 0; i < 2; ++i) {
+    const ServedQuery served = server.Submit(q).get();
+    EXPECT_TRUE(served.fell_back);
+    EXPECT_FALSE(served.breaker_short_circuit);
+  }
+  EXPECT_EQ(server.breaker().state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(server.breaker().trips(), 1);
+
+  // The model is fixed, but the breaker is open: the next admission
+  // short-circuits straight to the pglite plan (no LQO attempt, no
+  // deadline burned).
+  server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+  const ServedQuery shorted = server.Submit(q).get();
+  EXPECT_TRUE(shorted.breaker_short_circuit);
+  EXPECT_FALSE(shorted.fell_back);
+  EXPECT_EQ(shorted.wasted_ns, 0);
+  EXPECT_EQ(shorted.result_rows, ExpectedRun(q).result_rows);
+
+  // The second open-state arrival half-opens the breaker and runs as the
+  // probe; the healthy model succeeds, closing the circuit again.
+  const ServedQuery probe = server.Submit(q).get();
+  EXPECT_FALSE(probe.breaker_short_circuit);
+  EXPECT_FALSE(probe.fell_back);
+  EXPECT_EQ(server.breaker().state(), serve::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(server.breaker().recoveries(), 1);
+
+  // Closed again: traffic flows through the LQO route normally.
+  const ServedQuery after = server.Submit(q).get();
+  EXPECT_FALSE(after.breaker_short_circuit);
+  EXPECT_FALSE(after.fell_back);
+
+  const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeBreakerTrips), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeBreakerShortCircuits), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeBreakerProbes), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeBreakerRecoveries), 1);
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeFallbacks), 2);
+}
+
+TEST(QueryServer, SubmitAfterShutdownResolvesAsShutdownStatus) {
+  ServerOptions options;
+  options.workers = 1;
+  QueryServer server(SharedDb(), options);
+  EXPECT_TRUE(server.Submit(Workload()[0]).get().status.ok());
+  server.Shutdown();
+
+  const ServedQuery refused = server.Submit(Workload()[1]).get();
+  EXPECT_EQ(refused.status.code(), util::StatusCode::kShutdown);
+  EXPECT_EQ(refused.result_rows, 0);
+
+  std::future<ServedQuery> tried;
+  ASSERT_TRUE(server.TrySubmit(Workload()[2], &tried));
+  EXPECT_EQ(tried.get().status.code(), util::StatusCode::kShutdown);
+
+  const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(obs::Counter::kServeShutdownDropped), 2);
   EXPECT_EQ(metrics.Get(obs::Counter::kServeQueries), 1);
 }
 

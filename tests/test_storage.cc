@@ -159,6 +159,42 @@ TEST(LruCache, ResizeCountsDroppedEntriesAsEvictions) {
   EXPECT_EQ(cache.evictions(), 3);
 }
 
+TEST(LruCache, TryResizeRejectsNegativeCapacityAndKeepsState) {
+  LruCache cache(4);
+  cache.Touch(1);
+  const util::Status status = cache.TryResize(-1);
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(status.retryable());
+  // The failed resize changed nothing: same capacity, entry still warm.
+  EXPECT_EQ(cache.capacity(), 4);
+  EXPECT_TRUE(cache.Contains(1));
+
+  EXPECT_TRUE(cache.TryResize(8).ok());
+  EXPECT_EQ(cache.capacity(), 8);
+  EXPECT_FALSE(cache.Contains(1));  // a successful resize still clears
+}
+
+TEST(BufferPool, TryResizeRejectsNegativeTiersWithoutPartialResize) {
+  BufferPool pool(4, 16);
+  const uint64_t key = BufferPool::PageKey(1, PageKind::kHeap, -1, 0);
+  pool.Access(key);
+
+  // Either tier being unsatisfiable fails the whole resize; neither tier
+  // may change (no half-resized pool).
+  EXPECT_EQ(pool.TryResize(-1, 16).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.TryResize(4, -1).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.shared_capacity(), 4);
+  EXPECT_EQ(pool.os_capacity(), 16);
+  EXPECT_EQ(pool.Access(key), AccessTier::kSharedHit);
+
+  EXPECT_TRUE(pool.TryResize(8, 32).ok());
+  EXPECT_EQ(pool.shared_capacity(), 8);
+  EXPECT_EQ(pool.os_capacity(), 32);
+  EXPECT_EQ(pool.Access(key), AccessTier::kDisk);  // resize drops caches
+}
+
 TEST(BufferPool, TierProgression) {
   BufferPool pool(4, 16);
   const uint64_t key = BufferPool::PageKey(1, PageKind::kHeap, -1, 0);
