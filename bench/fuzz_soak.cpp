@@ -1,7 +1,8 @@
 // Fuzz soak: runs the differential plan-correctness oracle (src/fuzz/) over
 // a rotation of engine configurations — bushy/left-deep, GEQO seeds, a
-// lowered GEQO threshold — with the native-passthrough and Bao arms in the
-// execution cross-check. Emits one JSON document (stdout, or the file given
+// lowered GEQO threshold, the scalar reference engine and the batched
+// engine without predicate transfer — with the native-passthrough and Bao
+// arms in the execution cross-check. Emits one JSON document (stdout, or the file given
 // as argv[1]) with queries/sec, checks/sec and the discrepancy count, which
 // must be zero; the recorded run lives at BENCH_fuzz.json.
 //
@@ -68,6 +69,19 @@ std::vector<ConfigSpec> ConfigRotation() {
   geqo_heavy.geqo_threshold = 4;  // GEQO plans most generated queries
   geqo_heavy.geqo_seed = 7;
   specs.push_back({"geqo_threshold_4", geqo_heavy});
+
+  // Scalar reference engine: together with the oracle's built-in
+  // engine-differential arm (which re-runs one plan with vectorized_exec
+  // flipped per query), this rotates the full soak across both engines.
+  engine::DbConfig scalar_exec = engine::DbConfig::OurFramework();
+  scalar_exec.vectorized_exec = false;
+  specs.push_back({"scalar_exec", scalar_exec});
+
+  // Batched engine without the Bloom pre-test: exercises the exact
+  // membership path that predicate transfer normally short-circuits.
+  engine::DbConfig no_transfer = engine::DbConfig::OurFramework();
+  no_transfer.predicate_transfer = false;
+  specs.push_back({"vectorized_no_transfer", no_transfer});
   return specs;
 }
 

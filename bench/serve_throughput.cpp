@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,7 @@ struct ArmSpec {
   util::VirtualNanos lqo_deadline_ns;
   bool slow_model;     // publish SlowPlanOptimizer instead of passthrough
   bool swap_mid_load;  // publish a fresh model after the first epoch
+  bool no_breaker = false;  // disable the circuit breaker for this arm
 };
 
 struct ArmResult {
@@ -86,6 +88,14 @@ std::vector<ServedQuery> DriveArm(engine::Database* db,
   options.route = spec.route;
   if (!spec.plan_cache) options.cache.capacity_per_shard = 0;
   options.lqo_deadline_ns = spec.lqo_deadline_ns;
+  if (spec.no_breaker) {
+    // Which queries a tripped breaker short-circuits depends on the order
+    // worker threads report their failures, so a breaker-guarded arm is
+    // not comparable query-for-query against the single-worker replay.
+    // Arms that measure the fallback protocol itself keep the breaker out
+    // of the way (chaos_soak covers breaker behavior separately).
+    options.breaker.failure_threshold = std::numeric_limits<int32_t>::max();
+  }
   QueryServer server(db, options);
   if (spec.route != RouteMode::kPglite) {
     if (spec.slow_model) {
@@ -200,7 +210,7 @@ int main(int argc, char** argv) {
       {"pglite_cache_off", RouteMode::kPglite, false, 0, false, false},
       {"lqo", RouteMode::kLqo, true, 0, false, true},
       {"lqo_tight_deadline", RouteMode::kLqo, true, kTightDeadlineNs, true,
-       false},
+       false, /*no_breaker=*/true},
       {"shadow", RouteMode::kShadow, true, 0, false, false},
   };
 

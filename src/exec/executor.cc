@@ -139,6 +139,8 @@ double Executor::ParallelSpeedup(int64_t driving_pages) const {
 VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
                                 bool* overflow) {
   *overflow = false;
+  const cost::TupleCosts& tc =
+      cost::TupleCostsFor(ctx_->config.vectorized_exec);
   const catalog::TableId table_id =
       q.relations[static_cast<size_t>(node.alias)].table;
   const storage::Table& table = ctx_->table(table_id);
@@ -158,8 +160,7 @@ VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
                          /*sequential=*/true);
       }
       cpu = static_cast<double>(total_rows) *
-            static_cast<double>(cost::kScanTupleNs +
-                                pred_count * cost::kPredEvalNs);
+            static_cast<double>(tc.scan_tuple + pred_count * tc.pred_eval);
       const double speedup = ParallelSpeedup(pages);
       return SaturatingNanos((cpu + static_cast<double>(io)) / speedup);
     }
@@ -201,14 +202,14 @@ VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
         io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/false);
         cpu += static_cast<double>(matches) *
                static_cast<double>(cost::kIndexRowFetchNs +
-                                   residual * cost::kPredEvalNs);
+                                   residual * tc.pred_eval);
       } else {
         cpu += static_cast<double>(matches) *
-               static_cast<double>(cost::kBitmapBuildNs);
+               static_cast<double>(tc.bitmap_build);
         io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/true);
         cpu += static_cast<double>(matches) *
                static_cast<double>(cost::kBitmapRowFetchNs +
-                                   residual * cost::kPredEvalNs);
+                                   residual * tc.pred_eval);
       }
       return SaturatingNanos(cpu + static_cast<double>(io));
     }
@@ -230,7 +231,7 @@ VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
       io += ChargeHeapFetches(table_id, matched, /*page_ordered=*/true);
       cpu += static_cast<double>(matched.size()) *
              static_cast<double>(cost::kTidFetchNs +
-                                 (pred_count - 1) * cost::kPredEvalNs);
+                                 (pred_count - 1) * tc.pred_eval);
       return SaturatingNanos(cpu + static_cast<double>(io));
     }
   }
@@ -240,6 +241,8 @@ VirtualNanos Executor::ScanCost(const Query& q, const PlanNode& node,
 VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
                                 const PlanNode& node, bool* overflow) {
   *overflow = false;
+  const cost::TupleCosts& tc =
+      cost::TupleCostsFor(ctx_->config.vectorized_exec);
   const PlanNode& left = plan.node(node.left);
   const PlanNode& right = plan.node(node.right);
   const Oracle::CardResult in_l = oracle_->TrueJoinRows(q, left.mask);
@@ -254,13 +257,13 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
   const double rows_out = static_cast<double>(out.rows);
   const int64_t work_mem_bytes = engine::ScaledBytes(ctx_->config.work_mem_mb);
 
-  double cpu = rows_out * static_cast<double>(cost::kJoinOutputNs);
+  double cpu = rows_out * static_cast<double>(tc.join_output);
   double io = 0.0;
 
   switch (node.algo) {
     case JoinAlgo::kHash: {
-      cpu += rows_r * static_cast<double>(cost::kHashBuildNs) +
-             rows_l * static_cast<double>(cost::kHashProbeNs);
+      cpu += rows_r * static_cast<double>(tc.hash_build) +
+             rows_l * static_cast<double>(tc.hash_probe);
       const double build_bytes = rows_r * cost::kBytesPerTupleSlot;
       const double batches =
           std::max(1.0, build_bytes / static_cast<double>(work_mem_bytes));
@@ -316,7 +319,7 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
       cpu += fetched * static_cast<double>(cost::kIndexRowFetchNs);
       const auto& inner_preds = oracle_->BoundPredicates(q, right.alias);
       cpu += fetched * static_cast<double>(inner_preds.size()) *
-             static_cast<double>(cost::kPredEvalNs);
+             static_cast<double>(tc.pred_eval);
       io += static_cast<double>(
           ChargeRandomHeapPages(inner_table, static_cast<int64_t>(std::min(
                                                  fetched, 1.0e12))));

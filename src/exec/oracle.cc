@@ -21,6 +21,49 @@ namespace {
 
 constexpr int64_t kMatBudgetBytes = 384ll * 1024 * 1024;
 
+// Predicate-transfer tuning (docs/execution.md §Predicate transfer): a
+// Bloom filter over the build/reduce side pays off only when enough probes
+// amortize its construction, so small inputs skip it. Target FPR and seed
+// are fixed so runs are deterministic.
+constexpr int64_t kTransferMinProbes = 4096;
+constexpr double kTransferFpr = 0.01;
+constexpr uint64_t kTransferSeed = 0x51de7a55c0ffeeULL;
+
+// How many iterations ahead join-probe loops hint the next key's hash-slot
+// cache line (random accesses the hardware prefetcher cannot predict).
+constexpr int64_t kProbePrefetchDistance = 16;
+
+/// Lazy predicate-transfer schedule (see kernels::kBloomSampleProbes): the
+/// probe loop runs exact-only while the first sampled non-null keys have
+/// their hit/miss outcomes counted, and the Bloom filter is built
+/// mid-stream — construction cost included — only once the sampled miss
+/// rate clears kBloomBuildMissNum/kBloomBuildMissDen. Hit-heavy streams
+/// never pay for a filter that would reject nothing; the decision is a
+/// pure function of the probe sequence, and the filter is only ever a
+/// pre-test in front of the exact lookup, so engaging it cannot change
+/// result bytes.
+struct TransferSchedule {
+  explicit TransferSchedule(bool enabled) : armed(enabled) {}
+
+  bool armed;  // transfer enabled for this stream and still sampling
+
+  /// Feed one exact-probe outcome from the sampled prefix. Returns true
+  /// exactly once — when the sample clears the miss bar — and the caller
+  /// then builds and installs the Bloom filter for the rest of the stream.
+  bool ShouldBuild(bool missed) {
+    if (!armed) return false;
+    misses_ += missed ? 1 : 0;
+    if (++probes_ < kernels::kBloomSampleProbes) return false;
+    armed = false;
+    return misses_ * kernels::kBloomBuildMissDen >=
+           probes_ * kernels::kBloomBuildMissNum;
+  }
+
+ private:
+  int64_t probes_ = 0;
+  int64_t misses_ = 0;
+};
+
 uint64_t HashCombine(uint64_t h, uint64_t v) {
   return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4))) *
          0x100000001b3ULL;
@@ -78,15 +121,31 @@ void Oracle::EnsureFiltered(QueryMemo& memo, const Query& q, AliasId alias) {
   std::vector<RowId>& rows = memo.filtered[static_cast<size_t>(alias)];
   rows.clear();
   const int64_t n = table.row_count();
-  for (RowId r = 0; r < n; ++r) {
-    bool match = true;
-    for (const auto& pred : preds) {
-      if (!pred.Matches(table.column(pred.column).at(r))) {
-        match = false;
-        break;
+  if (ctx_->config.vectorized_exec) {
+    // Batched engine: full-column selection kernel on the first predicate,
+    // then in-place refinement per remaining predicate. Same conjunction,
+    // same ascending output as the row loop below.
+    if (preds.empty()) {
+      kernels::SelectAll(n, &rows);
+    } else {
+      kernels::SelectPredicate(table.column(preds[0].column).data(), n,
+                               preds[0], &rows);
+      for (size_t p = 1; p < preds.size(); ++p) {
+        kernels::RefinePredicate(table.column(preds[p].column).data(),
+                                 preds[p], &rows);
       }
     }
-    if (match) rows.push_back(r);
+  } else {
+    for (RowId r = 0; r < n; ++r) {
+      bool match = true;
+      for (const auto& pred : preds) {
+        if (!pred.Matches(table.column(pred.column).at(r))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) rows.push_back(r);
+    }
   }
   memo.filtered_ready[static_cast<size_t>(alias)] = 1;
 }
@@ -117,8 +176,12 @@ const std::vector<RowId>& Oracle::SinglePredicateRows(const Query& q,
   std::vector<RowId> rows;
   const int64_t n = table.row_count();
   const storage::Column& column = table.column(pred.column);
-  for (RowId r = 0; r < n; ++r) {
-    if (pred.Matches(column.at(r))) rows.push_back(r);
+  if (ctx_->config.vectorized_exec) {
+    kernels::SelectPredicate(column.data(), n, pred, &rows);
+  } else {
+    for (RowId r = 0; r < n; ++r) {
+      if (pred.Matches(column.at(r))) rows.push_back(r);
+    }
   }
   return memo.single_pred.emplace(key, std::move(rows)).first->second;
 }
@@ -291,6 +354,122 @@ bool Oracle::CountExtension(const Query& q, const Intermediate& left,
                             AliasId alias,
                             const std::vector<storage::RowId>& base_rows,
                             int64_t* count) {
+  return ctx_->config.vectorized_exec
+             ? CountExtensionVectorized(q, left, alias, base_rows, count)
+             : CountExtensionScalar(q, left, alias, base_rows, count);
+}
+
+/// Batched engine for the streaming-count fallback. The single-edge case
+/// sums grouped key multiplicities from the JoinHashTable; the residual
+/// case walks the same (probe row, base row) pairs as the scalar loop, so
+/// the kMaxCountedPairs cap trips at the identical pair.
+bool Oracle::CountExtensionVectorized(
+    const Query& q, const Intermediate& left, AliasId alias,
+    const std::vector<storage::RowId>& base_rows, int64_t* count) {
+  AliasMask left_mask = 0;
+  for (AliasId a : left.aliases) left_mask |= query::MaskOf(a);
+  const auto edges = q.EdgesBetween(left_mask, query::MaskOf(alias));
+  LQOLAB_CHECK(!edges.empty());
+  const storage::Table& base_table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const auto& hash_edge = edges[0];
+  const storage::Column& base_key = base_table.column(hash_edge.right_column);
+  const int32_t width = static_cast<int32_t>(left.aliases.size());
+  auto position_of = [&](AliasId a) {
+    for (int32_t i = 0; i < width; ++i) {
+      if (left.aliases[static_cast<size_t>(i)] == a) return i;
+    }
+    LQOLAB_CHECK_MSG(false, "alias not in intermediate");
+    return -1;
+  };
+  const int32_t hash_pos = position_of(hash_edge.left_alias);
+  const Value* probe_col =
+      ctx_->table(q.relations[static_cast<size_t>(hash_edge.left_alias)].table)
+          .column(hash_edge.left_column)
+          .data();
+
+  join_table_.Build(base_key.data(), base_rows.data(),
+                    static_cast<int64_t>(base_rows.size()));
+  const BloomFilter* bloom = nullptr;
+  TransferSchedule transfer{ctx_->config.predicate_transfer &&
+                            left.rows >= kTransferMinProbes};
+
+  if (edges.size() == 1) {
+    // Pure counting: a group's size is the per-key multiplicity.
+    int64_t total = 0;
+    for (int64_t row = 0; row < left.rows; ++row) {
+      const int64_t ahead =
+          std::min(row + kProbePrefetchDistance, left.rows - 1);
+      join_table_.PrefetchProbe(
+          probe_col[left.data[static_cast<size_t>(ahead * width + hash_pos)]]);
+      const Value v =
+          probe_col[left.data[static_cast<size_t>(row * width + hash_pos)]];
+      if (v == storage::kNullValue) continue;
+      if (bloom != nullptr && !bloom->MayContain(v)) continue;
+      const int32_t hits = join_table_.Probe(v).count;
+      if (transfer.ShouldBuild(hits == 0)) {
+        join_table_.FillBloom(&transfer_bloom_, kTransferFpr, kTransferSeed);
+        bloom = &transfer_bloom_;
+      }
+      total += hits;
+    }
+    *count = total;
+    return true;
+  }
+
+  constexpr int64_t kMaxCountedPairs = 400'000'000;
+  struct EdgeProbe {
+    int32_t left_pos;
+    const Value* left_col;
+    const Value* right_col;
+  };
+  std::vector<EdgeProbe> residual;
+  for (size_t e = 1; e < edges.size(); ++e) {
+    residual.push_back(
+        {position_of(edges[e].left_alias),
+         ctx_->table(
+                 q.relations[static_cast<size_t>(edges[e].left_alias)].table)
+             .column(edges[e].left_column)
+             .data(),
+         base_table.column(edges[e].right_column).data()});
+  }
+  int64_t total = 0;
+  int64_t pairs = 0;
+  for (int64_t row = 0; row < left.rows; ++row) {
+    const int64_t ahead = std::min(row + kProbePrefetchDistance, left.rows - 1);
+    join_table_.PrefetchProbe(
+        probe_col[left.data[static_cast<size_t>(ahead * width + hash_pos)]]);
+    const RowId* tuple = left.data.data() + row * width;
+    const Value v = probe_col[tuple[hash_pos]];
+    if (v == storage::kNullValue) continue;
+    if (bloom != nullptr && !bloom->MayContain(v)) continue;
+    const kernels::JoinHashTable::Group group = join_table_.Probe(v);
+    if (transfer.ShouldBuild(group.count == 0)) {
+      join_table_.FillBloom(&transfer_bloom_, kTransferFpr, kTransferSeed);
+      bloom = &transfer_bloom_;
+    }
+    for (int32_t g = 0; g < group.count; ++g) {
+      const RowId base_row = group.rows[g];
+      if (++pairs > kMaxCountedPairs) return false;
+      bool ok = true;
+      for (const auto& probe : residual) {
+        const Value lv = probe.left_col[tuple[probe.left_pos]];
+        if (lv == storage::kNullValue || lv != probe.right_col[base_row]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) ++total;
+    }
+  }
+  *count = total;
+  return true;
+}
+
+bool Oracle::CountExtensionScalar(const Query& q, const Intermediate& left,
+                                  AliasId alias,
+                                  const std::vector<storage::RowId>& base_rows,
+                                  int64_t* count) {
   AliasMask left_mask = 0;
   for (AliasId a : left.aliases) left_mask |= query::MaskOf(a);
   const auto edges = q.EdgesBetween(left_mask, query::MaskOf(alias));
@@ -433,8 +612,28 @@ const Oracle::Intermediate* Oracle::Materialize(QueryMemo& memo,
   // After reduction, every partial tuple extends to at least one full
   // tuple of the subset (exactly, for acyclic subsets), so intermediates
   // stay near the subset's result size.
-  std::vector<std::vector<storage::RowId>> reduced =
-      SemiJoinReduce(memo, q, mask);
+  //
+  // Batched engine, 2-alias subsets: reduction is pure overhead — the one
+  // join discards non-matching rows itself, produces no oversized
+  // intermediate (its output IS the subset's result), and emits the same
+  // bytes either way: probing unreduced rows only adds probes that emit
+  // nothing, and build-side rows removed by reduction sit in groups no
+  // surviving probe key reaches. The reference path keeps the reduction
+  // unconditionally, as documentation of the general algorithm.
+  std::vector<std::vector<storage::RowId>> reduced;
+  if (ctx_->config.vectorized_exec && std::popcount(mask) == 2) {
+    reduced.resize(q.relations.size());
+    AliasMask pair_bits = mask;
+    while (pair_bits != 0) {
+      const AliasId alias = static_cast<AliasId>(std::countr_zero(pair_bits));
+      pair_bits &= pair_bits - 1;
+      EnsureFiltered(memo, q, alias);
+      reduced[static_cast<size_t>(alias)] =
+          memo.filtered[static_cast<size_t>(alias)];
+    }
+  } else {
+    reduced = SemiJoinReduce(memo, q, mask);
+  }
   auto reduced_rows = [&](AliasId a) -> const std::vector<storage::RowId>& {
     return reduced[static_cast<size_t>(a)];
   };
@@ -501,12 +700,101 @@ std::vector<std::vector<storage::RowId>> Oracle::SemiJoinReduce(
       edges.push_back(edge);
     }
   }
+  // Fixpoint bookkeeping for the batched engine: a directed reduction is a
+  // pure membership filter, so re-running it is a no-op unless one of its
+  // two sides shrank since it last ran. Versions count shrinks per alias;
+  // each directed edge remembers the versions it last ran against and is
+  // skipped when both are unchanged — identical rows kept, without the
+  // redundant set rebuilds the reference path tolerates.
+  std::vector<uint32_t> version(q.relations.size(), 0);
+  std::vector<uint32_t> ran_keep(edges.size() * 2, UINT32_MAX);
+  std::vector<uint32_t> ran_probe(edges.size() * 2, UINT32_MAX);
+  // Batched engine: directed slots that probe the same (alias, column)
+  // share one cached ValueSet from semi_set_pool_, rebuilt only when the
+  // probe side has shrunk since the set was last built. The reference path
+  // deliberately rebuilds its unordered_set every time.
+  struct BuildKey {
+    AliasId alias;
+    catalog::ColumnId column;
+  };
+  std::vector<BuildKey> build_keys;
+  std::vector<size_t> slot_key(edges.size() * 2, 0);
+  std::vector<uint32_t> built_version;
+  if (ctx_->config.vectorized_exec) {
+    auto key_index = [&](AliasId alias, catalog::ColumnId column) {
+      for (size_t i = 0; i < build_keys.size(); ++i) {
+        if (build_keys[i].alias == alias && build_keys[i].column == column) {
+          return i;
+        }
+      }
+      build_keys.push_back({alias, column});
+      return build_keys.size() - 1;
+    };
+    for (size_t e = 0; e < edges.size(); ++e) {
+      slot_key[2 * e] = key_index(edges[e].right_alias, edges[e].right_column);
+      slot_key[2 * e + 1] =
+          key_index(edges[e].left_alias, edges[e].left_column);
+    }
+    if (semi_set_pool_.size() < build_keys.size()) {
+      semi_set_pool_.resize(build_keys.size());
+    }
+    built_version.assign(build_keys.size(), UINT32_MAX);
+  }
   // A few reduction passes (2 suffice for tree-shaped subsets when edges
   // are swept in both directions; a 3rd catches most cycle effects).
   for (int pass = 0; pass < 3; ++pass) {
     bool changed = false;
-    auto reduce_side = [&](AliasId keep, catalog::ColumnId keep_col,
-                           AliasId probe, catalog::ColumnId probe_col) {
+    // Batched engine: the probe side publishes its key set as an
+    // open-addressing ValueSet (plus, under predicate_transfer, a lazily
+    // built Bloom filter consulted before the exact lookup — sideways
+    // information passing), and the keep side is compacted in place.
+    // Membership is exactly the reference path's unordered_set semantics,
+    // so both engines keep the same rows.
+    auto reduce_side_batched = [&](size_t slot, AliasId keep,
+                                   catalog::ColumnId keep_col, AliasId probe,
+                                   catalog::ColumnId probe_col) {
+      if (ran_keep[slot] == version[static_cast<size_t>(keep)] &&
+          ran_probe[slot] == version[static_cast<size_t>(probe)]) {
+        return;
+      }
+      auto& keep_rows = reduced[static_cast<size_t>(keep)];
+      const auto& probe_rows = reduced[static_cast<size_t>(probe)];
+      const storage::Column& keep_values =
+          ctx_->table(q.relations[static_cast<size_t>(keep)].table)
+              .column(keep_col);
+      const storage::Column& probe_values =
+          ctx_->table(q.relations[static_cast<size_t>(probe)].table)
+              .column(probe_col);
+      const size_t key = slot_key[slot];
+      kernels::ValueSet& set = semi_set_pool_[key];
+      if (built_version[key] != version[static_cast<size_t>(probe)]) {
+        set.Build(probe_values.data(), probe_rows.data(),
+                  static_cast<int64_t>(probe_rows.size()));
+        built_version[key] = version[static_cast<size_t>(probe)];
+      }
+      const size_t before = keep_rows.size();
+      if (ctx_->config.predicate_transfer &&
+          static_cast<int64_t>(keep_rows.size()) >= kTransferMinProbes) {
+        kernels::RefineBySetAdaptive(keep_values.data(), set,
+                                     &transfer_bloom_, kTransferFpr,
+                                     kTransferSeed, &keep_rows);
+      } else {
+        kernels::RefineBySet(keep_values.data(), set, nullptr, &keep_rows);
+      }
+      if (keep_rows.size() != before) {
+        changed = true;
+        ++version[static_cast<size_t>(keep)];
+      }
+      ran_keep[slot] = version[static_cast<size_t>(keep)];
+      ran_probe[slot] = version[static_cast<size_t>(probe)];
+    };
+    auto reduce_side = [&](size_t slot, AliasId keep,
+                           catalog::ColumnId keep_col, AliasId probe,
+                           catalog::ColumnId probe_col) {
+      if (ctx_->config.vectorized_exec) {
+        reduce_side_batched(slot, keep, keep_col, probe, probe_col);
+        return;
+      }
       auto& keep_rows = reduced[static_cast<size_t>(keep)];
       const auto& probe_rows = reduced[static_cast<size_t>(probe)];
       const storage::Column& keep_values =
@@ -534,11 +822,12 @@ std::vector<std::vector<storage::RowId>> Oracle::SemiJoinReduce(
         changed = true;
       }
     };
-    for (const auto& edge : edges) {
-      reduce_side(edge.left_alias, edge.left_column, edge.right_alias,
+    for (size_t e = 0; e < edges.size(); ++e) {
+      const auto& edge = edges[e];
+      reduce_side(2 * e, edge.left_alias, edge.left_column, edge.right_alias,
                   edge.right_column);
-      reduce_side(edge.right_alias, edge.right_column, edge.left_alias,
-                  edge.left_column);
+      reduce_side(2 * e + 1, edge.right_alias, edge.right_column,
+                  edge.left_alias, edge.left_column);
     }
     if (!changed) break;
   }
@@ -546,6 +835,150 @@ std::vector<std::vector<storage::RowId>> Oracle::SemiJoinReduce(
 }
 
 Oracle::Intermediate Oracle::JoinWithBase(
+    const Query& q, const Intermediate& left, AliasId alias,
+    const std::vector<storage::RowId>& base_rows, AliasMask scope) {
+  return ctx_->config.vectorized_exec
+             ? JoinWithBaseVectorized(q, left, alias, base_rows, scope)
+             : JoinWithBaseScalar(q, left, alias, base_rows, scope);
+}
+
+/// Batched engine: build a grouped JoinHashTable over the base rows (one
+/// flat payload array instead of a vector per key), optionally publish its
+/// key set as a Bloom filter (predicate transfer), then probe the left
+/// intermediate in kBatchRows strides, gathering probe keys into an
+/// L1-resident staging buffer. Match set, output order and the overflow
+/// trip point are identical to JoinWithBaseScalar: probes run in left-row
+/// order and each group replays the base rows in insertion order.
+Oracle::Intermediate Oracle::JoinWithBaseVectorized(
+    const Query& q, const Intermediate& left, AliasId alias,
+    const std::vector<storage::RowId>& base_rows, AliasMask scope) {
+  AliasMask left_mask = 0;
+  for (AliasId a : left.aliases) left_mask |= query::MaskOf(a);
+  LQOLAB_DCHECK((left_mask & ~scope) == 0);
+  const auto edges = q.EdgesBetween(left_mask, query::MaskOf(alias));
+  LQOLAB_CHECK(!edges.empty());
+
+  const storage::Table& base_table =
+      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const auto& hash_edge = edges[0];
+  const storage::Column& base_key = base_table.column(hash_edge.right_column);
+  join_table_.Build(base_key.data(), base_rows.data(),
+                    static_cast<int64_t>(base_rows.size()));
+
+  const int32_t width = static_cast<int32_t>(left.aliases.size());
+  auto position_of = [&](AliasId a) {
+    for (int32_t i = 0; i < width; ++i) {
+      if (left.aliases[static_cast<size_t>(i)] == a) return i;
+    }
+    LQOLAB_CHECK_MSG(false, "alias not in intermediate");
+    return -1;
+  };
+  struct EdgeProbe {
+    int32_t left_pos;
+    const Value* left_col;
+    const Value* right_col;
+  };
+  std::vector<EdgeProbe> residual;
+  const int32_t hash_pos = position_of(hash_edge.left_alias);
+  const Value* hash_probe_col =
+      ctx_->table(q.relations[static_cast<size_t>(hash_edge.left_alias)].table)
+          .column(hash_edge.left_column)
+          .data();
+  for (size_t e = 1; e < edges.size(); ++e) {
+    EdgeProbe probe;
+    probe.left_pos = position_of(edges[e].left_alias);
+    probe.left_col =
+        ctx_->table(q.relations[static_cast<size_t>(edges[e].left_alias)].table)
+            .column(edges[e].left_column)
+            .data();
+    probe.right_col = base_table.column(edges[e].right_column).data();
+    residual.push_back(probe);
+  }
+
+  const BloomFilter* bloom = nullptr;
+  TransferSchedule transfer{ctx_->config.predicate_transfer &&
+                            left.rows >= kTransferMinProbes};
+
+  Intermediate out;
+  out.aliases = left.aliases;
+  out.aliases.insert(
+      std::upper_bound(out.aliases.begin(), out.aliases.end(), alias), alias);
+  const int32_t out_width = width + 1;
+  const int32_t insert_pos = [&] {
+    for (int32_t i = 0; i < out_width; ++i) {
+      if (out.aliases[static_cast<size_t>(i)] == alias) return i;
+    }
+    return -1;
+  }();
+
+  // Output rows are staged in an L1-resident flush buffer and appended to
+  // out.data one chunk at a time, so vector bookkeeping is paid once per
+  // ~kFlushCells/out_width rows instead of per match.
+  constexpr int32_t kFlushCells = 2048;
+  RowId flush[kFlushCells];
+  int32_t flush_used = 0;
+
+  Value probe_keys[kernels::kBatchRows];
+  for (int64_t batch = 0; batch < left.rows; batch += kernels::kBatchRows) {
+    const int32_t n = static_cast<int32_t>(
+        std::min<int64_t>(kernels::kBatchRows, left.rows - batch));
+    const RowId* batch_tuples = left.data.data() + batch * width;
+    // Gather this batch's probe keys through the row-id indirection once.
+    for (int32_t i = 0; i < n; ++i) {
+      probe_keys[i] = hash_probe_col[batch_tuples[i * width + hash_pos]];
+    }
+    for (int32_t i = 0; i < n; ++i) {
+      join_table_.PrefetchProbe(
+          probe_keys[std::min<int32_t>(
+              i + static_cast<int32_t>(kProbePrefetchDistance), n - 1)]);
+      const Value probe_value = probe_keys[i];
+      if (probe_value == storage::kNullValue) continue;
+      if (bloom != nullptr && !bloom->MayContain(probe_value)) continue;
+      const kernels::JoinHashTable::Group group = join_table_.Probe(probe_value);
+      if (transfer.ShouldBuild(group.count == 0)) {
+        join_table_.FillBloom(&transfer_bloom_, kTransferFpr, kTransferSeed);
+        bloom = &transfer_bloom_;
+      }
+      if (group.count == 0) continue;
+      const RowId* tuple = batch_tuples + i * width;
+      for (int32_t g = 0; g < group.count; ++g) {
+        const RowId base_row = group.rows[g];
+        bool ok = true;
+        for (const auto& probe : residual) {
+          const Value lv = probe.left_col[tuple[probe.left_pos]];
+          if (lv == storage::kNullValue || lv != probe.right_col[base_row]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        if (out.rows >= cost::kMaxIntermediateRows ||
+            out.rows * out_width >= cost::kMaxIntermediateCells) {
+          out.rows = -1;  // overflow
+          out.data.clear();
+          out.data.shrink_to_fit();
+          return out;
+        }
+        if (flush_used + out_width > kFlushCells) {
+          out.data.insert(out.data.end(), flush, flush + flush_used);
+          flush_used = 0;
+        }
+        RowId* staged = flush + flush_used;  // out_width ≤ 32 aliases + 1
+        for (int32_t c = 0; c < insert_pos; ++c) staged[c] = tuple[c];
+        staged[insert_pos] = base_row;
+        for (int32_t c = insert_pos + 1; c < out_width; ++c) {
+          staged[c] = tuple[c - 1];
+        }
+        flush_used += out_width;
+        ++out.rows;
+      }
+    }
+  }
+  out.data.insert(out.data.end(), flush, flush + flush_used);
+  return out;
+}
+
+Oracle::Intermediate Oracle::JoinWithBaseScalar(
     const Query& q, const Intermediate& left, AliasId alias,
     const std::vector<storage::RowId>& base_rows, AliasMask scope) {
   AliasMask left_mask = 0;

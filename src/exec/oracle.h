@@ -5,7 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/bloom.h"
 #include "exec/db_context.h"
+#include "exec/kernels.h"
 #include "query/predicate_binding.h"
 #include "query/query.h"
 
@@ -24,6 +26,16 @@ uint64_t QueryFingerprint(const query::Query& q);
 /// executor charges virtual time as a function of TRUE cardinalities, while
 /// the planner sees only the estimator — exactly the gap that separates good
 /// plans from bad ones on the real system.
+///
+/// Two interchangeable engines implement the hot path (docs/execution.md):
+/// the batch-at-a-time kernels of exec/kernels.h (DbConfig::vectorized_exec,
+/// the default), optionally with Bloom-filter predicate transfer
+/// (DbConfig::predicate_transfer), and the original tuple-at-a-time
+/// reference. Both return byte-identical row sets — the vectorized path
+/// reproduces the reference's match semantics and output ordering exactly,
+/// and predicate transfer is a pure pre-test that cannot change results —
+/// so the scalar path stays selectable at runtime as the differential
+/// baseline (tests/test_kernels.cc, fuzz::DifferentialOracle).
 class Oracle {
  public:
   explicit Oracle(const DbContext* ctx);
@@ -102,11 +114,18 @@ class Oracle {
                                   query::AliasMask mask);
 
   /// Joins `left` with base rows of `alias` over all connecting edges
-  /// within `scope`. Returns overflow via `result.rows < 0`.
+  /// within `scope`. Returns overflow via `result.rows < 0`. Dispatches to
+  /// the batched or the tuple-at-a-time engine per config.
   Intermediate JoinWithBase(const query::Query& q, const Intermediate& left,
                             query::AliasId alias,
                             const std::vector<storage::RowId>& base_rows,
                             query::AliasMask scope);
+  Intermediate JoinWithBaseScalar(
+      const query::Query& q, const Intermediate& left, query::AliasId alias,
+      const std::vector<storage::RowId>& base_rows, query::AliasMask scope);
+  Intermediate JoinWithBaseVectorized(
+      const query::Query& q, const Intermediate& left, query::AliasId alias,
+      const std::vector<storage::RowId>& base_rows, query::AliasMask scope);
 
   /// Exact count of a TREE-shaped (acyclic) subset by message passing over
   /// the join tree in O(sum of base rows) — no materialization, any result
@@ -121,6 +140,15 @@ class Oracle {
                       query::AliasId alias,
                       const std::vector<storage::RowId>& base_rows,
                       int64_t* count);
+  bool CountExtensionScalar(const query::Query& q, const Intermediate& left,
+                            query::AliasId alias,
+                            const std::vector<storage::RowId>& base_rows,
+                            int64_t* count);
+  bool CountExtensionVectorized(const query::Query& q,
+                                const Intermediate& left,
+                                query::AliasId alias,
+                                const std::vector<storage::RowId>& base_rows,
+                                int64_t* count);
 
   /// Semi-join-reduces the filtered row lists of every alias in `mask`
   /// (rows without a join partner on some edge inside `mask` are dropped;
@@ -136,6 +164,16 @@ class Oracle {
   const DbContext* ctx_;
   std::unordered_map<uint64_t, QueryMemo> memos_;
   int64_t mat_bytes_ = 0;
+
+  // Scratch for the batched engine, reused across calls so the steady-state
+  // hot path performs no per-tuple heap allocation (the Oracle is already
+  // single-threaded per replica, so plain members are safe).
+  // SemiJoinReduce keeps one ValueSet per distinct (probe alias, column)
+  // build key so an unchanged probe side never rebuilds its set across
+  // passes; the pool persists so slot storage is reused across queries.
+  std::vector<kernels::ValueSet> semi_set_pool_;
+  kernels::JoinHashTable join_table_;
+  BloomFilter transfer_bloom_;
 };
 
 }  // namespace lqolab::exec

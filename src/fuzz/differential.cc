@@ -416,6 +416,34 @@ void DifferentialOracle::CheckExecution(const Query& q,
     }
   }
 
+  // Engine differential: re-run one plan with DbConfig::vectorized_exec
+  // flipped relative to the main database. The batched kernels and the
+  // tuple-at-a-time reference must report identical result rows — only the
+  // rows are compared, never virtual times, since the engines are
+  // deliberately charged different per-tuple costs.
+  {
+    ++report->checks.engine_differential;
+    const std::unique_ptr<engine::Database> replica =
+        db_->CloneContextForWorker();
+    engine::DbConfig flipped = db_->config();
+    flipped.vectorized_exec = !flipped.vectorized_exec;
+    replica->SetConfig(flipped);
+    replica->BeginQueryReplay(options_.exec_seed, q);
+    const engine::QueryRun run =
+        replica->ExecutePlan(q, plans.front().plan, 0, options_.exec_timeout_ns);
+    ++report->plans_executed;
+    if (run.timed_out) {
+      ++report->timeouts;
+    } else if (run.result_rows != outcomes.front().rows) {
+      report->discrepancies.push_back(
+          {"engine_differential",
+           std::string(flipped.vectorized_exec ? "vectorized" : "scalar") +
+               " engine reported " + std::to_string(run.result_rows) +
+               " rows != " + std::to_string(outcomes.front().rows) + " for " +
+               q.id});
+    }
+  }
+
   // Fault mode: replay every arm under injected faults. Faults are allowed
   // to cost availability (typed error, timeout) but never correctness — a
   // faulted run that completes must report the clean cardinality.

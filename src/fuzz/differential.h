@@ -24,10 +24,15 @@ struct CheckCounts {
   int64_t corpus_roundtrip = 0;  ///< Corpus serialize/parse round trips.
   int64_t fault_execution = 0;   ///< Fault-mode re-executions (availability
                                  ///< may drop, cardinality must not change).
+  int64_t engine_differential = 0;  ///< Vectorized-vs-scalar engine arm:
+                                    ///< the same plan re-run with
+                                    ///< vectorized_exec flipped must report
+                                    ///< the same result rows.
 
   int64_t total() const {
     return cost_enumeration + execution + estimator + plan_cache +
-           hint_roundtrip + corpus_roundtrip + fault_execution;
+           hint_roundtrip + corpus_roundtrip + fault_execution +
+           engine_differential;
   }
   CheckCounts& operator+=(const CheckCounts& o) {
     cost_enumeration += o.cost_enumeration;
@@ -37,6 +42,7 @@ struct CheckCounts {
     hint_roundtrip += o.hint_roundtrip;
     corpus_roundtrip += o.corpus_roundtrip;
     fault_execution += o.fault_execution;
+    engine_differential += o.engine_differential;
     return *this;
   }
 };

@@ -39,6 +39,10 @@ class Column {
   int64_t size() const { return static_cast<int64_t>(values_.size()); }
   const std::vector<Value>& values() const { return values_; }
 
+  /// Raw value array for batch kernels (exec/kernels.h): lets selection
+  /// loops index contiguous memory without the at() bounds check per row.
+  const Value* data() const { return values_.data(); }
+
   /// Interns `text` into the dictionary and returns its code. Only valid for
   /// string columns.
   Value InternString(const std::string& text);
