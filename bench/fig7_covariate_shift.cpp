@@ -26,7 +26,7 @@ int main() {
   auto full = bench::MakeDatabase(0.25);
   // Build IMDB-50% by Bernoulli-sampling title with CASCADE.
   auto half_tables = datagen::SubsampleTitleCascade(
-      full->schema(), full->context().tables, 0.5, bench::kSeed + 1);
+      full->schema(), full->context().tables(), 0.5, bench::kSeed + 1);
   engine::Database::Options half_options;
   half_options.seed = bench::kSeed;
   auto half = engine::Database::FromTables(half_options,

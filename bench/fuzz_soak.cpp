@@ -1,7 +1,9 @@
 // Fuzz soak: runs the differential plan-correctness oracle (src/fuzz/) over
 // a rotation of engine configurations — bushy/left-deep, GEQO seeds, a
-// lowered GEQO threshold, the scalar reference engine and the batched
-// engine without predicate transfer — with the native-passthrough and Bao
+// lowered GEQO threshold, the scalar reference engine, the batched engine
+// without predicate transfer and hash-sharded storage (table_shards=8,
+// on top of the sharded-twin arm every configuration already runs) — with
+// the native-passthrough and Bao
 // arms in the execution cross-check. Emits one JSON document (stdout, or the file given
 // as argv[1]) with queries/sec, checks/sec and the discrepancy count, which
 // must be zero; the recorded run lives at BENCH_fuzz.json.
@@ -82,6 +84,14 @@ std::vector<ConfigSpec> ConfigRotation() {
   engine::DbConfig no_transfer = engine::DbConfig::OurFramework();
   no_transfer.predicate_transfer = false;
   specs.push_back({"vectorized_no_transfer", no_transfer});
+
+  // Hash-sharded storage as the MAIN database (the oracle also runs its
+  // sharded-twin arm inside every other configuration): every check —
+  // execution cross-check, reference counts, estimator sweeps — runs
+  // against the sharded scan path and the per-shard buffer pools.
+  engine::DbConfig sharded = engine::DbConfig::OurFramework();
+  sharded.table_shards = 8;
+  specs.push_back({"sharded_8", sharded});
   return specs;
 }
 

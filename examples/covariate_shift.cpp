@@ -37,7 +37,7 @@ int main() {
       db = nullptr;  // use `full`
     } else {
       auto tables = datagen::SubsampleTitleCascade(
-          full->schema(), full->context().tables, fraction, 7);
+          full->schema(), full->context().tables(), fraction, 7);
       engine::Database::Options sub_options;
       sub_options.seed = 42;
       db = engine::Database::FromTables(sub_options, std::move(tables));

@@ -25,13 +25,17 @@ struct RunnerOptions {
   uint64_t seed = 42;
 };
 
-/// Fans queries of a workload across a fixed-size worker pool. Each worker
-/// owns an isolated replica of the execution substrate — its own DbContext
-/// view (shared immutable tables/indexes, private buffer cache), oracle,
-/// planner, executor and noise stream — so a query's measurement is a pure
-/// function of (storage, config, query, seed). That makes results
-/// bit-identical to the serial path regardless of thread count or
-/// scheduling; see docs/parallelism.md for the full determinism contract.
+/// Fans queries of a workload across a fixed-size worker pool with
+/// work-stealing scheduling (util::ThreadPool): each worker starts on a
+/// static block of the query range and idle workers steal from the back of
+/// still-loaded blocks, so a few expensive straggler queries cannot idle the
+/// rest of the pool. Each worker owns an isolated replica of the execution
+/// substrate — an O(1) copy-on-write DbContext view (shared immutable
+/// engine::SharedContext, private buffer cache), oracle, planner, executor
+/// and noise stream — so a query's measurement is a pure function of
+/// (storage, config, query, seed). That makes results bit-identical to the
+/// serial path regardless of thread count or scheduling; see
+/// docs/parallelism.md for the full determinism contract.
 class ParallelRunner {
  public:
   /// Builds `parallelism` worker replicas of `db` (which must outlive the
@@ -45,6 +49,11 @@ class ParallelRunner {
   int32_t parallelism() const { return pool_.size(); }
   uint64_t seed() const { return seed_; }
   engine::Database* parent() const { return parent_; }
+  /// Queries executed by a worker other than the one whose static block
+  /// they started in, over this runner's lifetime (util::ThreadPool's
+  /// work-stealing counter). Observability only — results do not depend on
+  /// which worker ran a query.
+  int64_t steals() const { return pool_.steals(); }
 
   /// Runs fn(worker_replica, item) exactly once for every item in [0, n)
   /// and blocks until all completed. At most one item runs on a given

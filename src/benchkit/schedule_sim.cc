@@ -1,0 +1,77 @@
+#include "benchkit/schedule_sim.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lqolab::benchkit {
+
+using util::VirtualNanos;
+
+double ScheduleResult::speedup() const {
+  if (makespan_ns <= 0) return 1.0;
+  VirtualNanos total = 0;
+  for (VirtualNanos busy : worker_busy_ns) total += busy;
+  return static_cast<double>(total) / static_cast<double>(makespan_ns);
+}
+
+ScheduleResult SimulateWorkStealing(const std::vector<VirtualNanos>& task_ns,
+                                    int32_t workers) {
+  LQOLAB_CHECK_GT(workers, 0);
+  ScheduleResult result;
+  result.worker_busy_ns.assign(static_cast<size_t>(workers), 0);
+  if (task_ns.empty()) return result;
+
+  const int64_t n = static_cast<int64_t>(task_ns.size());
+  const int64_t p = workers;
+  // Static block [lo, hi) per worker, same split as ThreadPool::ParallelFor.
+  std::vector<int64_t> lo(static_cast<size_t>(p)), hi(static_cast<size_t>(p));
+  for (int64_t w = 0; w < p; ++w) {
+    lo[static_cast<size_t>(w)] = w * n / p;
+    hi[static_cast<size_t>(w)] = (w + 1) * n / p;
+  }
+
+  // Event simulation: repeatedly advance the worker whose virtual clock is
+  // lowest (ties to the lowest id) and have it claim its next task. Claimed
+  // tasks run to completion, so remaining > 0 implies some block is
+  // non-empty and a claim always succeeds.
+  std::vector<VirtualNanos> clock(static_cast<size_t>(p), 0);
+  int64_t remaining = n;
+  while (remaining > 0) {
+    int32_t next = 0;
+    for (int32_t w = 1; w < workers; ++w) {
+      if (clock[static_cast<size_t>(w)] < clock[static_cast<size_t>(next)]) {
+        next = w;
+      }
+    }
+    const size_t wi = static_cast<size_t>(next);
+    int64_t task;
+    if (lo[wi] < hi[wi]) {
+      task = lo[wi]++;  // own block, front first
+    } else {
+      // Steal from the back of the fullest block (ties to the lowest id).
+      int32_t victim = -1;
+      int64_t best = 0;
+      for (int32_t v = 0; v < workers; ++v) {
+        const int64_t left = hi[static_cast<size_t>(v)] -
+                             lo[static_cast<size_t>(v)];
+        if (left > best) {
+          best = left;
+          victim = v;
+        }
+      }
+      LQOLAB_CHECK_GE(victim, 0);
+      task = --hi[static_cast<size_t>(victim)];
+      ++result.steals;
+    }
+    const VirtualNanos cost = task_ns[static_cast<size_t>(task)];
+    clock[wi] += cost;
+    result.worker_busy_ns[wi] += cost;
+    --remaining;
+  }
+  result.makespan_ns =
+      *std::max_element(clock.begin(), clock.end());
+  return result;
+}
+
+}  // namespace lqolab::benchkit

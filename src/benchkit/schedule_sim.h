@@ -1,0 +1,51 @@
+#ifndef LQOLAB_BENCHKIT_SCHEDULE_SIM_H_
+#define LQOLAB_BENCHKIT_SCHEDULE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/virtual_clock.h"
+
+namespace lqolab::benchkit {
+
+/// Outcome of simulating a work-stealing schedule in virtual time.
+struct ScheduleResult {
+  /// Virtual wall-clock of the whole job: the time the last worker finishes.
+  util::VirtualNanos makespan_ns = 0;
+  /// Total virtual time each worker spent executing tasks (idle time at the
+  /// end of the schedule is not counted).
+  std::vector<util::VirtualNanos> worker_busy_ns;
+  /// Tasks executed by a worker other than the one whose static block they
+  /// were assigned to.
+  int64_t steals = 0;
+
+  /// sum(task costs) / makespan — the parallel speedup an ideal
+  /// contention-free machine with `workers` cores would observe.
+  double speedup() const;
+};
+
+/// Simulates util::ThreadPool's work-stealing discipline over per-task
+/// virtual costs and returns the resulting makespan.
+///
+/// The engine measures queries in virtual nanoseconds (util::VirtualClock),
+/// so a wall-clock parallel speedup on the host says more about the machine
+/// running the benchmark than about the scheduler — on a single-core CI
+/// container it is bounded by 1x regardless of how well work is balanced.
+/// This simulation asks the machine-independent question instead: given the
+/// per-query virtual costs the engine actually measured, how long would the
+/// pool's schedule take on `workers` ideal cores? It is fully deterministic
+/// (same costs + same worker count => same makespan) and is what
+/// bench/micro_parallel_runner reports and tests/check_bench_gates.sh gates
+/// on (docs/benchmarks.md).
+///
+/// The simulated policy mirrors util::ThreadPool::RunJob: task i starts in
+/// the static block [w*n/P, (w+1)*n/P) of worker w; a worker drains its own
+/// block front-to-back, then steals from the back of the block with the most
+/// remaining tasks (ties to the lowest worker id). Whenever several workers
+/// are idle, the one with the lowest id claims first.
+ScheduleResult SimulateWorkStealing(
+    const std::vector<util::VirtualNanos>& task_ns, int32_t workers);
+
+}  // namespace lqolab::benchkit
+
+#endif  // LQOLAB_BENCHKIT_SCHEDULE_SIM_H_

@@ -41,6 +41,15 @@ struct ScaleProfile {
   /// Uniformly scales all row counts by `factor` (>= such that every table
   /// keeps at least 8 rows).
   ScaleProfile Scaled(double factor) const;
+
+  /// The scale-factor knob of the parallelism benchmarks: sf x Medium().
+  /// sf 1 is the default ~0.66M-row database; sf 16 crosses 10M rows
+  /// (~10.6M) while keeping the same skew and correlation structure, so
+  /// storage-layer changes (table sharding, per-shard buffer pools) can be
+  /// benchmarked against a heap that dwarfs every cache tier.
+  static ScaleProfile ForScaleFactor(double sf) {
+    return Medium().Scaled(sf);
+  }
 };
 
 /// Well-known info_type ids used by generated movie_info / movie_info_idx /

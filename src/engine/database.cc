@@ -23,22 +23,19 @@ int64_t ScaledPages(int64_t mb) {
 }
 
 Database::Database(const Options& options)
-    : schema_(catalog::BuildImdbSchema()),
-      seed_(options.seed),
-      noise_rng_(options.seed ^ 0xabcdefULL) {
-  ctx_.schema = &schema_;
+    : seed_(options.seed), noise_rng_(options.seed ^ 0xabcdefULL) {
   ctx_.config = options.config;
 }
 
 std::unique_ptr<Database> Database::CreateImdb(const Options& options) {
   std::unique_ptr<Database> db(new Database(options));
+  auto shared = std::make_shared<SharedContext>();
+  shared->schema = catalog::BuildImdbSchema();
   for (auto& table :
-       datagen::GenerateImdb(db->schema_, options.profile, options.seed)) {
-    db->ctx_.tables.push_back(std::move(table));
+       datagen::GenerateImdb(shared->schema, options.profile, options.seed)) {
+    shared->tables.push_back(std::move(table));
   }
-  db->BuildIndexes();
-  db->Analyze();
-  db->InitRuntime();
+  db->FinishBuild(std::move(shared));
   return db;
 }
 
@@ -46,13 +43,26 @@ std::unique_ptr<Database> Database::FromTables(
     const Options& options,
     std::vector<std::shared_ptr<storage::Table>> tables) {
   std::unique_ptr<Database> db(new Database(options));
+  auto shared = std::make_shared<SharedContext>();
+  shared->schema = catalog::BuildImdbSchema();
   LQOLAB_CHECK_EQ(static_cast<int32_t>(tables.size()),
-                  db->schema_.table_count());
-  db->ctx_.tables = std::move(tables);
-  db->BuildIndexes();
-  db->Analyze();
-  db->InitRuntime();
+                  shared->schema.table_count());
+  shared->tables = std::move(tables);
+  db->FinishBuild(std::move(shared));
   return db;
+}
+
+void Database::FinishBuild(std::shared_ptr<SharedContext> shared) {
+  BuildIndexes(*shared);
+  Analyze(*shared);
+  if (ctx_.config.table_shards > 1) {
+    shared->shards = std::make_shared<const storage::ShardedTableSet>(
+        shared->tables, ctx_.config.table_shards);
+  }
+  // Freeze: from here on the shared context is only ever read.
+  ctx_.shared = std::move(shared);
+  ctx_.schema = &ctx_.shared->schema;
+  InitRuntime();
 }
 
 std::unique_ptr<Database> Database::CloneContextForWorker() const {
@@ -60,22 +70,23 @@ std::unique_ptr<Database> Database::CloneContextForWorker() const {
   options.seed = seed_;
   options.config = ctx_.config;
   std::unique_ptr<Database> db(new Database(options));
-  // Tables and indexes are immutable after build: share, don't copy.
-  db->ctx_.tables = ctx_.tables;
-  db->ctx_.indexes = ctx_.indexes;
-  db->ctx_.table_stats = ctx_.table_stats;
+  // The whole post-build state transfers as one refcount bump; only the
+  // per-replica runtime (buffer pools, oracle, planner, executor) is built.
+  db->ctx_.shared = ctx_.shared;
+  db->ctx_.schema = ctx_.schema;
   db->InitRuntime();
   return db;
 }
 
-void Database::BuildIndexes() {
+void Database::BuildIndexes(SharedContext& shared) {
   // Primary keys and every foreign key (the JOB index set of Leis et al.,
   // which already includes Balsa's two complete_cast additions), plus the
   // filter-column indexes listed in DESIGN.md.
+  const catalog::Schema& schema = shared.schema;
   std::set<std::pair<catalog::TableId, catalog::ColumnId>> wanted;
-  for (catalog::TableId t = 0; t < schema_.table_count(); ++t) {
+  for (catalog::TableId t = 0; t < schema.table_count(); ++t) {
     wanted.insert({t, 0});  // id
-    for (const auto& fk : schema_.table(t).foreign_keys) {
+    for (const auto& fk : schema.table(t).foreign_keys) {
       wanted.insert({t, fk.column});
     }
   }
@@ -89,28 +100,47 @@ void Database::BuildIndexes() {
       {Table::kRoleType, "role"},         {Table::kLinkType, "link"},
       {Table::kCompCastType, "kind"}};
   for (const auto& [table, column_name] : filter_indexes) {
-    const catalog::ColumnId col = schema_.table(table).FindColumn(column_name);
+    const catalog::ColumnId col = schema.table(table).FindColumn(column_name);
     LQOLAB_CHECK_NE(col, catalog::kInvalidColumn);
     wanted.insert({table, col});
   }
   for (const auto& [table, column] : wanted) {
-    ctx_.indexes[{table, column}] = std::make_shared<storage::Index>(
-        *ctx_.tables[static_cast<size_t>(table)], column);
+    shared.indexes[{table, column}] = std::make_shared<storage::Index>(
+        *shared.tables[static_cast<size_t>(table)], column);
   }
 }
 
-void Database::Analyze() {
-  ctx_.table_stats.clear();
-  ctx_.table_stats.reserve(ctx_.tables.size());
-  for (const auto& table : ctx_.tables) {
-    ctx_.table_stats.push_back(stats::Analyze(*table));
+void Database::Analyze(SharedContext& shared) {
+  shared.table_stats.clear();
+  shared.table_stats.reserve(shared.tables.size());
+  for (const auto& table : shared.tables) {
+    shared.table_stats.push_back(stats::Analyze(*table));
   }
 }
+
+namespace {
+
+/// Per-shard pool capacity: the configured capacity split evenly across
+/// shards (floored like ScaledPages so tiny configs stay usable).
+int64_t ShardPages(int64_t mb, int32_t num_shards) {
+  return std::max<int64_t>(16, ScaledPages(mb) / num_shards);
+}
+
+}  // namespace
 
 void Database::InitRuntime() {
   ctx_.buffer_pool = std::make_unique<storage::BufferPool>(
       ScaledPages(ctx_.config.shared_buffers_mb),
       ScaledPages(ctx_.config.ram_mb));
+  ctx_.shard_pools.clear();
+  if (const storage::ShardedTableSet* shards = ctx_.shards()) {
+    const int32_t n = shards->num_shards();
+    for (int32_t s = 0; s < n; ++s) {
+      ctx_.shard_pools.push_back(std::make_unique<storage::BufferPool>(
+          ShardPages(ctx_.config.shared_buffers_mb, n),
+          ShardPages(ctx_.config.ram_mb, n)));
+    }
+  }
   oracle_ = std::make_unique<exec::Oracle>(&ctx_);
   planner_ = std::make_unique<optimizer::Planner>(&ctx_);
   executor_ = std::make_unique<exec::Executor>(&ctx_, oracle_.get());
@@ -121,27 +151,40 @@ void Database::SetConfig(const DbConfig& config) {
 }
 
 util::Status Database::TrySetConfig(const DbConfig& config) {
+  DbConfig next = config;
+  // Sharding is physical layout, fixed when the tables were partitioned at
+  // build time: the built value is preserved no matter what the incoming
+  // config says (see DbConfig::table_shards).
+  next.table_shards = ctx_.config.table_shards;
   const bool memory_changed =
-      config.shared_buffers_mb != ctx_.config.shared_buffers_mb ||
-      config.ram_mb != ctx_.config.ram_mb;
+      next.shared_buffers_mb != ctx_.config.shared_buffers_mb ||
+      next.ram_mb != ctx_.config.ram_mb;
   if (memory_changed) {
-    if (config.shared_buffers_mb <= 0 || config.ram_mb <= 0) {
+    if (next.shared_buffers_mb <= 0 || next.ram_mb <= 0) {
       return util::Status(util::StatusCode::kResourceExhausted,
                           "non-positive buffer sizing");
     }
     const util::Status status =
-        ctx_.buffer_pool->TryResize(ScaledPages(config.shared_buffers_mb),
-                                    ScaledPages(config.ram_mb));
+        ctx_.buffer_pool->TryResize(ScaledPages(next.shared_buffers_mb),
+                                    ScaledPages(next.ram_mb));
     if (!status.ok()) return status;  // Old config and caches intact.
+    const int32_t n = static_cast<int32_t>(ctx_.shard_pools.size());
+    for (auto& pool : ctx_.shard_pools) {
+      // Strictly smaller positive capacities than the main resize that just
+      // succeeded, so this cannot fail.
+      LQOLAB_CHECK(pool->TryResize(ShardPages(next.shared_buffers_mb, n),
+                                   ShardPages(next.ram_mb, n))
+                       .ok());
+    }
     run_counts_.clear();
   }
-  ctx_.config = config;
+  ctx_.config = next;
   return util::Status::Ok();
 }
 
 int64_t Database::TotalPages() const {
   int64_t pages = 0;
-  for (const auto& table : ctx_.tables) pages += table->page_count();
+  for (const auto& table : ctx_.tables()) pages += table->page_count();
   return pages;
 }
 
@@ -218,6 +261,7 @@ int64_t Database::RunCount(const query::Query& q) const {
 
 void Database::DropCaches() {
   ctx_.buffer_pool->DropCaches();
+  for (auto& pool : ctx_.shard_pools) pool->DropCaches();
   run_counts_.clear();
 }
 
@@ -262,14 +306,14 @@ std::string Database::ExplainAnalyze(const query::Query& q) {
   const Planned planned = PlanQuery(q);
   const QueryRun run = ExecutePlan(q, planned.plan, planned.planning_ns);
   return obs::ExplainAnalyzeText(
-      BuildExplainInput(q, schema_, *planner_, planned, run));
+      BuildExplainInput(q, schema(), *planner_, planned, run));
 }
 
 std::string Database::ExplainAnalyzeJson(const query::Query& q) {
   const Planned planned = PlanQuery(q);
   const QueryRun run = ExecutePlan(q, planned.plan, planned.planning_ns);
   return obs::ExplainAnalyzeJson(
-      BuildExplainInput(q, schema_, *planner_, planned, run));
+      BuildExplainInput(q, schema(), *planner_, planned, run));
 }
 
 }  // namespace lqolab::engine

@@ -9,6 +9,7 @@
 #include "catalog/schema.h"
 #include "datagen/imdb_generator.h"
 #include "engine/config.h"
+#include "engine/shared_context.h"
 #include "exec/db_context.h"
 #include "exec/executor.h"
 #include "exec/oracle.h"
@@ -66,18 +67,20 @@ class Database {
       const Options& options,
       std::vector<std::shared_ptr<storage::Table>> tables);
 
-  /// Creates an isolated worker replica for parallel measurement. The
-  /// replica shares this instance's immutable storage (tables, indexes) and
-  /// copies its statistics and configuration, but owns a fresh buffer cache,
-  /// oracle, planner, executor, warm-up state and noise stream — executions
-  /// on the replica never observe or perturb the parent (or any sibling).
-  /// Pair with BeginQueryReplay() for scheduling-independent results.
+  /// Creates an isolated worker replica for parallel measurement. O(1) in
+  /// database size: the replica adopts this instance's frozen
+  /// engine::SharedContext (catalog, column segments, dictionaries,
+  /// indexes, statistics, shard layout) by shared_ptr — nothing is copied —
+  /// and owns only fresh per-replica state: buffer pools, oracle, planner,
+  /// executor, warm-up counters and the noise stream. Executions on the
+  /// replica never observe or perturb the parent (or any sibling). Pair
+  /// with BeginQueryReplay() for scheduling-independent results.
   std::unique_ptr<Database> CloneContextForWorker() const;
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  const catalog::Schema& schema() const { return schema_; }
+  const catalog::Schema& schema() const { return *ctx_.schema; }
   const DbConfig& config() const { return ctx_.config; }
   /// Generation seed; worker replicas inherit it, and serve::QueryServer
   /// adopts it as the default replay seed.
@@ -164,12 +167,15 @@ class Database {
  private:
   explicit Database(const Options& options);
 
-  void BuildIndexes();
-  void Analyze();
+  /// Indexes + ANALYZE + optional sharding over an assembled (schema,
+  /// tables) SharedContext, then freezes it into ctx_ and initializes the
+  /// per-replica runtime. The build-time half of every factory.
+  void FinishBuild(std::shared_ptr<SharedContext> shared);
+  void BuildIndexes(SharedContext& shared);
+  static void Analyze(SharedContext& shared);
   void InitRuntime();
   double WarmupMultiplier(const query::Query& q);
 
-  catalog::Schema schema_;
   uint64_t seed_;
   exec::DbContext ctx_;
   std::unique_ptr<exec::Oracle> oracle_;

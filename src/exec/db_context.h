@@ -1,13 +1,12 @@
 #ifndef LQOLAB_EXEC_DB_CONTEXT_H_
 #define LQOLAB_EXEC_DB_CONTEXT_H_
 
-#include <map>
 #include <memory>
-#include <utility>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "engine/config.h"
+#include "engine/shared_context.h"
 #include "stats/column_stats.h"
 #include "storage/buffer_pool.h"
 #include "storage/index.h"
@@ -15,39 +14,83 @@
 
 namespace lqolab::exec {
 
-/// Shared view of one database instance used by the estimator, planner and
-/// executor. Owned and assembled by engine::Database.
+/// Per-replica view of one database instance used by the estimator, planner
+/// and executor. Owned and assembled by engine::Database.
 ///
-/// Tables and indexes are immutable once built, and are held by shared_ptr
-/// so that worker replicas (Database::CloneContextForWorker) can reference
-/// the same physical data without copying it; everything else in the context
-/// is per-replica state.
+/// All immutable post-build state (catalog, column segments, indexes,
+/// statistics, shard layout) lives in one engine::SharedContext referenced
+/// here by shared_ptr: worker replicas copy the pointer, never the data.
+/// What remains in the context itself is exactly the per-replica mutable
+/// state — buffer pools and configuration.
 struct DbContext {
+  /// Convenience alias for `&shared->schema` (kept as a raw pointer because
+  /// query generation and plan encoding take the schema standalone).
   const catalog::Schema* schema = nullptr;
-  std::vector<std::shared_ptr<storage::Table>> tables;
-  /// Secondary indexes keyed by (table, column).
-  std::map<std::pair<catalog::TableId, catalog::ColumnId>,
-           std::shared_ptr<storage::Index>>
-      indexes;
-  std::vector<stats::TableStats> table_stats;
+  std::shared_ptr<const engine::SharedContext> shared;
+  /// Main buffer cache. With sharding enabled it serves index and any
+  /// non-sharded pages; heap pages of sharded tables go to shard_pools.
   std::unique_ptr<storage::BufferPool> buffer_pool;
+  /// One pool per shard (empty unless config.table_shards > 1), each sized
+  /// 1/num_shards of the configured capacities: sharding partitions the
+  /// cache the way it partitions the heap.
+  std::vector<std::unique_ptr<storage::BufferPool>> shard_pools;
   engine::DbConfig config;
 
+  const std::vector<std::shared_ptr<storage::Table>>& tables() const {
+    return shared->tables;
+  }
+
   const storage::Table& table(catalog::TableId id) const {
-    return *tables[static_cast<size_t>(id)];
+    return *shared->tables[static_cast<size_t>(id)];
   }
 
   /// Index on (table, column) or nullptr.
   const storage::Index* FindIndex(catalog::TableId table,
                                   catalog::ColumnId column) const {
-    auto it = indexes.find({table, column});
-    return it == indexes.end() ? nullptr : it->second.get();
+    auto it = shared->indexes.find({table, column});
+    return it == shared->indexes.end() ? nullptr : it->second.get();
+  }
+
+  const std::vector<stats::TableStats>& table_stats() const {
+    return shared->table_stats;
   }
 
   const stats::ColumnStats& column_stats(catalog::TableId table,
                                          catalog::ColumnId column) const {
-    return table_stats[static_cast<size_t>(table)]
+    return shared->table_stats[static_cast<size_t>(table)]
         .columns[static_cast<size_t>(column)];
+  }
+
+  /// Shard layout, or nullptr when sharding is disabled.
+  const storage::ShardedTableSet* shards() const {
+    return shared == nullptr ? nullptr : shared->shards.get();
+  }
+
+  /// Pool serving `shard` (-1 or out of range = the main pool). The single
+  /// routing point for every page charge in the executor.
+  storage::BufferPool& pool(int32_t shard = -1) const {
+    if (shard >= 0 && static_cast<size_t>(shard) < shard_pools.size()) {
+      return *shard_pools[static_cast<size_t>(shard)];
+    }
+    return *buffer_pool;
+  }
+
+  // Buffer counters aggregated across the main and shard pools, so
+  // EXPLAIN ANALYZE tier breakdowns mean the same thing sharded or not.
+  int64_t buffer_shared_hits() const {
+    int64_t n = buffer_pool->shared_hits();
+    for (const auto& p : shard_pools) n += p->shared_hits();
+    return n;
+  }
+  int64_t buffer_os_hits() const {
+    int64_t n = buffer_pool->os_hits();
+    for (const auto& p : shard_pools) n += p->os_hits();
+    return n;
+  }
+  int64_t buffer_disk_reads() const {
+    int64_t n = buffer_pool->disk_reads();
+    for (const auto& p : shard_pools) n += p->disk_reads();
+    return n;
   }
 };
 

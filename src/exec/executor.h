@@ -84,8 +84,10 @@ class Executor {
 
  private:
   /// Charges one page access and returns its cost. `sequential` selects the
-  /// cheaper read-ahead disk cost on a miss.
-  util::VirtualNanos ChargePage(uint64_t key, bool sequential);
+  /// cheaper read-ahead disk cost on a miss. `shard` routes the access to a
+  /// per-shard buffer pool (-1 = the main pool; see DbContext::pool).
+  util::VirtualNanos ChargePage(uint64_t key, bool sequential,
+                                int32_t shard = -1);
 
   /// Charges page accesses for `count` heap fetches given by row-ids,
   /// sampling at most kMaxPageLoop accesses and scaling the charge.

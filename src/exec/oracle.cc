@@ -113,10 +113,38 @@ Oracle::QueryMemo& Oracle::Memo(const Query& q) {
   return memo;
 }
 
+void Oracle::FilterSharded(const storage::ShardedTableSet& shards,
+                           catalog::TableId table,
+                           const query::BoundPredicate* preds,
+                           size_t pred_count, std::vector<RowId>* rows) {
+  LQOLAB_DCHECK(pred_count > 0);
+  const int32_t n = shards.num_shards();
+  if (static_cast<int32_t>(shard_rows_.size()) < n) shard_rows_.resize(n);
+  for (int32_t s = 0; s < n; ++s) {
+    const storage::ShardedTableSet::Shard& shard = shards.shard(table, s);
+    shard_local_.clear();
+    kernels::SelectPredicate(shard.column_data(preds[0].column),
+                             shard.row_count(), preds[0], &shard_local_);
+    for (size_t p = 1; p < pred_count; ++p) {
+      kernels::RefinePredicate(shard.column_data(preds[p].column), preds[p],
+                               &shard_local_);
+    }
+    // Local -> global: shard.row_ids is ascending, so order is preserved.
+    std::vector<RowId>& global = shard_rows_[static_cast<size_t>(s)];
+    global.clear();
+    global.reserve(shard_local_.size());
+    for (RowId local : shard_local_) {
+      global.push_back(shard.row_ids[static_cast<size_t>(local)]);
+    }
+  }
+  kernels::MergeShardRows(shard_rows_, rows);
+}
+
 void Oracle::EnsureFiltered(QueryMemo& memo, const Query& q, AliasId alias) {
   if (memo.filtered_ready[static_cast<size_t>(alias)]) return;
-  const storage::Table& table =
-      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const catalog::TableId table_id =
+      q.relations[static_cast<size_t>(alias)].table;
+  const storage::Table& table = ctx_->table(table_id);
   const auto& preds = memo.preds[static_cast<size_t>(alias)];
   std::vector<RowId>& rows = memo.filtered[static_cast<size_t>(alias)];
   rows.clear();
@@ -124,9 +152,13 @@ void Oracle::EnsureFiltered(QueryMemo& memo, const Query& q, AliasId alias) {
   if (ctx_->config.vectorized_exec) {
     // Batched engine: full-column selection kernel on the first predicate,
     // then in-place refinement per remaining predicate. Same conjunction,
-    // same ascending output as the row loop below.
+    // same ascending output as the row loop below. With sharding active the
+    // kernels run shard-at-a-time and the matches are merged back.
+    const storage::ShardedTableSet* shards = ctx_->shards();
     if (preds.empty()) {
       kernels::SelectAll(n, &rows);
+    } else if (shards != nullptr) {
+      FilterSharded(*shards, table_id, preds.data(), preds.size(), &rows);
     } else {
       kernels::SelectPredicate(table.column(preds[0].column).data(), n,
                                preds[0], &rows);
@@ -168,8 +200,9 @@ const std::vector<RowId>& Oracle::SinglePredicateRows(const Query& q,
       (static_cast<uint64_t>(alias) << 32) | static_cast<uint64_t>(pred_index);
   auto it = memo.single_pred.find(key);
   if (it != memo.single_pred.end()) return it->second;
-  const storage::Table& table =
-      ctx_->table(q.relations[static_cast<size_t>(alias)].table);
+  const catalog::TableId table_id =
+      q.relations[static_cast<size_t>(alias)].table;
+  const storage::Table& table = ctx_->table(table_id);
   const auto& preds = memo.preds[static_cast<size_t>(alias)];
   LQOLAB_CHECK_LT(pred_index, preds.size());
   const auto& pred = preds[pred_index];
@@ -177,7 +210,11 @@ const std::vector<RowId>& Oracle::SinglePredicateRows(const Query& q,
   const int64_t n = table.row_count();
   const storage::Column& column = table.column(pred.column);
   if (ctx_->config.vectorized_exec) {
-    kernels::SelectPredicate(column.data(), n, pred, &rows);
+    if (const storage::ShardedTableSet* shards = ctx_->shards()) {
+      FilterSharded(*shards, table_id, &pred, 1, &rows);
+    } else {
+      kernels::SelectPredicate(column.data(), n, pred, &rows);
+    }
   } else {
     for (RowId r = 0; r < n; ++r) {
       if (pred.Matches(column.at(r))) rows.push_back(r);

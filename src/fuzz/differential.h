@@ -2,6 +2,7 @@
 #define LQOLAB_FUZZ_DIFFERENTIAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,11 +29,15 @@ struct CheckCounts {
                                     ///< the same plan re-run with
                                     ///< vectorized_exec flipped must report
                                     ///< the same result rows.
+  int64_t shard_differential = 0;   ///< Sharded-vs-unsharded storage arm:
+                                    ///< the same plan re-run on the
+                                    ///< hash-sharded twin database must
+                                    ///< report the same result rows.
 
   int64_t total() const {
     return cost_enumeration + execution + estimator + plan_cache +
            hint_roundtrip + corpus_roundtrip + fault_execution +
-           engine_differential;
+           engine_differential + shard_differential;
   }
   CheckCounts& operator+=(const CheckCounts& o) {
     cost_enumeration += o.cost_enumeration;
@@ -43,6 +48,7 @@ struct CheckCounts {
     corpus_roundtrip += o.corpus_roundtrip;
     fault_execution += o.fault_execution;
     engine_differential += o.engine_differential;
+    shard_differential += o.shard_differential;
     return *this;
   }
 };
@@ -88,6 +94,13 @@ struct DifferentialOptions {
   util::VirtualNanos exec_timeout_ns = 600'000'000'000;  // 10 virtual min
   /// Replay seed used for every differential execution.
   uint64_t exec_seed = 42;
+  /// Shard count of the sharded-storage twin arm: the oracle builds a
+  /// second database over the SAME table objects with
+  /// DbConfig::table_shards set to this (and vectorized_exec on, which the
+  /// sharded scan path requires) and re-runs one plan per query on it —
+  /// hash-partitioned storage must never change result rows. 0 or 1
+  /// disables the arm.
+  int32_t shard_twin = 4;
   /// Optional fault mode: when the plan has rules, every arm that passed
   /// the clean execution check re-runs under a per-query FaultInjector
   /// seeded from (fault_plan.seed, query fingerprint). A faulted run may
@@ -147,6 +160,9 @@ class DifferentialOracle {
   engine::Database* db_;
   DifferentialOptions options_;
   std::vector<lqo::LearnedOptimizer*> arms_;
+  /// Sharded-storage twin (shares `db_`'s table objects; nullptr when the
+  /// arm is disabled via DifferentialOptions::shard_twin).
+  std::unique_ptr<engine::Database> shard_twin_;
 };
 
 }  // namespace lqolab::fuzz

@@ -37,7 +37,7 @@ CostModel::CostModel(const exec::DbContext* ctx,
 
 double CostModel::CachedFraction() const {
   int64_t db_pages = 0;
-  for (const auto& table : ctx_->tables) db_pages += table->page_count();
+  for (const auto& table : ctx_->tables()) db_pages += table->page_count();
   if (db_pages == 0) return 1.0;
   const int64_t cache_pages =
       engine::ScaledBytes(ctx_->config.effective_cache_size_mb) /

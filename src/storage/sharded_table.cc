@@ -1,0 +1,72 @@
+#include "storage/sharded_table.h"
+
+#include "util/check.h"
+
+namespace lqolab::storage {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int32_t ShardedTableSet::ShardOfRow(catalog::TableId table, RowId row,
+                                    int32_t num_shards) {
+  const uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(table))
+                        << 32) |
+                       static_cast<uint32_t>(row);
+  return static_cast<int32_t>(Mix64(key) %
+                              static_cast<uint64_t>(num_shards));
+}
+
+ShardedTableSet::ShardedTableSet(
+    const std::vector<std::shared_ptr<Table>>& tables, int32_t num_shards)
+    : num_shards_(num_shards) {
+  LQOLAB_CHECK(num_shards >= 2 && num_shards <= kMaxShards);
+  tables_.resize(tables.size());
+  shard_map_.resize(tables.size());
+  local_index_.resize(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    const Table& table = *tables[t];
+    const auto table_id = static_cast<catalog::TableId>(t);
+    const int64_t rows = table.row_count();
+    const int32_t cols = table.column_count();
+    auto& shards = tables_[t];
+    shards.resize(static_cast<size_t>(num_shards));
+    for (auto& shard : shards) {
+      shard.columns.resize(static_cast<size_t>(cols));
+    }
+    auto& shard_of = shard_map_[t];
+    auto& local = local_index_[t];
+    shard_of.resize(static_cast<size_t>(rows));
+    local.resize(static_cast<size_t>(rows));
+    for (RowId row = 0; row < rows; ++row) {
+      const int32_t s = ShardOfRow(table_id, row, num_shards);
+      Shard& shard = shards[static_cast<size_t>(s)];
+      shard_of[static_cast<size_t>(row)] = static_cast<uint8_t>(s);
+      local[static_cast<size_t>(row)] =
+          static_cast<int32_t>(shard.row_ids.size());
+      shard.row_ids.push_back(row);
+      for (int32_t c = 0; c < cols; ++c) {
+        shard.columns[static_cast<size_t>(c)].push_back(
+            table.column(static_cast<catalog::ColumnId>(c)).at(row));
+      }
+    }
+  }
+}
+
+int64_t ShardedTableSet::total_pages(catalog::TableId table) const {
+  int64_t pages = 0;
+  for (const Shard& shard : tables_[static_cast<size_t>(table)]) {
+    pages += shard.page_count();
+  }
+  return pages;
+}
+
+}  // namespace lqolab::storage

@@ -1,0 +1,97 @@
+#ifndef LQOLAB_STORAGE_SHARDED_TABLE_H_
+#define LQOLAB_STORAGE_SHARDED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/table.h"
+
+namespace lqolab::storage {
+
+/// Hash-partitioned read-only view over a set of built tables (opt-in via
+/// engine::DbConfig::table_shards). Every row of every table is assigned to
+/// exactly one of `num_shards` shards by a stable hash of its row id, and
+/// each shard materializes its rows as contiguous per-column value segments
+/// plus the ascending list of global row ids it owns. Scan kernels can then
+/// run shard-at-a-time over dense memory and the merged result is
+/// byte-identical to an unsharded scan (exec::kernels::MergeShardRows).
+///
+/// The set is immutable after construction and lives in
+/// engine::SharedContext, so worker replicas share one copy; the per-shard
+/// page spaces it defines (shard-local heap page numbers) are what the
+/// executor routes to the per-shard buffer pools.
+class ShardedTableSet {
+ public:
+  /// Hard cap on the shard count (shard ids are stored per row as one byte;
+  /// far above any sensible partitioning of this database).
+  static constexpr int32_t kMaxShards = 64;
+
+  /// Stable shard assignment: a pure function of (table, row, num_shards),
+  /// independent of build order and platform. Exposed so tests and the
+  /// executor's random-probe model agree with the build.
+  static int32_t ShardOfRow(catalog::TableId table, RowId row,
+                            int32_t num_shards);
+
+  /// Partitions every table into `num_shards` shards (2 <= num_shards <=
+  /// kMaxShards). The source tables are only read during construction.
+  ShardedTableSet(const std::vector<std::shared_ptr<Table>>& tables,
+                  int32_t num_shards);
+
+  ShardedTableSet(const ShardedTableSet&) = delete;
+  ShardedTableSet& operator=(const ShardedTableSet&) = delete;
+
+  /// One shard of one table: column segments in local-row order plus the
+  /// owned global row ids (ascending — partitioning preserves row order
+  /// within a shard).
+  struct Shard {
+    std::vector<RowId> row_ids;
+    /// Per-column contiguous segment, parallel to row_ids:
+    /// columns[c][i] == table.column(c).at(row_ids[i]).
+    std::vector<std::vector<Value>> columns;
+
+    int64_t row_count() const {
+      return static_cast<int64_t>(row_ids.size());
+    }
+    /// Shard-local heap pages (the unit of the per-shard buffer pools).
+    int64_t page_count() const {
+      const int64_t n = row_count();
+      return n == 0 ? 0 : (n + kRowsPerPage - 1) / kRowsPerPage;
+    }
+    const Value* column_data(catalog::ColumnId c) const {
+      return columns[static_cast<size_t>(c)].data();
+    }
+  };
+
+  int32_t num_shards() const { return num_shards_; }
+
+  const Shard& shard(catalog::TableId table, int32_t s) const {
+    return tables_[static_cast<size_t>(table)][static_cast<size_t>(s)];
+  }
+
+  /// Owning shard of a global row (O(1), reads the per-row byte map).
+  int32_t shard_of_row(catalog::TableId table, RowId row) const {
+    return shard_map_[static_cast<size_t>(table)][static_cast<size_t>(row)];
+  }
+
+  /// Shard-local heap page of a global row (O(1)).
+  int64_t local_page(catalog::TableId table, RowId row) const {
+    return local_index_[static_cast<size_t>(table)][static_cast<size_t>(row)] /
+           kRowsPerPage;
+  }
+
+  /// Sum of per-shard heap pages of `table` (>= the unsharded page count by
+  /// at most num_shards - 1 rounding pages).
+  int64_t total_pages(catalog::TableId table) const;
+
+ private:
+  int32_t num_shards_;
+  std::vector<std::vector<Shard>> tables_;            // [table][shard]
+  std::vector<std::vector<uint8_t>> shard_map_;       // [table][global row]
+  std::vector<std::vector<int32_t>> local_index_;     // [table][global row]
+};
+
+}  // namespace lqolab::storage
+
+#endif  // LQOLAB_STORAGE_SHARDED_TABLE_H_

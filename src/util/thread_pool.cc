@@ -6,7 +6,47 @@
 
 namespace lqolab::util {
 
-ThreadPool::ThreadPool(int32_t threads) {
+namespace {
+
+constexpr uint64_t Pack(uint32_t lo, uint32_t hi) {
+  return (static_cast<uint64_t>(lo) << 32) | hi;
+}
+constexpr uint32_t Lo(uint64_t range) { return static_cast<uint32_t>(range >> 32); }
+constexpr uint32_t Hi(uint64_t range) { return static_cast<uint32_t>(range); }
+
+/// Claims the front item of `range` ([lo, hi) shrinks to [lo+1, hi)), or -1
+/// when the block is empty. The CAS covers the whole packed word, and a
+/// block only ever shrinks, so an item can be claimed exactly once even
+/// with a thief working the other end.
+int64_t ClaimFront(std::atomic<uint64_t>& range) {
+  uint64_t cur = range.load(std::memory_order_acquire);
+  while (true) {
+    const uint32_t lo = Lo(cur), hi = Hi(cur);
+    if (lo >= hi) return -1;
+    if (range.compare_exchange_weak(cur, Pack(lo + 1, hi),
+                                    std::memory_order_acq_rel)) {
+      return lo;
+    }
+  }
+}
+
+/// Claims the back item of `range` ([lo, hi) shrinks to [lo, hi-1)).
+int64_t ClaimBack(std::atomic<uint64_t>& range) {
+  uint64_t cur = range.load(std::memory_order_acquire);
+  while (true) {
+    const uint32_t lo = Lo(cur), hi = Hi(cur);
+    if (lo >= hi) return -1;
+    if (range.compare_exchange_weak(cur, Pack(lo, hi - 1),
+                                    std::memory_order_acq_rel)) {
+      return hi - 1;
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int32_t threads)
+    : ranges_(static_cast<size_t>(std::max<int32_t>(1, threads))) {
   const int32_t count = std::max<int32_t>(1, threads);
   threads_.reserve(static_cast<size_t>(count));
   for (int32_t i = 0; i < count; ++i) {
@@ -31,14 +71,23 @@ int32_t ThreadPool::DefaultParallelism() {
 void ThreadPool::ParallelFor(int64_t n,
                              const std::function<void(int32_t, int64_t)>& fn) {
   LQOLAB_CHECK_GE(n, 0);
+  LQOLAB_CHECK_LT(n, INT64_C(0x100000000));  // packed (lo, hi) is 32+32 bits
   if (n == 0) return;
+  const int64_t workers = static_cast<int64_t>(threads_.size());
   uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     LQOLAB_CHECK(job_ == nullptr);  // no concurrent/reentrant ParallelFor
-    next_item_.store(0, std::memory_order_relaxed);
+    // Static block partition: worker w starts on [w*n/P, (w+1)*n/P). The
+    // blocks are only the initial assignment — idle workers rebalance by
+    // stealing from the back of whichever block still has work.
+    for (int64_t w = 0; w < workers; ++w) {
+      const uint32_t lo = static_cast<uint32_t>(w * n / workers);
+      const uint32_t hi = static_cast<uint32_t>((w + 1) * n / workers);
+      ranges_[static_cast<size_t>(w)].range.store(Pack(lo, hi),
+                                                  std::memory_order_relaxed);
+    }
     job_ = &fn;
-    job_items_ = n;
     workers_done_ = 0;
     epoch = ++job_epoch_;
   }
@@ -51,11 +100,42 @@ void ThreadPool::ParallelFor(int64_t n,
   job_ = nullptr;
 }
 
+void ThreadPool::RunJob(int32_t worker_index,
+                        const std::function<void(int32_t, int64_t)>& fn) {
+  const int32_t workers = static_cast<int32_t>(threads_.size());
+  // Phase 1: drain our own block from the front.
+  std::atomic<uint64_t>& own = ranges_[static_cast<size_t>(worker_index)].range;
+  for (;;) {
+    const int64_t item = ClaimFront(own);
+    if (item < 0) break;
+    fn(worker_index, item);
+  }
+  // Phase 2: steal from the back of the other blocks, victims scanned in
+  // deterministic w+1, w+2, ... order. Restart the scan after every
+  // successful steal so the nearest still-loaded victim is preferred; stop
+  // once a full scan finds every block empty (claims only shrink blocks, so
+  // emptiness is stable and this terminates).
+  for (;;) {
+    bool stole = false;
+    for (int32_t v = 1; v < workers; ++v) {
+      std::atomic<uint64_t>& victim =
+          ranges_[static_cast<size_t>((worker_index + v) % workers)].range;
+      const int64_t item = ClaimBack(victim);
+      if (item >= 0) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        fn(worker_index, item);
+        stole = true;
+        break;
+      }
+    }
+    if (!stole) return;
+  }
+}
+
 void ThreadPool::WorkerLoop(int32_t worker_index) {
   uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int32_t, int64_t)>* job = nullptr;
-    int64_t items = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_epoch] {
@@ -64,13 +144,8 @@ void ThreadPool::WorkerLoop(int32_t worker_index) {
       if (stop_) return;
       seen_epoch = job_epoch_;
       job = job_;
-      items = job_items_;
     }
-    for (;;) {
-      const int64_t item = next_item_.fetch_add(1, std::memory_order_relaxed);
-      if (item >= items) break;
-      (*job)(worker_index, item);
-    }
+    RunJob(worker_index, *job);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++workers_done_;

@@ -12,11 +12,17 @@
 namespace lqolab::util {
 
 /// Fixed-size worker pool for data-parallel loops. Workers are created once
-/// and reused across ParallelFor calls; each call fans items out through a
-/// shared atomic counter (dynamic load balancing), so item-to-worker
-/// assignment is scheduling-dependent. Callers that need deterministic
-/// results must therefore make each item's outcome a pure function of the
-/// item itself — the contract benchkit::ParallelRunner builds on
+/// and reused across ParallelFor calls.
+///
+/// Scheduling is work-stealing over contiguous index ranges: each call
+/// splits [0, n) into one block per worker; a worker claims items from the
+/// front of its own block and, once that drains, steals single items from
+/// the back of other workers' blocks (victims scanned in deterministic
+/// w+1, w+2, ... order). Claims are CAS transitions on one packed
+/// (lo, hi) word per worker, so every item runs exactly once. Item-to-worker
+/// assignment is still scheduling-dependent — callers that need
+/// deterministic results must make each item's outcome a pure function of
+/// the item itself, the contract benchkit::ParallelRunner builds on
 /// (docs/parallelism.md).
 class ThreadPool {
  public:
@@ -39,22 +45,38 @@ class ThreadPool {
   void ParallelFor(int64_t n,
                    const std::function<void(int32_t, int64_t)>& fn);
 
+  /// Items executed by a worker other than the one whose block they were
+  /// assigned to, accumulated over the pool's lifetime. Observability only
+  /// (bench/micro_parallel_runner reports it); zero under serial execution.
+  int64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
   /// std::thread::hardware_concurrency() with a fallback of 4 when the
   /// runtime cannot report it.
   static int32_t DefaultParallelism();
 
  private:
+  /// One worker's remaining block, packed lo:32|hi:32 ([lo, hi) pending).
+  /// Padded to a cache line so owner claims and thief claims on different
+  /// workers never false-share.
+  struct alignas(64) WorkRange {
+    std::atomic<uint64_t> range{0};
+  };
+
   void WorkerLoop(int32_t worker_index);
+  /// Runs one job to completion on the calling worker: drain own block from
+  /// the front, then steal from the back of the other blocks.
+  void RunJob(int32_t worker_index,
+              const std::function<void(int32_t, int64_t)>& fn);
 
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for a new job
   std::condition_variable done_cv_;   // ParallelFor waits for completion
   const std::function<void(int32_t, int64_t)>* job_ = nullptr;  // guarded by mu_
-  int64_t job_items_ = 0;             // guarded by mu_
   uint64_t job_epoch_ = 0;            // guarded by mu_; bumped per job
   int32_t workers_done_ = 0;          // guarded by mu_
   bool stop_ = false;                 // guarded by mu_
-  std::atomic<int64_t> next_item_{0};
+  std::vector<WorkRange> ranges_;     // one block per worker
+  std::atomic<int64_t> steals_{0};
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Gates the recorded benchmark artifacts at the repo root (docs/benchmarks.md
+# catalogues them). Fails when a committed BENCH_*.json regressed below the
+# floor its benchmark is expected to hold:
+#   - BENCH_parallel_runner.json: virtual work-stealing speedup > 1.5x at 4
+#     workers for every scale factor, byte-identical parallel measurements,
+#     and a scale-factor curve reaching a 10M+-row database.
+# Regenerate with: build/bench/micro_parallel_runner BENCH_parallel_runner.json
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+json="$root/BENCH_parallel_runner.json"
+fail=0
+
+if [ ! -f "$json" ]; then
+  echo "FAIL: missing $json"
+  exit 1
+fi
+
+speedups=$(grep -o '"parallelism": 4[^}]*' "$json" |
+  grep -o '"virtual_speedup": [0-9.]*' | awk '{print $2}')
+if [ -z "$speedups" ]; then
+  echo "FAIL: no 4-worker virtual_speedup entries in $json"
+  fail=1
+fi
+for s in $speedups; do
+  if ! awk -v s="$s" 'BEGIN { exit !(s > 1.5) }'; then
+    echo "FAIL: virtual_speedup $s at 4 workers is <= 1.5 in $json"
+    fail=1
+  fi
+done
+
+if grep -q '"deterministic": false' "$json"; then
+  echo "FAIL: non-deterministic parallel measurement recorded in $json"
+  fail=1
+fi
+
+max_rows=$(grep -o '"total_rows": [0-9]*' "$json" | awk '{print $2}' |
+  sort -n | tail -1)
+if [ "${max_rows:-0}" -lt 10000000 ]; then
+  echo "FAIL: scale-factor curve tops out at ${max_rows:-0} rows (< 10M)"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "OK: benchmark gates hold ($json)"
+fi
+exit "$fail"

@@ -130,7 +130,7 @@ TEST(Integration, CovariateShiftSetupWorks) {
   // 50% database; the same workload binds against both.
   auto full = MakeDb();
   auto half_tables = datagen::SubsampleTitleCascade(
-      full->schema(), full->context().tables, 0.5, 7);
+      full->schema(), full->context().tables(), 0.5, 7);
   Database::Options options;
   options.seed = 42;
   auto half = Database::FromTables(options, std::move(half_tables));

@@ -3,12 +3,16 @@
 // count and across repeated runs with the same seed, and the thread pool
 // dispatches every item exactly once.
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "benchkit/parallel_runner.h"
+#include "benchkit/schedule_sim.h"
 #include "engine/database.h"
 #include "engine/exec_batch.h"
 #include "lqo/bao.h"
@@ -47,6 +51,84 @@ TEST(ThreadPoolTest, ReusableAcrossJobsAndEmptyJob) {
 
 TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
   EXPECT_GE(util::ThreadPool::DefaultParallelism(), 1);
+}
+
+// Forces a steal deterministically: worker 0's block is {0, 1} and item 0
+// blocks until the three other items completed. Item 1 can therefore only
+// run if worker 1 steals it from the back of worker 0's block after
+// draining its own block {2, 3}; without stealing this test deadlocks (and
+// the gtest timeout fails it) instead of passing vacuously.
+TEST(ThreadPoolTest, IdleWorkerStealsFromBlockedWorkersBlock) {
+  util::ThreadPool pool(2);
+  const int64_t steals_before = pool.steals();
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  pool.ParallelFor(4, [&](int32_t, int64_t item) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (item == 0) {
+      cv.wait(lock, [&] { return done == 3; });
+    }
+    ++done;
+    cv.notify_all();
+  });
+  EXPECT_EQ(done, 4);
+  EXPECT_GE(pool.steals() - steals_before, 1);
+}
+
+TEST(ScheduleSimTest, SerialMakespanIsTotalCost) {
+  const std::vector<util::VirtualNanos> costs = {5, 10, 15, 20};
+  const ScheduleResult sim = SimulateWorkStealing(costs, 1);
+  EXPECT_EQ(sim.makespan_ns, 50);
+  EXPECT_EQ(sim.steals, 0);
+  EXPECT_DOUBLE_EQ(sim.speedup(), 1.0);
+}
+
+TEST(ScheduleSimTest, BalancedTasksScaleNearLinearly) {
+  const std::vector<util::VirtualNanos> costs(64, 100);
+  const ScheduleResult sim = SimulateWorkStealing(costs, 4);
+  EXPECT_EQ(sim.makespan_ns, 1600);  // 64 * 100 / 4, perfectly balanced
+  EXPECT_DOUBLE_EQ(sim.speedup(), 4.0);
+}
+
+TEST(ScheduleSimTest, StealingRebalancesSkewedBlocks) {
+  // All heavy tasks land in worker 0's static block; without stealing the
+  // makespan would be 8 * 1000 = 8000. The thief drains its trivial block
+  // and then steals, so the simulated pool splits the heavy tasks evenly.
+  std::vector<util::VirtualNanos> costs(16, 1);
+  for (size_t i = 0; i < 8; ++i) costs[i] = 1000;
+  const ScheduleResult sim = SimulateWorkStealing(costs, 2);
+  EXPECT_GT(sim.steals, 0);
+  EXPECT_LT(sim.makespan_ns, 8000);
+  EXPECT_GE(sim.makespan_ns, 4000);  // half the heavy work is a lower bound
+}
+
+TEST(ScheduleSimTest, DeterministicAndBoundedByLongestTask) {
+  std::vector<util::VirtualNanos> costs;
+  for (int i = 0; i < 37; ++i) costs.push_back(((i * 7919) % 97) + 1);
+  const ScheduleResult a = SimulateWorkStealing(costs, 4);
+  const ScheduleResult b = SimulateWorkStealing(costs, 4);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.steals, b.steals);
+  util::VirtualNanos total = 0, longest = 0;
+  for (util::VirtualNanos cost : costs) {
+    total += cost;
+    longest = std::max(longest, cost);
+  }
+  EXPECT_GE(a.makespan_ns, std::max(longest, total / 4));
+  EXPECT_LE(a.makespan_ns, total);
+  util::VirtualNanos busy = 0;
+  for (util::VirtualNanos w : a.worker_busy_ns) busy += w;
+  EXPECT_EQ(busy, total);  // every task executed exactly once
+}
+
+TEST(ScheduleSimTest, MoreWorkersThanTasks) {
+  const std::vector<util::VirtualNanos> costs = {10, 20};
+  const ScheduleResult sim = SimulateWorkStealing(costs, 8);
+  EXPECT_EQ(sim.makespan_ns, 20);
+  const ScheduleResult empty = SimulateWorkStealing({}, 4);
+  EXPECT_EQ(empty.makespan_ns, 0);
+  EXPECT_DOUBLE_EQ(empty.speedup(), 1.0);
 }
 
 class ParallelRunnerTest : public ::testing::Test {
@@ -207,7 +289,7 @@ TEST_F(ParallelRunnerTest, RunnerReuseAcrossWorkloads) {
 TEST_F(ParallelRunnerTest, CloneSharesStorageAndPlansIdentically) {
   const auto replica = db_->CloneContextForWorker();
   // Tables and indexes are shared, not copied.
-  EXPECT_EQ(replica->context().tables[0].get(), db_->context().tables[0].get());
+  EXPECT_EQ(replica->context().tables()[0].get(), db_->context().tables()[0].get());
   const Query& q = (*workload_)[10];
   const auto a = db_->PlanQuery(q);
   const auto b = replica->PlanQuery(q);
