@@ -14,12 +14,22 @@
 #include <vector>
 
 #include "benchkit/parallel_runner.h"
+#include "catalog/imdb_schema.h"
+#include "catalog/tpch_schema.h"
+#include "datagen/tpch_generator.h"
 #include "engine/database.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/job_workload.h"
+#include "query/sql_workload.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
+
+// Directory holding the .sql workload files (workloads/ at the repo root);
+// the bench CMakeLists bakes in the absolute path.
+#ifndef LQOLAB_WORKLOADS_DIR
+#define LQOLAB_WORKLOADS_DIR "workloads"
+#endif
 
 namespace lqolab::bench {
 
@@ -122,6 +132,71 @@ inline std::unique_ptr<engine::Database> MakeDatabase(
   options.seed = kSeed;
   options.config = config;
   return engine::Database::CreateImdb(options);
+}
+
+/// Parses `--workload <job|job_complex|tpch>` / `--workload=<name>` from
+/// the binary's argv. Returns "job" (the built-in JOB-lite templates) when
+/// the flag is absent.
+inline std::string WorkloadFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--workload" && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind("--workload=", 0) == 0) return arg.substr(11);
+  }
+  return "job";
+}
+
+/// Schema the named workload binds against: IMDB for job/job_complex,
+/// TPC-H-lite for tpch.
+inline catalog::Schema WorkloadSchema(const std::string& workload) {
+  return workload == "tpch" ? catalog::BuildTpchSchema()
+                            : catalog::BuildImdbSchema();
+}
+
+/// Loads the named workload's queries — "job" from the built-in templates,
+/// "job_complex"/"tpch" from their workloads/*.sql files through the sql/
+/// frontend (parse + bind, ids via sql::AssignQueryId). Exits with the
+/// loader's diagnostic on a malformed file or an unknown name.
+inline std::vector<query::Query> LoadWorkloadQueries(
+    const std::string& workload, const catalog::Schema& schema) {
+  if (workload == "job") return query::BuildJobLiteWorkload(schema);
+  std::string file;
+  if (workload == "job_complex") {
+    file = "job_complex_lite.sql";
+  } else if (workload == "tpch") {
+    file = "tpch_lite.sql";
+  } else {
+    std::fprintf(stderr,
+                 "unknown workload '%s' (expected job, job_complex or "
+                 "tpch)\n",
+                 workload.c_str());
+    std::exit(1);
+  }
+  const std::string path = std::string(LQOLAB_WORKLOADS_DIR) + "/" + file;
+  std::vector<query::Query> queries;
+  const util::Status status =
+      query::LoadSqlWorkloadFile(path, schema, &queries);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  return queries;
+}
+
+/// Creates the benchmark database for the named workload: the standard
+/// IMDB database for job/job_complex, the TPC-H-lite database for tpch
+/// (same seed, same LQOLAB_SCALE knob).
+inline std::unique_ptr<engine::Database> MakeWorkloadDatabase(
+    const std::string& workload, double default_scale = 1.0,
+    engine::DbConfig config = engine::DbConfig::OurFramework()) {
+  if (workload != "tpch") return MakeDatabase(default_scale, config);
+  engine::Database::Options options;
+  options.seed = kSeed;
+  options.config = config;
+  return engine::Database::CreateTpch(
+      options,
+      datagen::TpchScaleProfile::Medium().Scaled(EnvScale(default_scale)));
 }
 
 inline void PrintHeader(const char* experiment, const char* paper_ref,

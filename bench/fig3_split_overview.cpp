@@ -1,17 +1,28 @@
 // Figure 3: visualization of the three train/test split samplers on the
 // base-query families of JOB (Leave One Out / Random / Base Query).
+//
+// --workload job|job_complex|tpch picks the query set (default job); the
+// .sql workloads load through the sql/ frontend and split exactly like the
+// built-in templates because sql::AssignQueryId maps their ids onto
+// template/variant.
 
 #include "bench_common.h"
 #include "benchkit/splits.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqolab;
   bench::PrintHeader("Figure 3", "paper §7.2",
                      "Train/Test assignment per sampler over the first five "
                      "base-query families (T = train, * = TEST).");
 
-  const catalog::Schema schema = catalog::BuildImdbSchema();
-  const auto workload = query::BuildJobLiteWorkload(schema);
+  const std::string workload_name = bench::WorkloadFlag(argc, argv);
+  const catalog::Schema schema = bench::WorkloadSchema(workload_name);
+  const auto workload = bench::LoadWorkloadQueries(workload_name, schema);
+  std::printf("workload: %s (%zu queries)\n\n", workload_name.c_str(),
+              workload.size());
+  // Show the first five families whatever the workload's template-id base
+  // (JOB-lite counts from 1, the .sql workloads from 101).
+  const int32_t family_limit = workload.front().template_id + 5;
 
   const benchkit::SplitKind kinds[] = {benchkit::SplitKind::kLeaveOneOut,
                                        benchkit::SplitKind::kRandom,
@@ -21,7 +32,7 @@ int main() {
   // Header row: query ids of the first 5 families.
   std::vector<std::string> headers = {"sampler"};
   for (const auto& q : workload) {
-    if (q.template_id > 5) break;
+    if (q.template_id >= family_limit) break;
     headers.push_back(q.id);
   }
   util::TablePrinter table(headers);
@@ -33,7 +44,7 @@ int main() {
     std::vector<std::string> row = {std::string(
         benchkit::SplitKindName(kinds[k])) + " (" + difficulty[k] + ")"};
     for (size_t i = 0; i < workload.size(); ++i) {
-      if (workload[i].template_id > 5) break;
+      if (workload[i].template_id >= family_limit) break;
       row.push_back(in_test[i] ? "*" : "T");
     }
     table.AddRow(row);

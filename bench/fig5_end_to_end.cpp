@@ -8,7 +8,10 @@
 // Environment knobs: LQOLAB_SCALE (default 0.25), LQOLAB_SPLITS (default 9).
 // Flags: --trace <path> writes a JSONL trace (workload/query/episode/train
 // records per measurement plus a final engine-metrics record; schema in
-// docs/observability.md).
+// docs/observability.md). --workload job|job_complex|tpch picks the query
+// set (default job); job_complex loads workloads/job_complex_lite.sql over
+// the same IMDB database, tpch loads workloads/tpch_lite.sql over the
+// TPC-H-lite database.
 
 #include <memory>
 
@@ -74,8 +77,12 @@ int main(int argc, char** argv) {
       "sets of 9 shared train/test splits.");
   bench::BenchTrace trace(argc, argv);
 
-  auto db = bench::MakeDatabase(0.25);
-  const auto workload = query::BuildJobLiteWorkload(db->schema());
+  const std::string workload_name = bench::WorkloadFlag(argc, argv);
+  auto db = bench::MakeWorkloadDatabase(workload_name, 0.25);
+  const auto workload =
+      bench::LoadWorkloadQueries(workload_name, db->schema());
+  std::printf("workload: %s (%zu queries)\n\n", workload_name.c_str(),
+              workload.size());
   auto splits = benchkit::PaperSplits(workload);
   const char* env_splits = std::getenv("LQOLAB_SPLITS");
   if (env_splits != nullptr) {

@@ -5,6 +5,10 @@
 // (no table identity), the model trained under the smaller cardinality
 // regime misjudges plans on the full data: the paper sees up to 24x
 // regressions (31c) next to a few improvements.
+//
+// --workload job|job_complex|tpch picks the query set (default job). The
+// 50% database cascades from the workload's fact table: IMDB subsamples
+// `title`, TPC-H-lite subsamples `orders`.
 
 #include <algorithm>
 #include <cmath>
@@ -16,26 +20,35 @@
 #include "lqo/bao.h"
 #include "util/statistics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lqolab;
   bench::PrintHeader(
       "Figure 7", "paper §8.3",
-      "Bao trained on the full IMDB vs on IMDB-50%, both evaluated on the "
-      "full IMDB (base query split 1).");
+      "Bao trained on the full database vs on a 50% cascade-subsample, "
+      "both evaluated on the full database (base query split 1).");
 
-  auto full = bench::MakeDatabase(0.25);
-  // Build IMDB-50% by Bernoulli-sampling title with CASCADE.
-  auto half_tables = datagen::SubsampleTitleCascade(
-      full->schema(), full->context().tables(), 0.5, bench::kSeed + 1);
+  const std::string workload_name = bench::WorkloadFlag(argc, argv);
+  auto full = bench::MakeWorkloadDatabase(workload_name, 0.25);
+  // Build the 50% database by Bernoulli-sampling the fact table with
+  // CASCADE (IMDB: title; TPC-H-lite: orders).
+  const catalog::TableId root =
+      workload_name == "tpch"
+          ? static_cast<catalog::TableId>(catalog::tpch::kOrders)
+          : static_cast<catalog::TableId>(catalog::imdb::kTitle);
+  auto half_tables =
+      datagen::SubsampleCascade(full->schema(), full->context().tables(),
+                                root, 0.5, bench::kSeed + 1);
   engine::Database::Options half_options;
   half_options.seed = bench::kSeed;
-  auto half = engine::Database::FromTables(half_options,
+  auto half = engine::Database::FromTables(half_options, full->schema(),
                                            std::move(half_tables));
-  std::printf("full: %lld pages, IMDB-50%%: %lld pages\n\n",
+  std::printf("workload: %s; full: %lld pages, 50%%: %lld pages\n\n",
+              workload_name.c_str(),
               static_cast<long long>(full->TotalPages()),
               static_cast<long long>(half->TotalPages()));
 
-  const auto workload = query::BuildJobLiteWorkload(full->schema());
+  const auto workload =
+      bench::LoadWorkloadQueries(workload_name, full->schema());
   const auto splits = benchkit::PaperSplits(workload);
   const auto& split = splits[6];  // base_query_1
   const auto train = benchkit::SelectQueries(workload, split.train_indices);

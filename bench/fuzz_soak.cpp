@@ -4,7 +4,10 @@
 // without predicate transfer and hash-sharded storage (table_shards=8,
 // on top of the sharded-twin arm every configuration already runs) — with
 // the native-passthrough and Bao
-// arms in the execution cross-check. Emits one JSON document (stdout, or the file given
+// arms in the execution cross-check. Every configuration also runs the SQL
+// round-trip arm (DifferentialOptions::sql_round_trip, on by default):
+// each generated query renders to SQL, re-binds through the sql/ frontend,
+// and must fingerprint, render and DP-plan byte-identically. Emits one JSON document (stdout, or the file given
 // as argv[1]) with queries/sec, checks/sec and the discrepancy count, which
 // must be zero; the recorded run lives at BENCH_fuzz.json.
 //
@@ -166,10 +169,12 @@ int main(int argc, char** argv) {
 
   int64_t total_queries = 0;
   int64_t total_checks = 0;
+  int64_t total_sql_round_trips = 0;
   int64_t total_discrepancies = 0;
   for (const ConfigResult& r : results) {
     total_queries += r.stats.queries;
     total_checks += r.stats.checks.total();
+    total_sql_round_trips += r.stats.checks.sql_round_trip;
     total_discrepancies += static_cast<int64_t>(r.stats.discrepancies.size());
   }
 
@@ -178,6 +183,8 @@ int main(int argc, char** argv) {
   json += "  \"seed\": " + std::to_string(seed) + ",\n";
   json += "  \"queries\": " + std::to_string(total_queries) + ",\n";
   json += "  \"checks\": " + std::to_string(total_checks) + ",\n";
+  json += "  \"sql_round_trips\": " + std::to_string(total_sql_round_trips) +
+          ",\n";
   json += "  \"discrepancies\": " + std::to_string(total_discrepancies) +
           ",\n";
   char buffer[256];

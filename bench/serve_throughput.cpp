@@ -9,6 +9,14 @@
 //
 // Wall-clock QPS measures the machine; the virtual-time columns and the
 // determinism verdicts are machine-independent.
+//
+// --sql adds the SQL-route arms: queries submitted as rendered SQL text
+// (QueryServer::SubmitSql), whose plan cache keys on the normalized
+// template (constants stripped). The varied-literal pair is the point:
+// fresh literals every epoch leave the template cache hot (sql_varied) but
+// make per-literal keys miss every time (struct_varied) — the hit-rate gap
+// between those two arms is the template-keying win, and SQL QPS must stay
+// within noise of the struct path once the cache is warm.
 
 #include <algorithm>
 #include <chrono>
@@ -61,7 +69,32 @@ struct ArmSpec {
   bool slow_model;     // publish SlowPlanOptimizer instead of passthrough
   bool swap_mid_load;  // publish a fresh model after the first epoch
   bool no_breaker = false;  // disable the circuit breaker for this arm
+  bool sql = false;             // submit rendered SQL text via SubmitSql
+  bool vary_literals = false;   // fresh literals every epoch (template
+                                // cache still hits; per-literal keys miss)
 };
+
+/// Epoch > 0: nudges every closed range bound so the literal text differs
+/// while the normalized template (and the join graph) stays identical.
+/// Open-range sentinels (|v| >= 2e9) and non-range predicates are left
+/// alone, so the query stays in the grammar the SQL frontend round-trips.
+query::Query VaryLiterals(query::Query q, int epoch) {
+  if (epoch == 0) return q;
+  constexpr int32_t kSentinel = 1'900'000'000;
+  for (query::Predicate& p : q.predicates) {
+    if (p.kind != query::Predicate::Kind::kRange) continue;
+    if (p.int_values.size() != 2) continue;
+    if (p.int_values[1] < kSentinel &&
+        p.int_values[1] < std::numeric_limits<int32_t>::max() - epoch) {
+      p.int_values[1] += epoch;  // widen: never inverts the range
+    } else if (p.int_values[0] > -kSentinel &&
+               p.int_values[0] >
+                   std::numeric_limits<int32_t>::min() + epoch + 1) {
+      p.int_values[0] -= epoch;
+    }
+  }
+  return q;
+}
 
 struct ArmResult {
   ArmSpec spec;
@@ -111,7 +144,16 @@ std::vector<ServedQuery> DriveArm(engine::Database* db,
   futures.reserve(workload.size() * static_cast<size_t>(epochs));
   for (int epoch = 0; epoch < epochs; ++epoch) {
     for (const query::Query& q : workload) {
-      futures.push_back(server.Submit(q));
+      if (spec.sql) {
+        const query::Query varied =
+            spec.vary_literals ? VaryLiterals(q, epoch) : q;
+        futures.push_back(
+            server.SubmitSql(varied.ToSql(db->schema()), varied.id));
+      } else if (spec.vary_literals) {
+        futures.push_back(server.Submit(VaryLiterals(q, epoch)));
+      } else {
+        futures.push_back(server.Submit(q));
+      }
     }
     if (spec.swap_mid_load && epoch == 0) {
       // Hot swap while the first epoch is still in flight: in-flight
@@ -132,15 +174,23 @@ std::vector<ServedQuery> DriveArm(engine::Database* db,
 /// Scheduling-independent fields only: plans and replayed executions must
 /// match query-for-query across worker counts; cache hits and planning
 /// times may legitimately differ (they depend on processing order).
+///
+/// `compare_plans` is off for the SQL arms: same-template variants share a
+/// normalized-template cache key, so the generic plan a variant is served
+/// depends on which variant planned first — scheduling-dependent by design.
+/// The ANSWER must not be: result rows, timeouts and fallbacks still have
+/// to match query-for-query against the single-worker replay.
 bool SameServedResults(const std::vector<ServedQuery>& a,
-                       const std::vector<ServedQuery>& b) {
+                       const std::vector<ServedQuery>& b, bool compare_plans) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (a[i].query_id != b[i].query_id ||
         a[i].result_rows != b[i].result_rows ||
-        a[i].execution_ns != b[i].execution_ns ||
-        a[i].timed_out != b[i].timed_out || a[i].fell_back != b[i].fell_back ||
-        a[i].plan != b[i].plan) {
+        a[i].timed_out != b[i].timed_out || a[i].fell_back != b[i].fell_back) {
+      return false;
+    }
+    if (compare_plans && (a[i].execution_ns != b[i].execution_ns ||
+                          a[i].plan != b[i].plan)) {
       return false;
     }
   }
@@ -181,7 +231,8 @@ ArmResult RunArm(engine::Database* db,
   double serial_wall_ms = 0.0;
   const std::vector<ServedQuery> serial =
       DriveArm(db, workload, spec, epochs, /*workers=*/1, &serial_wall_ms);
-  result.deterministic = SameServedResults(served, serial);
+  result.deterministic =
+      SameServedResults(served, serial, /*compare_plans=*/!spec.sql);
   return result;
 }
 
@@ -205,7 +256,17 @@ int main(int argc, char** argv) {
   // degraded plans of the fallback arm reliably hit the deadline.
   constexpr util::VirtualNanos kTightDeadlineNs = 50'000;
 
-  const std::vector<ArmSpec> arms = {
+  bool sql_mode = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sql") {
+      sql_mode = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  std::vector<ArmSpec> arms = {
       {"pglite", RouteMode::kPglite, true, 0, false, false},
       {"pglite_cache_off", RouteMode::kPglite, false, 0, false, false},
       {"lqo", RouteMode::kLqo, true, 0, false, true},
@@ -213,6 +274,23 @@ int main(int argc, char** argv) {
        false, /*no_breaker=*/true},
       {"shadow", RouteMode::kShadow, true, 0, false, false},
   };
+  if (sql_mode) {
+    ArmSpec sql_pglite{"sql_pglite", RouteMode::kPglite, true, 0, false,
+                       false};
+    sql_pglite.sql = true;
+    arms.push_back(sql_pglite);
+    // The template-vs-literal pair: identical varied workloads, one keyed
+    // on normalized templates (SQL route), one on per-literal fingerprints
+    // (struct route).
+    ArmSpec sql_varied = sql_pglite;
+    sql_varied.name = "sql_pglite_varied";
+    sql_varied.vary_literals = true;
+    arms.push_back(sql_varied);
+    ArmSpec struct_varied{"struct_pglite_varied", RouteMode::kPglite, true, 0,
+                          false, false};
+    struct_varied.vary_literals = true;
+    arms.push_back(struct_varied);
+  }
 
   std::fprintf(stderr,
                "serving %zu queries x %d epochs per arm (%d workers)...\n",
@@ -231,6 +309,8 @@ int main(int argc, char** argv) {
 
   std::string json = "{\n";
   json += "  \"bench\": \"serve_throughput\",\n";
+  json += std::string("  \"sql_mode\": ") + (sql_mode ? "true" : "false") +
+          ",\n";
   json += "  \"queries\": " + std::to_string(workload.size()) + ",\n";
   json += "  \"epochs\": " + std::to_string(epochs) + ",\n";
   json += "  \"workers\": " + std::to_string(workers) + ",\n";
@@ -240,13 +320,16 @@ int main(int argc, char** argv) {
     char buffer[512];
     std::snprintf(
         buffer, sizeof(buffer),
-        "    {\"route\": \"%s\", \"plan_cache\": %s, \"queries\": %lld, "
+        "    {\"route\": \"%s\", \"plan_cache\": %s, \"sql\": %s, "
+        "\"vary_literals\": %s, \"queries\": %lld, "
         "\"wall_ms\": %.1f, \"qps\": %.0f, "
         "\"latency_virtual_ns\": {\"p50\": %.0f, \"p95\": %.0f, "
         "\"p99\": %.0f}, \"avg_planning_ns\": %.0f, "
         "\"cache_hit_rate\": %.4f, \"fallback_rate\": %.4f, "
         "\"fallbacks\": %lld, \"deterministic\": %s}%s\n",
         r.spec.name.c_str(), r.spec.plan_cache ? "true" : "false",
+        r.spec.sql ? "true" : "false",
+        r.spec.vary_literals ? "true" : "false",
         static_cast<long long>(r.queries), r.wall_ms, r.qps, r.p50_ns,
         r.p95_ns, r.p99_ns, r.avg_planning_ns, r.cache_hit_rate,
         r.fallback_rate, static_cast<long long>(r.fallbacks),
@@ -256,15 +339,15 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  if (argc > 1) {
-    std::FILE* f = std::fopen(argv[1], "w");
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", out_path);
       return 1;
     }
     std::fputs(json.c_str(), f);
     std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", argv[1]);
+    std::fprintf(stderr, "wrote %s\n", out_path);
   } else {
     std::fputs(json.c_str(), stdout);
   }
@@ -275,5 +358,22 @@ int main(int argc, char** argv) {
   // the tight-deadline arm must actually fall back.
   ok &= results[0].avg_planning_ns < results[1].avg_planning_ns;
   ok &= results[3].fallback_rate > 0.0;
+  if (sql_mode) {
+    const ArmResult& sql_pglite = results[5];
+    const ArmResult& sql_varied = results[6];
+    const ArmResult& struct_varied = results[7];
+    // Warm-template SQL throughput within noise of the struct path (the
+    // parse+bind admission cost must not dominate), and template keying
+    // must beat per-literal keying on the varied workload by a wide margin.
+    ok &= sql_pglite.qps > 0.5 * results[0].qps;
+    ok &= sql_varied.cache_hit_rate > struct_varied.cache_hit_rate + 0.3;
+    if (!ok) {
+      std::fprintf(stderr,
+                   "sql-mode assertion failed: sql qps=%.0f struct qps=%.0f "
+                   "sql_varied hit=%.2f struct_varied hit=%.2f\n",
+                   sql_pglite.qps, results[0].qps, sql_varied.cache_hit_rate,
+                   struct_varied.cache_hit_rate);
+    }
+  }
   return ok ? 0 : 1;
 }

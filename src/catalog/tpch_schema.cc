@@ -1,0 +1,88 @@
+#include "catalog/tpch_schema.h"
+
+#include "util/check.h"
+
+namespace lqolab::catalog {
+
+namespace {
+
+using tpch::Table;
+
+ColumnDef Int(const char* name) { return {name, ColumnType::kInt}; }
+ColumnDef Str(const char* name) { return {name, ColumnType::kString}; }
+
+TableDef MakeTable(const char* name, std::vector<ColumnDef> columns,
+                   std::vector<ForeignKey> fks = {}) {
+  TableDef def;
+  def.name = name;
+  def.columns = std::move(columns);
+  def.foreign_keys = std::move(fks);
+  return def;
+}
+
+}  // namespace
+
+Schema BuildTpchSchema() {
+  Schema schema;
+
+  // Snowflake dimensions.
+  TableId id = schema.AddTable(MakeTable("region", {Int("id"), Str("name")}));
+  LQOLAB_CHECK_EQ(id, Table::kRegion);
+  id = schema.AddTable(MakeTable(
+      "nation", {Int("id"), Str("name"), Int("region_id")},
+      {{2, Table::kRegion}}));
+  LQOLAB_CHECK_EQ(id, Table::kNation);
+  id = schema.AddTable(MakeTable(
+      "supplier", {Int("id"), Int("nation_id"), Int("acctbal")},
+      {{1, Table::kNation}}));
+  LQOLAB_CHECK_EQ(id, Table::kSupplier);
+  id = schema.AddTable(MakeTable(
+      "customer",
+      {Int("id"), Int("nation_id"), Str("mktsegment"), Int("acctbal")},
+      {{1, Table::kNation}}));
+  LQOLAB_CHECK_EQ(id, Table::kCustomer);
+  id = schema.AddTable(MakeTable(
+      "part",
+      {Int("id"), Str("brand"), Str("type"), Str("container"), Int("size"),
+       Int("retailprice")}));
+  LQOLAB_CHECK_EQ(id, Table::kPart);
+  id = schema.AddTable(MakeTable(
+      "partsupp",
+      {Int("id"), Int("part_id"), Int("supplier_id"), Int("availqty"),
+       Int("supplycost")},
+      {{1, Table::kPart}, {2, Table::kSupplier}}));
+  LQOLAB_CHECK_EQ(id, Table::kPartsupp);
+
+  // Fact tables. Dates are YYYYMMDD integers, prices integer cents.
+  id = schema.AddTable(MakeTable(
+      "orders",
+      {Int("id"), Int("customer_id"), Str("orderstatus"), Str("orderpriority"),
+       Int("orderdate"), Int("totalprice")},
+      {{1, Table::kCustomer}}));
+  LQOLAB_CHECK_EQ(id, Table::kOrders);
+  id = schema.AddTable(MakeTable(
+      "lineitem",
+      {Int("id"), Int("order_id"), Int("part_id"), Int("supplier_id"),
+       Int("quantity"), Int("extendedprice"), Int("discount"),
+       Str("returnflag"), Str("linestatus"), Int("shipdate"), Str("shipmode")},
+      {{1, Table::kOrders}, {2, Table::kPart}, {3, Table::kSupplier}}));
+  LQOLAB_CHECK_EQ(id, Table::kLineitem);
+
+  return schema;
+}
+
+const char* TpchShortAlias(TableId table) {
+  switch (table) {
+    case Table::kRegion: return "r";
+    case Table::kNation: return "n";
+    case Table::kSupplier: return "s";
+    case Table::kCustomer: return "c";
+    case Table::kPart: return "p";
+    case Table::kPartsupp: return "ps";
+    case Table::kOrders: return "o";
+    case Table::kLineitem: return "l";
+    default: return "x";
+  }
+}
+
+}  // namespace lqolab::catalog

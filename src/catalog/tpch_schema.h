@@ -1,0 +1,40 @@
+#ifndef LQOLAB_CATALOG_TPCH_SCHEMA_H_
+#define LQOLAB_CATALOG_TPCH_SCHEMA_H_
+
+#include "catalog/schema.h"
+
+namespace lqolab::catalog {
+
+/// Table ids of the 8-table TPC-H-lite schema, in the order
+/// BuildTpchSchema() registers them. The layout follows the TPC-H
+/// star/snowflake — lineitem fans out to orders/part/supplier, orders to
+/// customer, customer and supplier to nation to region — adapted to this
+/// engine's conventions: every primary key is column 0 named "id", foreign
+/// keys are single-column, dates are YYYYMMDD integers, and prices are
+/// integer cents.
+namespace tpch {
+
+enum Table : TableId {
+  kRegion = 0,
+  kNation,
+  kSupplier,
+  kCustomer,
+  kPart,
+  kPartsupp,
+  kOrders,
+  kLineitem,
+  kTableCount,
+};
+
+}  // namespace tpch
+
+/// Builds the TPC-H-lite schema (8 tables with primary and foreign keys).
+Schema BuildTpchSchema();
+
+/// Conventional TPC-H alias for a table ("l" for lineitem, "o" for
+/// orders, ...); used in query displays.
+const char* TpchShortAlias(TableId table);
+
+}  // namespace lqolab::catalog
+
+#endif  // LQOLAB_CATALOG_TPCH_SCHEMA_H_

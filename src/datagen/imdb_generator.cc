@@ -605,19 +605,19 @@ std::vector<std::unique_ptr<storage::Table>> GenerateImdb(
   return generator.Generate();
 }
 
-std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
+std::vector<std::shared_ptr<storage::Table>> SubsampleCascade(
     const catalog::Schema& schema,
     const std::vector<std::shared_ptr<storage::Table>>& full,
-    double keep_fraction, uint64_t seed) {
+    catalog::TableId root, double keep_fraction, uint64_t seed) {
   LQOLAB_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
   Rng rng(seed);
 
-  // Decide which title ids survive.
-  const storage::Table& title = *full[Table::kTitle];
+  // Decide which root-table ids survive.
+  const storage::Table& root_table = *full[static_cast<size_t>(root)];
   std::unordered_set<Value> kept_ids;
-  for (storage::RowId row = 0; row < title.row_count(); ++row) {
+  for (storage::RowId row = 0; row < root_table.row_count(); ++row) {
     if (rng.Bernoulli(keep_fraction)) {
-      kept_ids.insert(title.column(0).at(row));
+      kept_ids.insert(root_table.column(0).at(row));
     }
   }
 
@@ -628,19 +628,19 @@ std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
     const storage::Table& src = *full[static_cast<size_t>(t)];
     auto dst = std::make_unique<storage::Table>(t, def);
 
-    // Columns whose values must exist in the surviving title set.
-    std::vector<catalog::ColumnId> title_fks;
+    // Columns whose values must exist in the surviving root set.
+    std::vector<catalog::ColumnId> root_fks;
     for (const auto& fk : def.foreign_keys) {
-      if (fk.referenced_table == Table::kTitle) title_fks.push_back(fk.column);
+      if (fk.referenced_table == root) root_fks.push_back(fk.column);
     }
-    const bool is_title = t == Table::kTitle;
+    const bool is_root = t == root;
 
     for (storage::RowId row = 0; row < src.row_count(); ++row) {
       bool keep = true;
-      if (is_title) {
+      if (is_root) {
         keep = kept_ids.count(src.column(0).at(row)) > 0;
       } else {
-        for (catalog::ColumnId fk_col : title_fks) {
+        for (catalog::ColumnId fk_col : root_fks) {
           const Value v = src.column(fk_col).at(row);
           if (v != kNullValue && kept_ids.count(v) == 0) {
             keep = false;
@@ -665,6 +665,13 @@ std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
     out.push_back(std::move(dst));
   }
   return out;
+}
+
+std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
+    const catalog::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Table>>& full,
+    double keep_fraction, uint64_t seed) {
+  return SubsampleCascade(schema, full, Table::kTitle, keep_fraction, seed);
 }
 
 }  // namespace lqolab::datagen

@@ -77,11 +77,18 @@ constexpr int32_t kBiography = 23;    // person_info
 std::vector<std::unique_ptr<storage::Table>> GenerateImdb(
     const catalog::Schema& schema, const ScaleProfile& profile, uint64_t seed);
 
-/// Builds the IMDB-p% variant of the paper's covariate-shift experiment
-/// (§8.3): keeps each `title` row with probability `keep_fraction`
+/// Schema-generic subsample for the paper's covariate-shift experiment
+/// (§8.3): keeps each row of `root` with probability `keep_fraction`
 /// (Bernoulli) and cascades the deletion through every table with a foreign
-/// key into `title`, preserving referential integrity. Tables not reachable
-/// from `title` are copied unchanged.
+/// key into `root`, preserving referential integrity. Tables without such a
+/// foreign key are copied unchanged. Works for any schema built on this
+/// catalog's conventions (IMDB around `title`, TPC-H-lite around `orders`).
+std::vector<std::shared_ptr<storage::Table>> SubsampleCascade(
+    const catalog::Schema& schema,
+    const std::vector<std::shared_ptr<storage::Table>>& full,
+    catalog::TableId root, double keep_fraction, uint64_t seed);
+
+/// SubsampleCascade rooted at IMDB's `title` (the Fig. 7 IMDB-p% variant).
 std::vector<std::shared_ptr<storage::Table>> SubsampleTitleCascade(
     const catalog::Schema& schema,
     const std::vector<std::shared_ptr<storage::Table>>& full,

@@ -1,0 +1,315 @@
+#include "datagen/tpch_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lqolab::datagen {
+
+namespace {
+
+using catalog::Schema;
+using catalog::TableId;
+using catalog::tpch::Table;
+using storage::Value;
+using util::Rng;
+using util::ZipfTable;
+
+/// Days per month lookup good enough for synthetic data (no leap days; the
+/// estimator only ever sees the YYYYMMDD integers as ordered values).
+constexpr int32_t kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+
+/// Maps a day offset in the 1992..1998 window to a YYYYMMDD integer.
+int32_t DateFromOffset(int32_t offset) {
+  int32_t year = 1992;
+  while (true) {
+    int32_t month = 0;
+    for (; month < 12; ++month) {
+      if (offset < kDaysInMonth[month]) {
+        return year * 10000 + (month + 1) * 100 + (offset + 1);
+      }
+      offset -= kDaysInMonth[month];
+    }
+    ++year;
+  }
+}
+
+constexpr int32_t kWindowDays = 365 * 7;
+
+/// Deterministic generator for the full database. Keeps cross-table context
+/// (per-order date and customer, per-part brand index, popularity
+/// permutations) so lineitem can be generated with realistic correlations.
+class TpchGenerator {
+ public:
+  TpchGenerator(const Schema& schema, const TpchScaleProfile& profile,
+                uint64_t seed)
+      : schema_(schema), profile_(profile), rng_(seed) {
+    tables_.reserve(static_cast<size_t>(schema.table_count()));
+    for (TableId t = 0; t < schema.table_count(); ++t) {
+      tables_.push_back(std::make_unique<storage::Table>(t, schema.table(t)));
+    }
+  }
+
+  std::vector<std::unique_ptr<storage::Table>> Generate() {
+    GenerateRegionNation();
+    GenerateSupplier();
+    GenerateCustomer();
+    GeneratePart();
+    GeneratePartsupp();
+    GenerateOrders();
+    GenerateLineitem();
+    return std::move(tables_);
+  }
+
+ private:
+  storage::Table& table(TableId id) {
+    return *tables_[static_cast<size_t>(id)];
+  }
+
+  Value Str(TableId t, catalog::ColumnId col, const std::string& text) {
+    return table(t).column(col).InternString(text);
+  }
+
+  /// A day offset skewed toward the end of the window (business grows), so
+  /// recent-date filters are the high-selectivity ones.
+  int32_t SkewedDay(Rng* rng) {
+    const double u = rng->Uniform();
+    return static_cast<int32_t>(u * u * (kWindowDays - 1));
+  }
+
+  void GenerateRegionNation();
+  void GenerateSupplier();
+  void GenerateCustomer();
+  void GeneratePart();
+  void GeneratePartsupp();
+  void GenerateOrders();
+  void GenerateLineitem();
+
+  const Schema& schema_;
+  TpchScaleProfile profile_;
+  Rng rng_;
+  std::vector<std::unique_ptr<storage::Table>> tables_;
+
+  // Cross-table generation context.
+  std::vector<int32_t> customer_segment_;  // per customer row, segment idx
+  std::vector<int32_t> order_customer_;    // per order row, customer row
+  std::vector<int32_t> order_day_;         // per order row, day offset
+  std::vector<int32_t> part_brand_;        // per part row, brand idx
+};
+
+const char* const kSegments[] = {"BUILDING", "AUTOMOBILE", "MACHINERY",
+                                 "HOUSEHOLD", "FURNITURE"};
+const char* const kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                   "4-NOT SPECIFIED", "5-LOW"};
+const char* const kContainers[] = {"SM CASE", "SM BOX", "MED BOX", "MED BAG",
+                                   "LG CASE", "LG BOX", "JUMBO PKG",
+                                   "WRAP JAR"};
+const char* const kModes[] = {"TRUCK", "MAIL", "SHIP", "AIR", "RAIL",
+                              "REG AIR", "FOB"};
+const char* const kTypes[] = {"ECONOMY", "STANDARD", "MEDIUM", "PROMO",
+                              "SMALL", "LARGE"};
+const char* const kFinish[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                               "BRUSHED"};
+
+void TpchGenerator::GenerateRegionNation() {
+  const std::vector<std::string> regions = {"AFRICA", "AMERICA", "ASIA",
+                                            "EUROPE", "MIDDLE EAST"};
+  for (size_t i = 0; i < regions.size(); ++i) {
+    table(Table::kRegion)
+        .AppendRow({static_cast<Value>(i + 1),
+                    Str(Table::kRegion, 1, regions[i])});
+  }
+  const std::vector<std::pair<std::string, int32_t>> nations = {
+      {"ALGERIA", 1},   {"ARGENTINA", 2}, {"BRAZIL", 2},     {"CANADA", 2},
+      {"EGYPT", 5},     {"ETHIOPIA", 1},  {"FRANCE", 4},     {"GERMANY", 4},
+      {"INDIA", 3},     {"INDONESIA", 3}, {"IRAN", 5},       {"IRAQ", 5},
+      {"JAPAN", 3},     {"JORDAN", 5},    {"KENYA", 1},      {"MOROCCO", 1},
+      {"MOZAMBIQUE", 1},{"PERU", 2},      {"CHINA", 3},      {"ROMANIA", 4},
+      {"SAUDI ARABIA", 5}, {"VIETNAM", 3}, {"RUSSIA", 4},    {"UNITED KINGDOM", 4},
+      {"UNITED STATES", 2}};
+  for (size_t i = 0; i < nations.size(); ++i) {
+    table(Table::kNation)
+        .AppendRow({static_cast<Value>(i + 1),
+                    Str(Table::kNation, 1, nations[i].first),
+                    nations[i].second});
+  }
+}
+
+void TpchGenerator::GenerateSupplier() {
+  Rng rng = rng_.Fork();
+  // Suppliers cluster in a few nations (Zipf), mirroring how IMDB company
+  // countries are head-heavy.
+  ZipfTable nation_zipf(25, 0.8);
+  for (int64_t i = 0; i < profile_.supplier; ++i) {
+    const Value nation = static_cast<Value>(nation_zipf.Sample(&rng) + 1);
+    const Value acctbal = static_cast<Value>(rng.UniformInt(-99999, 999999));
+    table(Table::kSupplier)
+        .AppendRow({static_cast<Value>(i + 1), nation, acctbal});
+  }
+}
+
+void TpchGenerator::GenerateCustomer() {
+  Rng rng = rng_.Fork();
+  ZipfTable nation_zipf(25, 0.6);
+  // Segment shares are deliberately uneven so segment filters differ in
+  // selectivity.
+  const std::vector<double> segment_weights = {0.35, 0.25, 0.2, 0.12, 0.08};
+  customer_segment_.resize(static_cast<size_t>(profile_.customer));
+  for (int64_t i = 0; i < profile_.customer; ++i) {
+    double u = rng.Uniform();
+    int32_t segment = 0;
+    for (; segment < 4; ++segment) {
+      u -= segment_weights[static_cast<size_t>(segment)];
+      if (u <= 0.0) break;
+    }
+    customer_segment_[static_cast<size_t>(i)] = segment;
+    const Value nation = static_cast<Value>(nation_zipf.Sample(&rng) + 1);
+    table(Table::kCustomer)
+        .AppendRow({static_cast<Value>(i + 1), nation,
+                    Str(Table::kCustomer, 2, kSegments[segment]),
+                    static_cast<Value>(rng.UniformInt(-99999, 999999))});
+  }
+}
+
+void TpchGenerator::GeneratePart() {
+  Rng rng = rng_.Fork();
+  part_brand_.resize(static_cast<size_t>(profile_.part));
+  ZipfTable brand_zipf(25, 0.7);
+  for (int64_t i = 0; i < profile_.part; ++i) {
+    const int32_t brand = static_cast<int32_t>(brand_zipf.Sample(&rng));
+    part_brand_[static_cast<size_t>(i)] = brand;
+    // Type correlates with brand: each brand leans toward one type family,
+    // so brand+type conjunctions are non-independent (the estimator's
+    // independence assumption misfires, as with IMDB genre x kind).
+    const int32_t type_base = brand % 6;
+    const int32_t type_idx = rng.Bernoulli(0.7)
+                                 ? type_base
+                                 : static_cast<int32_t>(rng.UniformInt(0, 5));
+    const std::string type = std::string(kTypes[type_idx]) + " " +
+                             kFinish[static_cast<size_t>(
+                                 rng.UniformInt(0, 4))];
+    table(Table::kPart)
+        .AppendRow({static_cast<Value>(i + 1),
+                    Str(Table::kPart, 1, "Brand#" + std::to_string(brand + 10)),
+                    Str(Table::kPart, 2, type),
+                    Str(Table::kPart, 3, kContainers[static_cast<size_t>(
+                                             rng.UniformInt(0, 7))]),
+                    static_cast<Value>(rng.UniformInt(1, 50)),
+                    static_cast<Value>(rng.UniformInt(90000, 200000))});
+  }
+}
+
+void TpchGenerator::GeneratePartsupp() {
+  Rng rng = rng_.Fork();
+  // Popular parts get more suppliers (Zipf over parts).
+  ZipfTable part_zipf(profile_.part, 0.5);
+  for (int64_t i = 0; i < profile_.partsupp; ++i) {
+    const Value part = static_cast<Value>(part_zipf.Sample(&rng) + 1);
+    const Value supplier =
+        static_cast<Value>(rng.UniformInt(1, profile_.supplier));
+    table(Table::kPartsupp)
+        .AppendRow({static_cast<Value>(i + 1), part, supplier,
+                    static_cast<Value>(rng.UniformInt(1, 9999)),
+                    static_cast<Value>(rng.UniformInt(100, 100000))});
+  }
+}
+
+void TpchGenerator::GenerateOrders() {
+  Rng rng = rng_.Fork();
+  ZipfTable customer_zipf(profile_.customer, 0.9);
+  order_customer_.resize(static_cast<size_t>(profile_.orders));
+  order_day_.resize(static_cast<size_t>(profile_.orders));
+  for (int64_t i = 0; i < profile_.orders; ++i) {
+    const int32_t customer = static_cast<int32_t>(customer_zipf.Sample(&rng));
+    const int32_t day = SkewedDay(&rng);
+    order_customer_[static_cast<size_t>(i)] = customer;
+    order_day_[static_cast<size_t>(i)] = day;
+    // Status follows date: old orders are finished, recent ones open.
+    const char* status = day < kWindowDays - 500
+                             ? "F"
+                             : (rng.Bernoulli(0.5) ? "O" : "P");
+    // Priority correlates with segment: BUILDING customers order urgently.
+    const int32_t segment =
+        customer_segment_[static_cast<size_t>(customer)];
+    const int32_t priority =
+        rng.Bernoulli(0.5) ? segment
+                           : static_cast<int32_t>(rng.UniformInt(0, 4));
+    table(Table::kOrders)
+        .AppendRow({static_cast<Value>(i + 1),
+                    static_cast<Value>(customer + 1),
+                    Str(Table::kOrders, 2, status),
+                    Str(Table::kOrders, 3, kPriorities[priority]),
+                    DateFromOffset(day),
+                    static_cast<Value>(rng.UniformInt(100000, 40000000))});
+  }
+}
+
+void TpchGenerator::GenerateLineitem() {
+  Rng rng = rng_.Fork();
+  ZipfTable part_zipf(profile_.part, 0.9);
+  for (int64_t i = 0; i < profile_.lineitem; ++i) {
+    // Spread lines over orders round-robin so every order has some and line
+    // counts stay realistic; which parts appear is heavily skewed.
+    const int64_t order = i % profile_.orders;
+    const Value part = static_cast<Value>(part_zipf.Sample(&rng) + 1);
+    const Value supplier =
+        static_cast<Value>(rng.UniformInt(1, profile_.supplier));
+    const int32_t order_day = order_day_[static_cast<size_t>(order)];
+    const int32_t ship_day =
+        std::min<int32_t>(kWindowDays - 1,
+                          order_day + static_cast<int32_t>(
+                                          rng.UniformInt(1, 120)));
+    // returnflag correlates with shipdate: only sufficiently old lines can
+    // have been returned.
+    const char* flag;
+    if (ship_day > kWindowDays - 400) {
+      flag = "N";
+    } else {
+      flag = rng.Bernoulli(0.25) ? "R" : (rng.Bernoulli(0.5) ? "A" : "N");
+    }
+    const char* line_status = ship_day < kWindowDays - 500 ? "F" : "O";
+    const Value quantity = static_cast<Value>(rng.UniformInt(1, 50));
+    const Value price = static_cast<Value>(rng.UniformInt(90000, 200000));
+    table(Table::kLineitem)
+        .AppendRow({static_cast<Value>(i + 1),
+                    static_cast<Value>(order + 1), part, supplier, quantity,
+                    quantity * price / 100,
+                    static_cast<Value>(rng.UniformInt(0, 10)),
+                    Str(Table::kLineitem, 7, flag),
+                    Str(Table::kLineitem, 8, line_status),
+                    DateFromOffset(ship_day),
+                    Str(Table::kLineitem, 10, kModes[static_cast<size_t>(
+                                                  rng.UniformInt(0, 6))])});
+  }
+}
+
+}  // namespace
+
+TpchScaleProfile TpchScaleProfile::Small() { return Medium().Scaled(0.05); }
+
+TpchScaleProfile TpchScaleProfile::Scaled(double factor) const {
+  LQOLAB_CHECK_GT(factor, 0.0);
+  auto scale = [factor](int64_t n) {
+    return std::max<int64_t>(8, static_cast<int64_t>(n * factor));
+  };
+  TpchScaleProfile p = *this;
+  p.supplier = scale(supplier);
+  p.customer = scale(customer);
+  p.part = scale(part);
+  p.partsupp = scale(partsupp);
+  p.orders = scale(orders);
+  p.lineitem = scale(lineitem);
+  return p;
+}
+
+std::vector<std::unique_ptr<storage::Table>> GenerateTpch(
+    const catalog::Schema& schema, const TpchScaleProfile& profile,
+    uint64_t seed) {
+  TpchGenerator generator(schema, profile, seed);
+  return generator.Generate();
+}
+
+}  // namespace lqolab::datagen

@@ -1,0 +1,56 @@
+#ifndef LQOLAB_DATAGEN_TPCH_GENERATOR_H_
+#define LQOLAB_DATAGEN_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tpch_schema.h"
+#include "storage/table.h"
+
+namespace lqolab::datagen {
+
+/// Row counts for the synthetic TPC-H-lite database. Defaults give ~0.43M
+/// rows total — the same order of magnitude as the IMDB ScaleProfile, so
+/// the two workloads stress the engine comparably. region and nation are
+/// fixed at the TPC-H 5/25.
+struct TpchScaleProfile {
+  int64_t supplier = 500;
+  int64_t customer = 7500;
+  int64_t part = 10000;
+  int64_t partsupp = 40000;  ///< ~4 suppliers per part
+  int64_t orders = 75000;
+  int64_t lineitem = 300000;  ///< ~4 lines per order
+
+  /// Default profile.
+  static TpchScaleProfile Medium() { return {}; }
+
+  /// ~20x smaller; used by unit tests.
+  static TpchScaleProfile Small();
+
+  /// Uniformly scales all row counts by `factor` (every table keeps at
+  /// least 8 rows).
+  TpchScaleProfile Scaled(double factor) const;
+};
+
+/// YYYYMMDD bounds of the generated order/ship dates (TPC-H's 1992..1998
+/// window). Workload templates filter inside this range.
+namespace tpch_dates {
+constexpr int32_t kFirstOrder = 19920101;
+constexpr int32_t kLastOrder = 19981231;
+}  // namespace tpch_dates
+
+/// Generates all 8 TPC-H-lite tables deterministically from `seed`. Like
+/// the IMDB generator, the data is skewed and correlated so the histogram
+/// estimator makes realistic errors: Zipfian customer/part popularity,
+/// order dates that grow denser toward recent years, returnflag correlated
+/// with shipdate, brand correlated with type, and priority correlated with
+/// market segment.
+std::vector<std::unique_ptr<storage::Table>> GenerateTpch(
+    const catalog::Schema& schema, const TpchScaleProfile& profile,
+    uint64_t seed);
+
+}  // namespace lqolab::datagen
+
+#endif  // LQOLAB_DATAGEN_TPCH_GENERATOR_H_

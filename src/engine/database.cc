@@ -6,9 +6,12 @@
 #include <sstream>
 
 #include "catalog/imdb_schema.h"
+#include "catalog/tpch_schema.h"
 #include "exec/cost_constants.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
+#include "sql/binder.h"
+#include "sql/template.h"
 #include "util/check.h"
 #include "util/table_printer.h"
 
@@ -39,17 +42,36 @@ std::unique_ptr<Database> Database::CreateImdb(const Options& options) {
   return db;
 }
 
+std::unique_ptr<Database> Database::CreateTpch(
+    const Options& options, const datagen::TpchScaleProfile& profile) {
+  std::unique_ptr<Database> db(new Database(options));
+  auto shared = std::make_shared<SharedContext>();
+  shared->schema = catalog::BuildTpchSchema();
+  for (auto& table :
+       datagen::GenerateTpch(shared->schema, profile, options.seed)) {
+    shared->tables.push_back(std::move(table));
+  }
+  db->FinishBuild(std::move(shared));
+  return db;
+}
+
 std::unique_ptr<Database> Database::FromTables(
-    const Options& options,
+    const Options& options, catalog::Schema schema,
     std::vector<std::shared_ptr<storage::Table>> tables) {
   std::unique_ptr<Database> db(new Database(options));
   auto shared = std::make_shared<SharedContext>();
-  shared->schema = catalog::BuildImdbSchema();
+  shared->schema = std::move(schema);
   LQOLAB_CHECK_EQ(static_cast<int32_t>(tables.size()),
                   shared->schema.table_count());
   shared->tables = std::move(tables);
   db->FinishBuild(std::move(shared));
   return db;
+}
+
+std::unique_ptr<Database> Database::FromTables(
+    const Options& options,
+    std::vector<std::shared_ptr<storage::Table>> tables) {
+  return FromTables(options, catalog::BuildImdbSchema(), std::move(tables));
 }
 
 void Database::FinishBuild(std::shared_ptr<SharedContext> shared) {
@@ -90,16 +112,26 @@ void Database::BuildIndexes(SharedContext& shared) {
       wanted.insert({t, fk.column});
     }
   }
-  const std::vector<std::pair<catalog::TableId, const char*>> filter_indexes = {
-      {Table::kTitle, "production_year"}, {Table::kTitle, "episode_nr"},
-      {Table::kKeyword, "keyword"},       {Table::kCompanyName, "country_code"},
-      {Table::kName, "name_pcode_cf"},    {Table::kName, "gender"},
-      {Table::kMovieInfo, "info"},        {Table::kMovieInfoIdx, "info"},
-      {Table::kCastInfo, "note"},         {Table::kKindType, "kind"},
-      {Table::kInfoType, "info"},         {Table::kCompanyType, "kind"},
-      {Table::kRoleType, "role"},         {Table::kLinkType, "link"},
-      {Table::kCompCastType, "kind"}};
-  for (const auto& [table, column_name] : filter_indexes) {
+  // Resolved by name so the one list serves every schema this engine
+  // builds; pairs whose table doesn't exist in the current schema are
+  // skipped (the IMDB entries resolve exactly as before, keeping the IMDB
+  // index set — and thus every golden plan — unchanged).
+  const std::vector<std::pair<const char*, const char*>> filter_indexes = {
+      // IMDB (the JOB filter columns of DESIGN.md).
+      {"title", "production_year"}, {"title", "episode_nr"},
+      {"keyword", "keyword"},       {"company_name", "country_code"},
+      {"name", "name_pcode_cf"},    {"name", "gender"},
+      {"movie_info", "info"},       {"movie_info_idx", "info"},
+      {"cast_info", "note"},        {"kind_type", "kind"},
+      {"info_type", "info"},        {"company_type", "kind"},
+      {"role_type", "role"},        {"link_type", "link"},
+      {"comp_cast_type", "kind"},
+      // TPC-H-lite filter columns.
+      {"orders", "orderdate"},      {"lineitem", "shipdate"},
+      {"customer", "mktsegment"},   {"part", "brand"}};
+  for (const auto& [table_name, column_name] : filter_indexes) {
+    const catalog::TableId table = schema.FindTable(table_name);
+    if (table == catalog::kInvalidTable) continue;
     const catalog::ColumnId col = schema.table(table).FindColumn(column_name);
     LQOLAB_CHECK_NE(col, catalog::kInvalidColumn);
     wanted.insert({table, col});
@@ -186,6 +218,18 @@ int64_t Database::TotalPages() const {
   int64_t pages = 0;
   for (const auto& table : ctx_.tables()) pages += table->page_count();
   return pages;
+}
+
+util::Status Database::PrepareSql(const std::string& sql, PreparedSql* out,
+                                  const std::string& id) const {
+  query::Query q;
+  const util::Status bound = sql::ParseAndBindSql(sql, schema(), &q);
+  if (!bound.ok()) return bound;
+  sql::AssignQueryId(id, &q);
+  out->query = std::move(q);
+  out->normalized_template = sql::NormalizeSqlTemplate(sql);
+  out->template_fingerprint = sql::SqlTemplateFingerprint(sql);
+  return util::Status::Ok();
 }
 
 Database::Planned Database::PlanQuery(const query::Query& q) {

@@ -8,6 +8,7 @@
 
 #include "catalog/schema.h"
 #include "datagen/imdb_generator.h"
+#include "datagen/tpch_generator.h"
 #include "engine/config.h"
 #include "engine/shared_context.h"
 #include "exec/db_context.h"
@@ -62,7 +63,20 @@ class Database {
   /// Generates the synthetic IMDB, builds indexes and runs ANALYZE.
   static std::unique_ptr<Database> CreateImdb(const Options& options);
 
-  /// Wraps pre-built tables (e.g. the IMDB-50% subsample of Fig. 7).
+  /// Generates the synthetic TPC-H-lite database (Options::profile is
+  /// ignored; the star/snowflake row counts come from `profile`).
+  static std::unique_ptr<Database> CreateTpch(
+      const Options& options,
+      const datagen::TpchScaleProfile& profile =
+          datagen::TpchScaleProfile::Medium());
+
+  /// Wraps pre-built tables under an explicit schema (e.g. the subsampled
+  /// databases of Fig. 7).
+  static std::unique_ptr<Database> FromTables(
+      const Options& options, catalog::Schema schema,
+      std::vector<std::shared_ptr<storage::Table>> tables);
+
+  /// Wraps pre-built IMDB tables (schema defaults to BuildImdbSchema).
   static std::unique_ptr<Database> FromTables(
       const Options& options,
       std::vector<std::shared_ptr<storage::Table>> tables);
@@ -112,6 +126,25 @@ class Database {
     int64_t planner_steps = 0;
   };
   Planned PlanQuery(const query::Query& q);
+
+  /// A SQL statement parsed and bound against this database's schema, plus
+  /// its normalized template identity (constants stripped) — the plan-cache
+  /// key material of the serve SQL route.
+  struct PreparedSql {
+    query::Query query;
+    /// sql::NormalizeSqlTemplate over the statement text.
+    std::string normalized_template;
+    /// sql::SqlTemplateFingerprint(normalized_template).
+    uint64_t template_fingerprint = 0;
+  };
+
+  /// Parses and binds `sql` (see docs/sql.md for the accepted grammar).
+  /// Returns kInvalidArgument with a "line:col:"-anchored diagnostic on
+  /// malformed text; never aborts. `id` (optional) names the query the way
+  /// workload files do ("13a", "c7b") and maps to template/variant through
+  /// sql::AssignQueryId. Read-only: no planning or execution happens.
+  util::Status PrepareSql(const std::string& sql, PreparedSql* out,
+                          const std::string& id = "adhoc") const;
 
   /// Executes a caller-provided plan (the pg_hint_plan path used by LQOs).
   /// Applies warm-up state and execution noise; mutates cache state.

@@ -68,7 +68,8 @@ void DispatchPredicate(const query::BoundPredicate& pred, Sink&& sink) {
       return;
     }
     case Predicate::Kind::kEq:
-    case Predicate::Kind::kIn: {
+    case Predicate::Kind::kIn:
+    case Predicate::Kind::kLikePrefix: {
       const Value* begin = pred.values.data();
       const Value* end = begin + pred.values.size();
       if (begin != end && *begin == kNullValue) ++begin;  // sorted first

@@ -23,6 +23,7 @@ const char* KindName(Predicate::Kind kind) {
     case Predicate::Kind::kRange: return "range";
     case Predicate::Kind::kIsNull: return "isnull";
     case Predicate::Kind::kNotNull: return "notnull";
+    case Predicate::Kind::kLikePrefix: return "likeprefix";
   }
   return "?";
 }
@@ -30,7 +31,8 @@ const char* KindName(Predicate::Kind kind) {
 bool ParseKind(const std::string& name, Predicate::Kind* kind) {
   for (Predicate::Kind k :
        {Predicate::Kind::kEq, Predicate::Kind::kIn, Predicate::Kind::kRange,
-        Predicate::Kind::kIsNull, Predicate::Kind::kNotNull}) {
+        Predicate::Kind::kIsNull, Predicate::Kind::kNotNull,
+        Predicate::Kind::kLikePrefix}) {
     if (name == KindName(k)) {
       *kind = k;
       return true;

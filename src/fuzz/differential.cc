@@ -12,6 +12,7 @@
 #include "fuzz/corpus.h"
 #include "optimizer/plan_hint.h"
 #include "query/predicate_binding.h"
+#include "sql/binder.h"
 #include "serve/plan_cache.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -571,6 +572,52 @@ void DifferentialOracle::CheckCorpusRoundTrip(const Query& q,
   }
 }
 
+void DifferentialOracle::CheckSqlRoundTrip(const Query& q,
+                                           CheckReport* report) {
+  if (!options_.sql_round_trip) return;
+  ++report->checks.sql_round_trip;
+  const catalog::Schema& schema = db_->schema();
+  const std::string sql = q.ToSql(schema);
+  Query rebound;
+  const util::Status bound = sql::ParseAndBindSql(sql, schema, &rebound);
+  if (!bound.ok()) {
+    report->discrepancies.push_back(
+        {"sql_round_trip",
+         "rendered SQL failed to bind: " + bound.ToString() + "\n" + sql});
+    return;
+  }
+  // The fingerprint hashes the id; the SQL text deliberately does not
+  // carry it, so copy the identity before comparing.
+  rebound.id = q.id;
+  rebound.template_id = q.template_id;
+  rebound.variant = q.variant;
+  if (exec::QueryFingerprint(rebound) != exec::QueryFingerprint(q)) {
+    report->discrepancies.push_back(
+        {"sql_round_trip", "rebound query fingerprint diverged for " + q.id});
+    return;
+  }
+  if (rebound.ToSql(schema) != sql) {
+    report->discrepancies.push_back(
+        {"sql_round_trip", "re-rendered SQL is not byte-identical for " +
+                               q.id + "\nA: " + sql +
+                               "\nB: " + rebound.ToSql(schema)});
+    return;
+  }
+  // Plan byte-identity with the struct-built original. Both queries are
+  // planned here, back to back: the cost model reads live buffer-cache
+  // state (CachedFraction), so comparing against the DP arm planned before
+  // CheckExecution warmed the cache would flag phantom divergences.
+  const auto planned_struct = db_->PlanQuery(q);
+  const auto planned_sql = db_->PlanQuery(rebound);
+  if (!(planned_sql.plan == planned_struct.plan) ||
+      planned_sql.plan.ToString(rebound) !=
+          planned_struct.plan.ToString(q)) {
+    report->discrepancies.push_back(
+        {"sql_round_trip",
+         "DP plan of the rebound query diverged for " + q.id});
+  }
+}
+
 CheckReport DifferentialOracle::Check(const Query& q) {
   CheckReport report;
   const std::vector<ArmPlan> plans = BuildPlans(q, &report);
@@ -579,6 +626,7 @@ CheckReport DifferentialOracle::Check(const Query& q) {
   CheckExecution(q, plans, &report);
   CheckPlanRoundTrips(q, plans, &report);
   CheckCorpusRoundTrip(q, &report);
+  CheckSqlRoundTrip(q, &report);
   return report;
 }
 

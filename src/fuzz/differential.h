@@ -33,11 +33,15 @@ struct CheckCounts {
                                     ///< the same plan re-run on the
                                     ///< hash-sharded twin database must
                                     ///< report the same result rows.
+  int64_t sql_round_trip = 0;       ///< SQL-emission arm: render the query
+                                    ///< to SQL, parse+bind it back, and the
+                                    ///< rebound query must fingerprint,
+                                    ///< render and plan byte-identically.
 
   int64_t total() const {
     return cost_enumeration + execution + estimator + plan_cache +
            hint_roundtrip + corpus_roundtrip + fault_execution +
-           engine_differential + shard_differential;
+           engine_differential + shard_differential + sql_round_trip;
   }
   CheckCounts& operator+=(const CheckCounts& o) {
     cost_enumeration += o.cost_enumeration;
@@ -49,6 +53,7 @@ struct CheckCounts {
     fault_execution += o.fault_execution;
     engine_differential += o.engine_differential;
     shard_differential += o.shard_differential;
+    sql_round_trip += o.sql_round_trip;
     return *this;
   }
 };
@@ -101,6 +106,11 @@ struct DifferentialOptions {
   /// hash-partitioned storage must never change result rows. 0 or 1
   /// disables the arm.
   int32_t shard_twin = 4;
+  /// SQL-emission arm (on by default): every checked query is rendered to
+  /// SQL (query::Query::ToSql), parsed and bound back through the sql/
+  /// frontend, and the rebound query must have the same fingerprint, render
+  /// to the same bytes, and DP-plan to a byte-identical tree.
+  bool sql_round_trip = true;
   /// Optional fault mode: when the plan has rules, every arm that passed
   /// the clean execution check re-runs under a per-query FaultInjector
   /// seeded from (fault_plan.seed, query fingerprint). A faulted run may
@@ -156,6 +166,7 @@ class DifferentialOracle {
                            const std::vector<ArmPlan>& plans,
                            CheckReport* report);
   void CheckCorpusRoundTrip(const query::Query& q, CheckReport* report);
+  void CheckSqlRoundTrip(const query::Query& q, CheckReport* report);
 
   engine::Database* db_;
   DifferentialOptions options_;

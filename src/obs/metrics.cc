@@ -49,6 +49,8 @@ constexpr CounterInfo kCounterInfo[] = {
     {"serve_breaker_short_circuits", "serve"},
     {"serve_breaker_probes", "serve"},
     {"serve_breaker_recoveries", "serve"},
+    {"serve_sql_queries", "serve"},
+    {"serve_sql_rejected", "serve"},
     {"fault_injected_errors", "fault"},
     {"fault_injected_latency", "fault"},
     {"fault_injected_poison", "fault"},

@@ -48,6 +48,8 @@ enum class Counter : int32_t {
   kServeBreakerShortCircuits,  ///< LQO requests short-circuited while open.
   kServeBreakerProbes,         ///< Half-open probe requests let through.
   kServeBreakerRecoveries,     ///< Circuit breaker kHalfOpen -> kClosed edges.
+  kServeSqlQueries,       ///< SQL-text admissions parsed and bound (SubmitSql).
+  kServeSqlRejected,      ///< SQL-text admissions refused at parse/bind.
   // faultlib
   kFaultInjectedErrors,   ///< kError fault-point fires.
   kFaultInjectedLatency,  ///< kLatency fault-point fires.

@@ -19,6 +19,7 @@ bool BoundPredicate::Matches(Value value) const {
       return value != kNullValue && value >= lo && value <= hi;
     case Predicate::Kind::kEq:
     case Predicate::Kind::kIn:
+    case Predicate::Kind::kLikePrefix:
       return value != kNullValue &&
              std::binary_search(values.begin(), values.end(), value);
   }
@@ -51,6 +52,24 @@ BoundPredicate BindPredicate(const Predicate& pred,
       bound.values.erase(
           std::unique(bound.values.begin(), bound.values.end()),
           bound.values.end());
+      break;
+    }
+    case Predicate::Kind::kLikePrefix: {
+      // Expand the prefix against the dictionary: codes are dense 0..n-1,
+      // so a full sweep finds every matching string. After expansion the
+      // bound form is an ordinary sorted membership set (kIn semantics);
+      // a prefix matching nothing yields the correct empty match set.
+      LQOLAB_CHECK_EQ(pred.str_values.size(), 1u);
+      const storage::Column& column = table.column(pred.column);
+      const std::string& prefix = pred.str_values[0];
+      for (Value code = 0; code < column.dictionary_size(); ++code) {
+        const std::string& text = column.StringAt(code);
+        if (text.size() >= prefix.size() &&
+            text.compare(0, prefix.size(), prefix) == 0) {
+          bound.values.push_back(code);
+        }
+      }
+      std::sort(bound.values.begin(), bound.values.end());
       break;
     }
   }

@@ -81,6 +81,22 @@ std::vector<const Predicate*> Query::PredicatesFor(AliasId alias) const {
   return out;
 }
 
+namespace {
+
+/// Renders a string literal in single quotes, doubling embedded quotes
+/// (standard SQL escaping), so every rendered query re-parses.
+std::string QuoteSqlString(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
 std::string Query::ToSql(const catalog::Schema& schema) const {
   std::ostringstream os;
   os << "SELECT COUNT(*) FROM ";
@@ -89,6 +105,7 @@ std::string Query::ToSql(const catalog::Schema& schema) const {
     os << schema.table(relations[i].table).name << " AS "
        << relations[i].alias;
   }
+  if (edges.empty() && predicates.empty()) return os.str();
   os << " WHERE ";
   bool first = true;
   auto sep = [&]() {
@@ -115,7 +132,7 @@ std::string Query::ToSql(const catalog::Schema& schema) const {
     switch (pred.kind) {
       case Predicate::Kind::kEq:
         if (!pred.str_values.empty()) {
-          os << " = '" << pred.str_values[0] << "'";
+          os << " = " << QuoteSqlString(pred.str_values[0]);
         } else {
           os << " = " << pred.int_values[0];
         }
@@ -126,7 +143,7 @@ std::string Query::ToSql(const catalog::Schema& schema) const {
         for (const auto& s : pred.str_values) {
           if (!first_value) os << ", ";
           first_value = false;
-          os << "'" << s << "'";
+          os << QuoteSqlString(s);
         }
         for (storage::Value v : pred.int_values) {
           if (!first_value) os << ", ";
@@ -145,6 +162,9 @@ std::string Query::ToSql(const catalog::Schema& schema) const {
         break;
       case Predicate::Kind::kNotNull:
         os << " IS NOT NULL";
+        break;
+      case Predicate::Kind::kLikePrefix:
+        os << " LIKE " << QuoteSqlString(pred.str_values[0] + "%");
         break;
     }
   }

@@ -37,11 +37,15 @@ struct JoinEdge {
 /// same workload runs against both the full and the subsampled database.
 struct Predicate {
   enum class Kind {
-    kEq,       ///< column = literal
-    kIn,       ///< column IN (literals)
-    kRange,    ///< int_lo <= column <= int_hi (integer columns only)
-    kIsNull,   ///< column IS NULL
-    kNotNull,  ///< column IS NOT NULL
+    kEq,          ///< column = literal
+    kIn,          ///< column IN (literals)
+    kRange,       ///< int_lo <= column <= int_hi (integer columns only)
+    kIsNull,      ///< column IS NULL
+    kNotNull,     ///< column IS NOT NULL
+    kLikePrefix,  ///< column LIKE 'prefix%' (string columns only); the
+                  ///< prefix is str_values[0] and is expanded against the
+                  ///< table dictionary at bind time, after which the bound
+                  ///< form evaluates exactly like kIn.
   };
 
   AliasId alias = -1;

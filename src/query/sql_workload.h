@@ -1,0 +1,38 @@
+#ifndef LQOLAB_QUERY_SQL_WORKLOAD_H_
+#define LQOLAB_QUERY_SQL_WORKLOAD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+#include "util/status.h"
+
+namespace lqolab::query {
+
+/// Loads a workload from SQL text. The format is a sequence of entries
+///
+///   -- <id>
+///   SELECT COUNT(*) FROM ... WHERE ...;
+///
+/// where the header comment names the query ("c3a", "h12b", ...) and
+/// everything up to the next header is one statement (newlines and extra
+/// `--` comments allowed). Each statement is parsed and bound against
+/// `schema` via sql::ParseAndBindSql; ids map to template/variant through
+/// sql::AssignQueryId, so variants of one family share a template_id and
+/// the benchkit splits group them correctly. The first malformed entry
+/// aborts the load with a diagnostic prefixed "<source>:<id>".
+util::Status LoadSqlWorkloadText(std::string_view text,
+                                 const std::string& source_name,
+                                 const catalog::Schema& schema,
+                                 std::vector<Query>* out);
+
+/// LoadSqlWorkloadText over the contents of `path`.
+util::Status LoadSqlWorkloadFile(const std::string& path,
+                                 const catalog::Schema& schema,
+                                 std::vector<Query>* out);
+
+}  // namespace lqolab::query
+
+#endif  // LQOLAB_QUERY_SQL_WORKLOAD_H_

@@ -9,8 +9,13 @@
 
 namespace lqolab::serve {
 
-uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
-                      uint64_t model_version) {
+namespace {
+
+/// Mixes every configuration knob the planner reads (plus the model
+/// version) into `key`; shared by the per-query and per-template keys so
+/// both invalidate identically on config changes and model swaps.
+uint64_t MixConfig(uint64_t key, const engine::DbConfig& config,
+                   uint64_t model_version) {
   // Pack the boolean planner switches into one word; mix the numeric knobs
   // in separately. DbConfig::name is display-only and deliberately ignored,
   // as are the execution-engine knobs (vectorized_exec, predicate_transfer):
@@ -24,7 +29,6 @@ uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
   };
   for (const bool b : bools) flags = (flags << 1) | (b ? 1u : 0u);
 
-  uint64_t key = exec::QueryFingerprint(q);
   key = util::MixSeed(key, flags);
   key = util::MixSeed(key, static_cast<uint64_t>(config.geqo_threshold),
                       static_cast<uint64_t>(config.join_collapse_limit));
@@ -37,6 +41,23 @@ uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
                       static_cast<uint64_t>(config.join_selectivity_scale *
                                             1024.0));
   return util::MixSeed(key, model_version);
+}
+
+}  // namespace
+
+uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
+                      uint64_t model_version) {
+  return MixConfig(exec::QueryFingerprint(q), config, model_version);
+}
+
+uint64_t PlanCacheKeyForTemplate(uint64_t template_fingerprint,
+                                 const engine::DbConfig& config,
+                                 uint64_t model_version) {
+  // An extra mix step separates the template-key domain from the
+  // per-query domain: a raw QueryFingerprint equal to a template
+  // fingerprint must not alias the same cache slot.
+  return MixConfig(util::MixSeed(template_fingerprint, 0x5ca1ab1e5ca1ab1eULL),
+                   config, model_version);
 }
 
 PlanCache::PlanCache(const PlanCacheOptions& options)

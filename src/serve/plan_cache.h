@@ -31,6 +31,17 @@ inline constexpr util::VirtualNanos kPlanCacheHitNs = 20'000;  // 20 us
 uint64_t PlanCacheKey(const query::Query& q, const engine::DbConfig& config,
                       uint64_t model_version = 0);
 
+/// Cache key for the SQL route: same configuration/model mixing as
+/// PlanCacheKey, but the query identity is the normalized SQL template
+/// fingerprint (sql::SqlTemplateFingerprint — constants stripped), so the
+/// same template with different literals shares one entry. Sound because a
+/// PhysicalPlan stores only structure (scan types, join order); literals
+/// re-bind from the submitted Query at execution, like a PostgreSQL
+/// prepared-statement generic plan.
+uint64_t PlanCacheKeyForTemplate(uint64_t template_fingerprint,
+                                 const engine::DbConfig& config,
+                                 uint64_t model_version = 0);
+
 /// A cached planning outcome: the plan plus the timing the cold plan paid
 /// (kept for reporting; a hit charges only kPlanCacheHitNs).
 struct CachedPlan {

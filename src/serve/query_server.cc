@@ -79,6 +79,37 @@ QueryServer::QueryServer(Database* db, const ServerOptions& options)
 QueryServer::~QueryServer() { Shutdown(); }
 
 std::future<ServedQuery> QueryServer::Submit(Query q) {
+  return Enqueue(std::move(q), /*template_fp=*/0);
+}
+
+std::future<ServedQuery> QueryServer::SubmitSql(const std::string& sql,
+                                                const std::string& id) {
+  engine::Database::PreparedSql prepared;
+  const util::Status bound = parent_->PrepareSql(sql, &prepared, id);
+  if (!bound.ok()) {
+    // Malformed text is the client's failure, resolved at admission; no
+    // ticket, no retry, no engine work.
+    {
+      std::lock_guard<std::mutex> lock(control_mu_);
+      control_metrics_.Add(obs::Counter::kServeSqlRejected, 1);
+    }
+    ServedQuery served;
+    served.query_id = id;
+    served.ticket = -1;
+    served.route = options_.route;
+    served.status = bound;
+    std::promise<ServedQuery> promise;
+    promise.set_value(std::move(served));
+    return promise.get_future();
+  }
+  {
+    std::lock_guard<std::mutex> lock(control_mu_);
+    control_metrics_.Add(obs::Counter::kServeSqlQueries, 1);
+  }
+  return Enqueue(std::move(prepared.query), prepared.template_fingerprint);
+}
+
+std::future<ServedQuery> QueryServer::Enqueue(Query q, uint64_t template_fp) {
   std::future<ServedQuery> result;
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
@@ -95,6 +126,7 @@ std::future<ServedQuery> QueryServer::Submit(Query q) {
     Ticket ticket;
     ticket.query = std::move(q);
     ticket.id = next_ticket_++;
+    ticket.sql_template_fp = template_fp;
     ticket.occurrence = occurrences_[exec::QueryFingerprint(ticket.query)]++;
     result = ticket.promise.get_future();
     queue_.push_back(std::move(ticket));
@@ -259,8 +291,13 @@ void QueryServer::WorkerLoop(WorkerState* state) {
 }
 
 QueryServer::Acquired QueryServer::NativePlan(Database* replica,
-                                              const Query& q) {
-  const uint64_t key = PlanCacheKey(q, replica->config(), /*model_version=*/0);
+                                              const Query& q,
+                                              uint64_t template_fp) {
+  const uint64_t key =
+      template_fp != 0
+          ? PlanCacheKeyForTemplate(template_fp, replica->config(),
+                                    /*model_version=*/0)
+          : PlanCacheKey(q, replica->config(), /*model_version=*/0);
   if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
     return {std::move(hit), true};
   }
@@ -274,11 +311,16 @@ QueryServer::Acquired QueryServer::NativePlan(Database* replica,
   return {std::move(snapshot), false};
 }
 
-QueryServer::Acquired QueryServer::LqoPlan(const Query& q) {
+QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
+                                           uint64_t template_fp) {
   const HotSwapSlot<lqo::LearnedOptimizer>::Snapshot snapshot =
       model_.Acquire();
   if (snapshot.value == nullptr) return {};
-  const uint64_t key = PlanCacheKey(q, parent_->config(), snapshot.version);
+  const uint64_t key =
+      template_fp != 0
+          ? PlanCacheKeyForTemplate(template_fp, parent_->config(),
+                                    snapshot.version)
+          : PlanCacheKey(q, parent_->config(), snapshot.version);
   if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
     return {std::move(hit), true};
   }
@@ -361,7 +403,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
     served.breaker_short_circuit = !lqo_allowed;
   }
   if (options_.route != RouteMode::kPglite && lqo_allowed) {
-    lqo = LqoPlan(q);
+    lqo = LqoPlan(q, ticket.sql_template_fp);
     if (lqo.infer_fault) {
       served.infer_fault = true;
       obs::Count(obs::Counter::kServeInferFaults);
@@ -389,7 +431,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       served.fell_back = true;
       served.wasted_ns = run.execution_ns;
       obs::Count(obs::Counter::kServeFallbacks);
-      const Acquired native = NativePlan(replica, q);
+      const Acquired native = NativePlan(replica, q, ticket.sql_template_fp);
       const VirtualNanos replan_ns =
           native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
       served.planning_ns += replan_ns;
@@ -414,7 +456,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       // no-op for the arm (keeps AllowRequest/Record* exactly paired).
       breaker_.RecordSuccess();
     }
-    const Acquired native = NativePlan(replica, q);
+    const Acquired native = NativePlan(replica, q, ticket.sql_template_fp);
     served.cache_hit = native.cache_hit;
     served.planning_ns =
         native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;

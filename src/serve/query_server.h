@@ -143,6 +143,18 @@ class QueryServer {
   /// resolves immediately with status kShutdown.
   std::future<ServedQuery> Submit(query::Query q);
 
+  /// Admits raw SQL text. The statement is parsed and bound at admission on
+  /// the calling thread (engine::Database::PrepareSql against the parent's
+  /// schema); malformed text resolves immediately with the binder's
+  /// kInvalidArgument diagnostic and counts kServeSqlRejected — nothing is
+  /// enqueued. Well-formed text enqueues like Submit (blocking on a full
+  /// queue), except the plan cache is keyed on the statement's normalized
+  /// template (PlanCacheKeyForTemplate): resubmitting the same template
+  /// with different literals hits the cached plan. `id` names the query in
+  /// results/metrics the way workload files do ("c7b").
+  std::future<ServedQuery> SubmitSql(const std::string& sql,
+                                     const std::string& id = "adhoc");
+
   /// Non-blocking admission: returns false (and counts
   /// obs::Counter::kServeRejected on the calling thread) when the queue is
   /// full. During shutdown, returns true with an immediately-resolved
@@ -183,6 +195,9 @@ class QueryServer {
   struct Ticket {
     query::Query query;
     int64_t id = 0;
+    /// Normalized-template fingerprint of a SubmitSql admission; 0 on the
+    /// struct route (plan cache keys per query instead).
+    uint64_t sql_template_fp = 0;
     /// 0-based occurrence of this query fingerprint among admissions;
     /// fixes the replay salt at admission so executions are independent of
     /// which worker runs them, in which order.
@@ -221,13 +236,20 @@ class QueryServer {
   /// Builds the kShutdown result for a refused/dropped ticket.
   ServedQuery ShutdownResult(const query::Query& q, int64_t ticket_id);
 
+  /// Shared admission tail of Submit/SubmitSql: builds the ticket (with the
+  /// SQL route's template fingerprint, 0 on the struct route), blocks on a
+  /// full queue, and resolves kShutdown when racing with Shutdown.
+  std::future<ServedQuery> Enqueue(query::Query q, uint64_t template_fp);
+
   /// Returns the native plan for `q`, through the cache (planning on the
   /// worker's own replica on a miss — identical plan on every worker).
-  Acquired NativePlan(engine::Database* replica, const query::Query& q);
+  /// `template_fp` != 0 keys the lookup on the normalized SQL template.
+  Acquired NativePlan(engine::Database* replica, const query::Query& q,
+                      uint64_t template_fp);
   /// Returns the published model's plan for `q` (inference serialized on
   /// the dedicated planning replica), through the cache; `plan` is null
-  /// when no model is published.
-  Acquired LqoPlan(const query::Query& q);
+  /// when no model is published. `template_fp` as in NativePlan.
+  Acquired LqoPlan(const query::Query& q, uint64_t template_fp);
 
   engine::Database* parent_;
   ServerOptions options_;

@@ -1,0 +1,99 @@
+#ifndef LQOLAB_SQL_AST_H_
+#define LQOLAB_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lqolab::sql {
+
+/// 1-based position of a token in the original query text. Every parser and
+/// binder diagnostic is anchored to one of these ("line:col: message").
+struct SourceLoc {
+  int32_t line = 1;
+  int32_t column = 1;
+};
+
+/// Renders "line:col" for diagnostics.
+std::string LocString(const SourceLoc& loc);
+
+/// A literal operand. Integers are kept as int64 until the binder
+/// range-checks them against storage::Value (int32).
+struct AstLiteral {
+  enum class Kind { kInt, kString };
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  std::string str_value;
+  SourceLoc loc;
+};
+
+/// `column` or `qualifier.column`. The binder resolves the qualifier
+/// against the FROM aliases (or searches every FROM item when absent).
+struct AstColumnRef {
+  std::string qualifier;
+  std::string column;
+  SourceLoc loc;
+};
+
+/// One SELECT-list item. The grammar accepts the aggregate forms a reader
+/// expects from benchmark SQL; the binder then enforces what the engine can
+/// execute (a single COUNT(*)) with a typed diagnostic rather than a parse
+/// error.
+struct AstSelectItem {
+  enum class Agg {
+    kNone,       ///< bare column reference
+    kCountStar,  ///< COUNT(*)
+    kCount,      ///< COUNT(column)
+    kMin,
+    kMax,
+    kSum,
+    kAvg,
+  };
+  Agg agg = Agg::kNone;
+  AstColumnRef column;  ///< valid unless kCountStar
+  SourceLoc loc;
+};
+
+/// One FROM item: `table` or `table [AS] alias`.
+struct AstTableRef {
+  std::string table;
+  std::string alias;  ///< empty when none was written (defaults to table)
+  SourceLoc loc;
+};
+
+/// One conjunct of the WHERE clause. `a.x = b.y` (both sides columns) is a
+/// join condition; every other form filters a single relation.
+struct AstPredicate {
+  enum class Op {
+    kEq,         ///< col = literal, or col = col (join)
+    kIn,         ///< col IN (literal, ...)
+    kBetween,    ///< col BETWEEN lo AND hi (literals[0], literals[1])
+    kLt,         ///< col < literal
+    kLe,         ///< col <= literal
+    kGt,         ///< col > literal
+    kGe,         ///< col >= literal
+    kIsNull,     ///< col IS NULL
+    kIsNotNull,  ///< col IS NOT NULL
+    kLike,       ///< col LIKE 'prefix%' (literals[0] is the raw pattern)
+  };
+  Op op = Op::kEq;
+  AstColumnRef lhs;
+  /// kEq only: the right side is another column (a join condition).
+  bool rhs_is_column = false;
+  AstColumnRef rhs_column;
+  std::vector<AstLiteral> literals;
+  SourceLoc loc;
+};
+
+/// A parsed `SELECT ... FROM ... [WHERE ...]` statement. Parenthesized
+/// WHERE groups are flattened into the conjunction (the grammar has no OR,
+/// so grouping carries no semantics).
+struct SelectStatement {
+  std::vector<AstSelectItem> select;
+  std::vector<AstTableRef> from;
+  std::vector<AstPredicate> where;
+};
+
+}  // namespace lqolab::sql
+
+#endif  // LQOLAB_SQL_AST_H_

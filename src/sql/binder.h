@@ -1,0 +1,48 @@
+#ifndef LQOLAB_SQL_BINDER_H_
+#define LQOLAB_SQL_BINDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "catalog/schema.h"
+#include "query/query.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lqolab::sql {
+
+/// Resolves a parsed statement against `schema` into the engine's Query
+/// struct. Everything the grammar accepts but the engine cannot execute is
+/// rejected here with a position-anchored kInvalidArgument diagnostic:
+///   - the SELECT list must be exactly `COUNT(*)`
+///   - table, alias, and column names must resolve (unknown names get an
+///     edit-distance "did you mean" suggestion)
+///   - literal types must match the column type (int vs dictionary string)
+///   - `a.x = b.y` join conditions must connect integer columns
+///   - LIKE patterns must be prefix-only: one trailing `%` and no interior
+///     `%`; `_` is an ordinary character here, not a single-char wildcard
+///     (the engine expands the prefix against the column dictionary)
+///   - the join graph must be connected and use at most 32 relations
+///
+/// Unquoted identifiers fold to lower case (the SQL convention); every
+/// catalog name is already lower case. Predicates and join edges are bound
+/// in source order, so Query::ToSql of the result reproduces the clause
+/// order of the input.
+///
+/// `out->id` is left empty: callers name the query (see AssignQueryId),
+/// since the same SQL text can serve as different workload entries.
+util::Status BindSelect(const SelectStatement& stmt,
+                        const catalog::Schema& schema, query::Query* out);
+
+/// ParseSelect + BindSelect in one step.
+util::Status ParseAndBindSql(std::string_view sql,
+                             const catalog::Schema& schema, query::Query* out);
+
+/// Sets q->id and derives template_id/variant from it using the workload
+/// naming convention `<digits><letter...>` (e.g. "13a" -> family 13,
+/// variant 'a'). Ids not of that shape get template_id 0 / variant 'a'.
+void AssignQueryId(const std::string& id, query::Query* q);
+
+}  // namespace lqolab::sql
+
+#endif  // LQOLAB_SQL_BINDER_H_

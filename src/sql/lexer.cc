@@ -1,0 +1,168 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace lqolab::sql {
+
+using util::Status;
+using util::StatusCode;
+
+std::string LocString(const SourceLoc& loc) {
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+bool Token::Is(std::string_view keyword) const {
+  if (kind != TokenKind::kIdentifier || text.size() != keyword.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Token::IsSymbol(std::string_view symbol) const {
+  return kind == TokenKind::kSymbol && text == symbol;
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kString: {
+      // Long literals (the corpus feeds megabyte strings) are elided so the
+      // diagnostic stays readable.
+      if (text.size() > 24) {
+        return "string literal (" + std::to_string(text.size()) + " chars)";
+      }
+      return "'" + text + "'";
+    }
+    case TokenKind::kIdentifier:
+    case TokenKind::kInt:
+    case TokenKind::kSymbol:
+      return "'" + text + "'";
+  }
+  return "?";
+}
+
+namespace {
+
+Status LexError(const SourceLoc& loc, const std::string& message) {
+  return Status(StatusCode::kInvalidArgument,
+                LocString(loc) + ": " + message);
+}
+
+}  // namespace
+
+Status Lex(std::string_view sql, std::vector<Token>* tokens) {
+  tokens->clear();
+  SourceLoc loc;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto advance = [&](char c) {
+    if (c == '\n') {
+      ++loc.line;
+      loc.column = 1;
+    } else {
+      ++loc.column;
+    }
+    ++i;
+  };
+
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(c);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') advance(sql[i]);
+      continue;
+    }
+    Token token;
+    token.loc = loc;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      token.kind = TokenKind::kIdentifier;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        token.text += sql[i];
+        advance(sql[i]);
+      }
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      token.kind = TokenKind::kInt;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        token.text += sql[i];
+        advance(sql[i]);
+        if (token.text.size() > 19) {
+          return LexError(token.loc, "integer literal too long");
+        }
+      }
+      // <= 19 digits can still overflow int64 ("99999999999999999999" has
+      // 20 and was caught above; 19 nines fit).
+      token.int_value = 0;
+      for (char d : token.text) {
+        token.int_value = token.int_value * 10 + (d - '0');
+      }
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      token.kind = TokenKind::kString;
+      advance(c);
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            token.text += '\'';
+            advance(sql[i]);
+            advance(sql[i]);
+            continue;
+          }
+          advance(sql[i]);
+          closed = true;
+          break;
+        }
+        token.text += sql[i];
+        advance(sql[i]);
+      }
+      if (!closed) {
+        return LexError(token.loc, "unterminated string literal");
+      }
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (c == '<' || c == '>') {
+      token.kind = TokenKind::kSymbol;
+      token.text = c;
+      advance(c);
+      if (i < n && sql[i] == '=') {
+        token.text += '=';
+        advance('=');
+      }
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '.' || c == ';' ||
+        c == '*' || c == '=' || c == '-') {
+      token.kind = TokenKind::kSymbol;
+      token.text = c;
+      advance(c);
+      tokens->push_back(std::move(token));
+      continue;
+    }
+    return LexError(loc, std::string("unexpected character '") + c + "'");
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.loc = loc;
+  tokens->push_back(std::move(end));
+  return Status::Ok();
+}
+
+}  // namespace lqolab::sql

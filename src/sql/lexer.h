@@ -1,0 +1,49 @@
+#ifndef LQOLAB_SQL_LEXER_H_
+#define LQOLAB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lqolab::sql {
+
+/// Token kinds. SQL keywords are lexed as identifiers and matched
+/// case-insensitively by the parser, so `select` and `SELECT` are equal and
+/// any keyword remains usable as an identifier where the grammar allows.
+enum class TokenKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kInt,         ///< [0-9]+ (unary minus is handled by the parser)
+  kString,      ///< '...' with '' as the embedded-quote escape
+  kSymbol,      ///< one of ( ) , . ; * = < > <= >=
+  kEnd,         ///< end of input (always the last token)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier text, decoded string body, or symbol spelling.
+  std::string text;
+  /// kInt only.
+  int64_t int_value = 0;
+  SourceLoc loc;
+
+  /// Case-insensitive keyword test (kIdentifier only).
+  bool Is(std::string_view keyword) const;
+  /// Symbol test.
+  bool IsSymbol(std::string_view symbol) const;
+  /// How the token renders in an error message, e.g. `'WHRE'`.
+  std::string Describe() const;
+};
+
+/// Lexes `sql` into tokens (a kEnd token is always appended). Returns a
+/// position-anchored kInvalidArgument on an unterminated string literal, an
+/// integer literal too long to ever bind, or a stray character. `--`
+/// comments run to end of line.
+util::Status Lex(std::string_view sql, std::vector<Token>* tokens);
+
+}  // namespace lqolab::sql
+
+#endif  // LQOLAB_SQL_LEXER_H_

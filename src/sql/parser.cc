@@ -1,0 +1,315 @@
+#include "sql/parser.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace lqolab::sql {
+
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+/// Recursive-descent parser over the pre-lexed token stream. Every method
+/// either succeeds or records the first error; parsing stops at the first
+/// diagnostic (the corpus tests pin the exact message text).
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Status Parse(SelectStatement* out) {
+    if (!ExpectKeyword("SELECT")) return error_;
+    if (!ParseSelectList(&out->select)) return error_;
+    if (!ExpectKeyword("FROM")) return error_;
+    if (!ParseFromList(&out->from)) return error_;
+    if (Peek().Is("WHERE")) {
+      Advance();
+      if (!ParseConjunction(&out->where, 0)) return error_;
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().kind != TokenKind::kEnd) {
+      Fail(Peek(), "expected end of statement, got " + Peek().Describe());
+      return error_;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Fail(const Token& at, const std::string& message) {
+    if (error_.ok()) {
+      error_ = Status(StatusCode::kInvalidArgument,
+                      LocString(at.loc) + ": " + message);
+    }
+    return false;
+  }
+
+  bool ExpectKeyword(const char* keyword) {
+    if (!Peek().Is(keyword)) {
+      return Fail(Peek(), std::string("expected ") + keyword + ", got " +
+                              Peek().Describe());
+    }
+    Advance();
+    return true;
+  }
+
+  bool ExpectSymbol(const char* symbol) {
+    if (!Peek().IsSymbol(symbol)) {
+      return Fail(Peek(), std::string("expected '") + symbol + "', got " +
+                              Peek().Describe());
+    }
+    Advance();
+    return true;
+  }
+
+  bool ParseIdentifier(std::string* text, SourceLoc* loc) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Fail(Peek(), "expected identifier, got " + Peek().Describe());
+    }
+    const Token& token = Advance();
+    *text = token.text;
+    if (loc != nullptr) *loc = token.loc;
+    return true;
+  }
+
+  bool ParseColumnRef(AstColumnRef* ref) {
+    std::string first;
+    if (!ParseIdentifier(&first, &ref->loc)) return false;
+    if (Peek().IsSymbol(".")) {
+      Advance();
+      ref->qualifier = std::move(first);
+      std::string column;
+      SourceLoc ignored;
+      if (!ParseIdentifier(&column, &ignored)) return false;
+      ref->column = std::move(column);
+    } else {
+      ref->column = std::move(first);
+    }
+    return true;
+  }
+
+  bool ParseLiteral(AstLiteral* literal) {
+    if (Peek().IsSymbol("-")) {
+      const Token& minus = Advance();
+      if (Peek().kind != TokenKind::kInt) {
+        return Fail(Peek(),
+                    "expected integer after '-', got " + Peek().Describe());
+      }
+      const Token& token = Advance();
+      literal->kind = AstLiteral::Kind::kInt;
+      literal->int_value = -token.int_value;
+      literal->loc = minus.loc;
+      return true;
+    }
+    if (Peek().kind == TokenKind::kInt) {
+      const Token& token = Advance();
+      literal->kind = AstLiteral::Kind::kInt;
+      literal->int_value = token.int_value;
+      literal->loc = token.loc;
+      return true;
+    }
+    if (Peek().kind == TokenKind::kString) {
+      const Token& token = Advance();
+      literal->kind = AstLiteral::Kind::kString;
+      literal->str_value = token.text;
+      literal->loc = token.loc;
+      return true;
+    }
+    return Fail(Peek(), "expected literal, got " + Peek().Describe());
+  }
+
+  bool ParseAggregate(AstSelectItem* item, AstSelectItem::Agg agg) {
+    item->agg = agg;
+    item->loc = Advance().loc;  // the aggregate keyword
+    if (!ExpectSymbol("(")) return false;
+    if (agg == AstSelectItem::Agg::kCountStar) {
+      if (!ExpectSymbol("*")) return false;
+    } else if (!ParseColumnRef(&item->column)) {
+      return false;
+    }
+    return ExpectSymbol(")");
+  }
+
+  bool ParseSelectList(std::vector<AstSelectItem>* items) {
+    while (true) {
+      AstSelectItem item;
+      if (Peek().Is("COUNT")) {
+        // COUNT(*) vs COUNT(column): decided by the token after '('.
+        const bool star = tokens_[pos_ + 1].IsSymbol("(") &&
+                          tokens_[pos_ + 2].IsSymbol("*");
+        if (!ParseAggregate(&item, star ? AstSelectItem::Agg::kCountStar
+                                        : AstSelectItem::Agg::kCount)) {
+          return false;
+        }
+      } else if (Peek().Is("MIN")) {
+        if (!ParseAggregate(&item, AstSelectItem::Agg::kMin)) return false;
+      } else if (Peek().Is("MAX")) {
+        if (!ParseAggregate(&item, AstSelectItem::Agg::kMax)) return false;
+      } else if (Peek().Is("SUM")) {
+        if (!ParseAggregate(&item, AstSelectItem::Agg::kSum)) return false;
+      } else if (Peek().Is("AVG")) {
+        if (!ParseAggregate(&item, AstSelectItem::Agg::kAvg)) return false;
+      } else {
+        item.agg = AstSelectItem::Agg::kNone;
+        if (!ParseColumnRef(&item.column)) return false;
+        item.loc = item.column.loc;
+      }
+      items->push_back(std::move(item));
+      if (!Peek().IsSymbol(",")) return true;
+      Advance();
+    }
+  }
+
+  bool ParseFromList(std::vector<AstTableRef>* items) {
+    while (true) {
+      AstTableRef ref;
+      if (!ParseIdentifier(&ref.table, &ref.loc)) return false;
+      if (Peek().Is("AS")) {
+        Advance();
+        SourceLoc ignored;
+        if (!ParseIdentifier(&ref.alias, &ignored)) return false;
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 !Peek().Is("WHERE")) {
+        // `title t` implicit-alias form.
+        ref.alias = Advance().text;
+      }
+      items->push_back(std::move(ref));
+      if (!Peek().IsSymbol(",")) return true;
+      Advance();
+    }
+  }
+
+  bool ParseConjunction(std::vector<AstPredicate>* out, int32_t depth) {
+    while (true) {
+      if (!ParsePredicate(out, depth)) return false;
+      if (!Peek().Is("AND")) return true;
+      Advance();
+    }
+  }
+
+  bool ParsePredicate(std::vector<AstPredicate>* out, int32_t depth) {
+    if (Peek().IsSymbol("(")) {
+      // Grouping only (the grammar has no OR): flatten into the enclosing
+      // conjunction. Depth-capped so adversarial nesting cannot exhaust the
+      // stack.
+      if (depth >= kMaxGroupDepth) {
+        return Fail(Peek(), "parenthesized groups nested deeper than " +
+                                std::to_string(kMaxGroupDepth));
+      }
+      Advance();
+      if (!ParseConjunction(out, depth + 1)) return false;
+      return ExpectSymbol(")");
+    }
+
+    AstPredicate pred;
+    if (!ParseColumnRef(&pred.lhs)) return false;
+    pred.loc = pred.lhs.loc;
+
+    if (Peek().Is("IS")) {
+      Advance();
+      if (Peek().Is("NOT")) {
+        Advance();
+        pred.op = AstPredicate::Op::kIsNotNull;
+      } else {
+        pred.op = AstPredicate::Op::kIsNull;
+      }
+      if (!ExpectKeyword("NULL")) return false;
+      out->push_back(std::move(pred));
+      return true;
+    }
+    if (Peek().Is("LIKE")) {
+      Advance();
+      pred.op = AstPredicate::Op::kLike;
+      AstLiteral pattern;
+      if (Peek().kind != TokenKind::kString) {
+        return Fail(Peek(),
+                    "expected string pattern after LIKE, got " +
+                        Peek().Describe());
+      }
+      if (!ParseLiteral(&pattern)) return false;
+      pred.literals.push_back(std::move(pattern));
+      out->push_back(std::move(pred));
+      return true;
+    }
+    if (Peek().Is("BETWEEN")) {
+      Advance();
+      pred.op = AstPredicate::Op::kBetween;
+      AstLiteral lo;
+      AstLiteral hi;
+      if (!ParseLiteral(&lo)) return false;
+      if (!ExpectKeyword("AND")) return false;
+      if (!ParseLiteral(&hi)) return false;
+      pred.literals.push_back(std::move(lo));
+      pred.literals.push_back(std::move(hi));
+      out->push_back(std::move(pred));
+      return true;
+    }
+    if (Peek().Is("IN")) {
+      Advance();
+      pred.op = AstPredicate::Op::kIn;
+      if (!ExpectSymbol("(")) return false;
+      while (true) {
+        AstLiteral literal;
+        if (!ParseLiteral(&literal)) return false;
+        pred.literals.push_back(std::move(literal));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      if (!ExpectSymbol(")")) return false;
+      out->push_back(std::move(pred));
+      return true;
+    }
+
+    if (Peek().IsSymbol("=")) {
+      pred.op = AstPredicate::Op::kEq;
+    } else if (Peek().IsSymbol("<")) {
+      pred.op = AstPredicate::Op::kLt;
+    } else if (Peek().IsSymbol("<=")) {
+      pred.op = AstPredicate::Op::kLe;
+    } else if (Peek().IsSymbol(">")) {
+      pred.op = AstPredicate::Op::kGt;
+    } else if (Peek().IsSymbol(">=")) {
+      pred.op = AstPredicate::Op::kGe;
+    } else {
+      return Fail(Peek(), "expected a predicate operator, got " +
+                              Peek().Describe());
+    }
+    const Token& op_token = Advance();
+
+    if (Peek().kind == TokenKind::kIdentifier) {
+      if (pred.op != AstPredicate::Op::kEq) {
+        return Fail(op_token,
+                    "inequality join conditions are not supported");
+      }
+      pred.rhs_is_column = true;
+      if (!ParseColumnRef(&pred.rhs_column)) return false;
+      out->push_back(std::move(pred));
+      return true;
+    }
+    AstLiteral literal;
+    if (!ParseLiteral(&literal)) return false;
+    pred.literals.push_back(std::move(literal));
+    out->push_back(std::move(pred));
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Status error_;
+};
+
+}  // namespace
+
+Status ParseSelect(std::string_view sql, SelectStatement* out) {
+  *out = SelectStatement();
+  std::vector<Token> tokens;
+  const Status lexed = Lex(sql, &tokens);
+  if (!lexed.ok()) return lexed;
+  Parser parser(std::move(tokens));
+  return parser.Parse(out);
+}
+
+}  // namespace lqolab::sql

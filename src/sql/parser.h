@@ -1,0 +1,41 @@
+#ifndef LQOLAB_SQL_PARSER_H_
+#define LQOLAB_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace lqolab::sql {
+
+/// Parenthesized WHERE groups deeper than this are rejected with a clean
+/// diagnostic instead of recursing toward stack exhaustion. The grammar has
+/// no OR, so real queries never need grouping at all; the cap only bounds
+/// adversarial input.
+inline constexpr int32_t kMaxGroupDepth = 64;
+
+/// Parses one `SELECT ... FROM ... [WHERE ...] [;]` statement, which must
+/// span the whole input (trailing tokens are an error). Diagnostics are
+/// kInvalidArgument with a "line:col: " anchor, e.g.
+/// `1:32: expected FROM, got 'WHRE'`.
+///
+/// Grammar (keywords case-insensitive; `--` comments allowed):
+///   statement   := SELECT select_item (',' select_item)*
+///                  FROM from_item (',' from_item)* [WHERE conjunction] [';']
+///   select_item := COUNT '(' '*' ')' | agg '(' column ')' | column
+///   agg         := COUNT | MIN | MAX | SUM | AVG
+///   from_item   := identifier [[AS] identifier]
+///   conjunction := predicate (AND predicate)*
+///   predicate   := '(' conjunction ')'            -- depth-capped, flattened
+///                | column IS [NOT] NULL
+///                | column LIKE string
+///                | column BETWEEN int AND int
+///                | column IN '(' literal (',' literal)* ')'
+///                | column ('='|'<'|'<='|'>'|'>=') (column | literal)
+///   column      := identifier ['.' identifier]
+///   literal     := ['-'] int | string
+util::Status ParseSelect(std::string_view sql, SelectStatement* out);
+
+}  // namespace lqolab::sql
+
+#endif  // LQOLAB_SQL_PARSER_H_

@@ -1,0 +1,114 @@
+#include "sql/template.h"
+
+#include <cctype>
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace lqolab::sql {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "SELECT", "FROM", "WHERE", "AND",  "AS",  "COUNT", "MIN",  "MAX",
+    "SUM",    "AVG",  "IN",    "BETWEEN", "IS", "NOT", "NULL", "LIKE",
+};
+
+bool IsKeyword(const Token& token, std::string* upper) {
+  for (const char* keyword : kKeywords) {
+    if (token.Is(keyword)) {
+      *upper = keyword;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendToken(std::string* out, const std::string& text) {
+  // Single-space join, except around the tokens SQL conventionally writes
+  // tight: nothing before `, ) . ;` and nothing after `( .`.
+  if (!out->empty()) {
+    const char last = out->back();
+    const char first = text[0];
+    const bool tight_after = last == '(' || last == '.';
+    const bool tight_before =
+        first == ',' || first == ')' || first == '.' || first == ';';
+    if (!tight_after && !tight_before) *out += ' ';
+  }
+  *out += text;
+}
+
+}  // namespace
+
+std::string NormalizeSqlTemplate(std::string_view sql) {
+  std::vector<Token> tokens;
+  if (!Lex(sql, &tokens).ok()) return std::string(sql);
+
+  std::string out;
+  size_t i = 0;
+  const size_t n = tokens.size();  // last token is kEnd
+  auto is_literal_at = [&](size_t j) {
+    if (j >= n) return false;
+    if (tokens[j].kind == TokenKind::kInt ||
+        tokens[j].kind == TokenKind::kString) {
+      return true;
+    }
+    return tokens[j].IsSymbol("-") && j + 1 < n &&
+           tokens[j + 1].kind == TokenKind::kInt;
+  };
+  while (tokens[i].kind != TokenKind::kEnd) {
+    const Token& token = tokens[i];
+    // `IN ( literal , ... )` collapses to `IN (?)` so templates are
+    // literal-arity-independent.
+    if (token.Is("IN") && i + 1 < n && tokens[i + 1].IsSymbol("(") &&
+        is_literal_at(i + 2)) {
+      size_t j = i + 2;
+      while (j < n && (is_literal_at(j) || tokens[j].IsSymbol(",") ||
+                       (tokens[j].IsSymbol("-") &&
+                        is_literal_at(j)))) {
+        ++j;
+      }
+      if (j < n && tokens[j].IsSymbol(")")) {
+        AppendToken(&out, "IN");
+        AppendToken(&out, "(?)");
+        i = j + 1;
+        continue;
+      }
+    }
+    if (is_literal_at(i)) {
+      AppendToken(&out, "?");
+      i += tokens[i].IsSymbol("-") ? 2 : 1;
+      continue;
+    }
+    if (token.IsSymbol(";")) {  // trailing or stray; never part of the key
+      ++i;
+      continue;
+    }
+    std::string upper;
+    if (IsKeyword(token, &upper)) {
+      AppendToken(&out, upper);
+    } else if (token.kind == TokenKind::kIdentifier) {
+      std::string lower = token.text;
+      for (char& c : lower) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      AppendToken(&out, lower);
+    } else {
+      AppendToken(&out, token.text);
+    }
+    ++i;
+  }
+  return out;
+}
+
+uint64_t SqlTemplateFingerprint(std::string_view sql) {
+  const std::string normalized = NormalizeSqlTemplate(sql);
+  uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (char c : normalized) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace lqolab::sql

@@ -1,0 +1,25 @@
+#ifndef LQOLAB_SQL_TEMPLATE_H_
+#define LQOLAB_SQL_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lqolab::sql {
+
+/// Rewrites a SQL statement into its parameterized template: every literal
+/// becomes `?`, IN lists collapse to `(?)` regardless of arity, keywords are
+/// upper-cased, identifiers fold to lower case, whitespace and comments are
+/// canonicalized, and a trailing `;` is dropped. Two statements that differ
+/// only in their constants therefore normalize to the same string — the
+/// plan-cache key for the SQL serve path. Input that does not lex is
+/// returned verbatim (it can never bind, so any key works; verbatim keeps
+/// distinct garbage distinct).
+std::string NormalizeSqlTemplate(std::string_view sql);
+
+/// FNV-1a fingerprint of NormalizeSqlTemplate(sql).
+uint64_t SqlTemplateFingerprint(std::string_view sql);
+
+}  // namespace lqolab::sql
+
+#endif  // LQOLAB_SQL_TEMPLATE_H_

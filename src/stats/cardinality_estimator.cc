@@ -52,6 +52,9 @@ double CardinalityEstimator::PredicateSelectivity(const Query& q,
       return cs.RangeSelectivity(bound.lo, bound.hi);
     case Predicate::Kind::kEq:
     case Predicate::Kind::kIn:
+    case Predicate::Kind::kLikePrefix:
+      // The bound form is the expanded membership set, so the estimate
+      // sees exactly the dictionary codes the prefix matches.
       return cs.InSelectivity(bound.values);
   }
   return 1.0;

@@ -26,6 +26,9 @@ enum class StatusCode : int32_t {
   kShutdown,
   /// Unclassified internal failure.
   kInternal,
+  /// The request itself is malformed (SQL syntax error, unknown table or
+  /// column); retrying the identical request can never succeed.
+  kInvalidArgument,
 };
 
 /// Stable snake_case name of a status code.
@@ -45,6 +48,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "shutdown";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
   }
   return "unknown";
 }

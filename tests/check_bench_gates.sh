@@ -5,7 +5,14 @@
 #   - BENCH_parallel_runner.json: virtual work-stealing speedup > 1.5x at 4
 #     workers for every scale factor, byte-identical parallel measurements,
 #     and a scale-factor curve reaching a 10M+-row database.
+#   - BENCH_fuzz.json: zero discrepancies, and the SQL round-trip arm ran
+#     over at least 1000 queries.
+#   - BENCH_serve.json: recorded with --sql, every arm deterministic, and
+#     the normalized-template plan-cache key beats per-literal keying on
+#     the varied-literal workload by > 0.3 hit rate.
 # Regenerate with: build/bench/micro_parallel_runner BENCH_parallel_runner.json
+#                  build/bench/fuzz_soak BENCH_fuzz.json
+#                  build/bench/serve_throughput --sql BENCH_serve.json
 set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 json="$root/BENCH_parallel_runner.json"
@@ -41,7 +48,50 @@ if [ "${max_rows:-0}" -lt 10000000 ]; then
   fail=1
 fi
 
+fuzz="$root/BENCH_fuzz.json"
+if [ ! -f "$fuzz" ]; then
+  echo "FAIL: missing $fuzz"
+  fail=1
+else
+  if ! grep -q '"discrepancies": 0,' "$fuzz"; then
+    echo "FAIL: fuzz soak recorded discrepancies in $fuzz"
+    fail=1
+  fi
+  round_trips=$(grep -o '"sql_round_trips": [0-9]*' "$fuzz" | awk '{print $2}')
+  if [ "${round_trips:-0}" -lt 1000 ]; then
+    echo "FAIL: only ${round_trips:-0} SQL round trips recorded (< 1000) in $fuzz"
+    fail=1
+  fi
+fi
+
+serve="$root/BENCH_serve.json"
+if [ ! -f "$serve" ]; then
+  echo "FAIL: missing $serve"
+  fail=1
+else
+  if ! grep -q '"sql_mode": true' "$serve"; then
+    echo "FAIL: $serve was not recorded with --sql"
+    fail=1
+  fi
+  if grep -q '"deterministic": false' "$serve"; then
+    echo "FAIL: non-deterministic serving arm recorded in $serve"
+    fail=1
+  fi
+  tmpl_hit=$(grep '"route": "sql_pglite_varied"' "$serve" |
+    grep -o '"cache_hit_rate": [0-9.]*' | awk '{print $2}')
+  literal_hit=$(grep '"route": "struct_pglite_varied"' "$serve" |
+    grep -o '"cache_hit_rate": [0-9.]*' | awk '{print $2}')
+  if [ -z "$tmpl_hit" ] || [ -z "$literal_hit" ]; then
+    echo "FAIL: varied-literal arm pair missing from $serve"
+    fail=1
+  elif ! awk -v t="$tmpl_hit" -v l="$literal_hit" \
+      'BEGIN { exit !(t > l + 0.3) }'; then
+    echo "FAIL: template hit rate $tmpl_hit <= per-literal $literal_hit + 0.3 in $serve"
+    fail=1
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "OK: benchmark gates hold ($json)"
+  echo "OK: benchmark gates hold ($json, $fuzz, $serve)"
 fi
 exit "$fail"

@@ -1,0 +1,2 @@
+-- expect: 1:22: the join graph does not connect every FROM relation
+SELECT COUNT(*) FROM title t, keyword k WHERE t.production_year > 2000;

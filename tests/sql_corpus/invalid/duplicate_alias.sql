@@ -1,0 +1,2 @@
+-- expect: 1:31: duplicate alias 't'
+SELECT COUNT(*) FROM title t, title t;

@@ -1,0 +1,2 @@
+-- expect: 1:61: string literal compared against integer column t.production_year
+SELECT COUNT(*) FROM title t WHERE t.production_year IN (1, 'two');

@@ -1,0 +1,2 @@
+-- expect: 1:49: only prefix LIKE patterns ('prefix%') are supported
+SELECT COUNT(*) FROM title t WHERE t.title LIKE '%middle%';

@@ -1,0 +1,2 @@
+-- expect: 1:8: the select list must be exactly COUNT(*)
+SELECT MIN(t.id) FROM title t;

@@ -1,0 +1,2 @@
+-- expect: 1:8: expected identifier, got '*'
+SELECT * FROM title;

@@ -1,0 +1,2 @@
+-- expect: 1:36: join condition references a single relation
+SELECT COUNT(*) FROM title t WHERE t.kind_id = t.production_year AND t.id = t.id;

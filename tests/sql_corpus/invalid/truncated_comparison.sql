@@ -1,0 +1,2 @@
+-- expect: 2:1: expected literal, got end of input
+SELECT COUNT(*) FROM title t WHERE t.production_year =

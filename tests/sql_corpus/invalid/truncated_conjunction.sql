@@ -1,0 +1,2 @@
+-- expect: 2:1: expected identifier, got end of input
+SELECT COUNT(*) FROM title t, movie_keyword mk WHERE t.id = mk.movie_id AND

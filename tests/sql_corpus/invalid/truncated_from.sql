@@ -1,0 +1,2 @@
+-- expect: 2:1: expected identifier, got end of input
+SELECT COUNT(*) FROM

@@ -1,0 +1,2 @@
+-- expect: 1:31: expected end of statement, got 'SELECT'
+SELECT COUNT(*) FROM title t; SELECT COUNT(*) FROM title t;

@@ -1,0 +1,2 @@
+-- expect: 1:56: string literal compared against integer column t.production_year
+SELECT COUNT(*) FROM title t WHERE t.production_year > 'x';

@@ -1,0 +1,2 @@
+-- expect: 1:36: unknown column 't.prodution_year', did you mean 'production_year'?
+SELECT COUNT(*) FROM title t WHERE t.prodution_year > 2000;

@@ -1,0 +1,2 @@
+-- expect: 1:30: expected end of statement, got 'WHRE'
+SELECT COUNT(*) FROM title t WHRE t.production_year > 2000;

@@ -1,0 +1,2 @@
+-- expect: 1:22: unknown table 'titel', did you mean 'title'?
+SELECT COUNT(*) FROM titel t;

@@ -1,0 +1,2 @@
+-- expect: 1:36: unknown alias 'x', did you mean 't'?
+SELECT COUNT(*) FROM title t WHERE x.production_year > 2000;

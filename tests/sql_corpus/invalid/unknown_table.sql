@@ -1,0 +1,2 @@
+-- expect: 1:22: unknown table 'nowhere'
+SELECT COUNT(*) FROM nowhere;

@@ -1,0 +1,2 @@
+-- expect: 1:46: unterminated string literal
+SELECT COUNT(*) FROM title t WHERE t.title = 'unterminated

@@ -1,0 +1,1 @@
+select count(*) from title t where t.production_year >= 1980 and t.kind_id <= 3;

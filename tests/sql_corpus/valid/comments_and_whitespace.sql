@@ -1,0 +1,6 @@
+-- Leading comment.
+SELECT COUNT(*)   -- trailing comment after the select list
+FROM title t      -- the fact table
+WHERE t.production_year > 2000
+  -- a comment between predicates
+  AND t.kind_id = 1;

@@ -1,0 +1,2 @@
+SELECT COUNT(*) FROM title AS t, movie_companies AS mc
+WHERE t.id = mc.movie_id AND mc.company_type_id = 2;

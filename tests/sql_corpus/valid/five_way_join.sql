@@ -1,0 +1,4 @@
+SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k, movie_companies mc, company_name cn
+WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+  AND t.id = mc.movie_id AND mc.company_id = cn.id
+  AND cn.country_code = '[us]' AND t.production_year > 1995;

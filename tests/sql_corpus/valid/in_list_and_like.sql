@@ -1,0 +1,4 @@
+SELECT COUNT(*) FROM title t, movie_keyword mk, keyword k
+WHERE t.id = mk.movie_id AND mk.keyword_id = k.id
+  AND k.keyword LIKE 'kw_1%'
+  AND t.production_year IN (1995, 2000, 2005);

@@ -1,0 +1,1 @@
+SELECT COUNT(*) FROM title t WHERE t.episode_nr IS NOT NULL;

@@ -1,0 +1,2 @@
+-- Tables without aliases: the table name doubles as the alias.
+SELECT COUNT(*) FROM title WHERE title.production_year < 1950;

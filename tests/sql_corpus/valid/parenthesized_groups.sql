@@ -1,0 +1,3 @@
+-- Grouping is semantically a no-op (the grammar has no OR) but must parse.
+SELECT COUNT(*) FROM title t, movie_info mi
+WHERE (t.id = mi.movie_id) AND ((t.production_year > 1990));

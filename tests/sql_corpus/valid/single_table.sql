@@ -1,0 +1,1 @@
+SELECT COUNT(*) FROM title t WHERE t.production_year > 2000;

@@ -1,0 +1,2 @@
+SELECT COUNT(*) FROM keyword k, movie_keyword mk
+WHERE k.id = mk.keyword_id AND k.phonetic_code = 'pc_1';

@@ -1,0 +1,3 @@
+-- A classic JOB-shaped 2-way join with a range filter.
+SELECT COUNT(*) FROM title t, movie_keyword mk
+WHERE t.id = mk.movie_id AND t.production_year BETWEEN 1990 AND 2005;

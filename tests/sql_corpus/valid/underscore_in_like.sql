@@ -1,0 +1,3 @@
+-- `_` is an ordinary character in this engine's LIKE subset, not a
+-- single-char wildcard (docs/sql.md).
+SELECT COUNT(*) FROM keyword k WHERE k.keyword LIKE 'kw_12%';

@@ -197,6 +197,7 @@ TEST(FuzzDifferential, FiveHundredQueriesZeroDiscrepancies) {
   EXPECT_GT(stats.checks.corpus_roundtrip, 0);
   EXPECT_GT(stats.checks.engine_differential, 0);
   EXPECT_GT(stats.checks.shard_differential, 0);
+  EXPECT_GT(stats.checks.sql_round_trip, 0);
   std::printf("fuzz: %lld queries, %lld checks, %lld plans executed, "
               "%lld timeouts in %lld ms\n",
               static_cast<long long>(stats.queries),

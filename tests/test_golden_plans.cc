@@ -172,6 +172,73 @@ TEST(GoldenPlans, PlanCacheHitsAreByteIdenticalToFixture) {
   EXPECT_EQ(g, golden_plans.size());
 }
 
+/// The SQL route keys the plan cache on the normalized statement template
+/// (constants stripped, serve::PlanCacheKeyForTemplate): resubmitting a
+/// template with different literals must hit, and the served plan must be
+/// byte-identical to the cold plan — which itself must match the struct
+/// route's fixture plan (render→parse→bind is plan-preserving).
+TEST(GoldenPlans, SqlTemplateCacheHitsAreByteIdenticalToFixture) {
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.is_open())
+      << "missing " << GoldenPath()
+      << " — run ./build/tests/test_golden_plans --update-golden";
+  std::vector<std::string> golden_plans;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    golden_plans.push_back(line.substr(line.rfind(" | ") + 3));
+  }
+
+  engine::Database::Options options;
+  options.profile = datagen::ScaleProfile::Small();
+  options.seed = 42;
+  const auto db = engine::Database::CreateImdb(options);
+  const auto workload = query::BuildJobLiteWorkload(db->schema());
+
+  serve::ServerOptions server_options;
+  server_options.workers = 2;
+  serve::QueryServer server(db.get(), server_options);
+
+  size_t g = 0;
+  for (size_t i = 0; i < workload.size(); i += 5, ++g) {
+    ASSERT_LT(g, golden_plans.size());
+    const std::string sql = workload[i].ToSql(db->schema());
+    const serve::ServedQuery cold =
+        server.SubmitSql(sql, workload[i].id).get();
+    ASSERT_TRUE(cold.status.ok()) << workload[i].id << ": "
+                                  << cold.status.ToString();
+    const serve::ServedQuery warm =
+        server.SubmitSql(sql, workload[i].id).get();
+    EXPECT_FALSE(cold.cache_hit) << workload[i].id;
+    EXPECT_TRUE(warm.cache_hit) << workload[i].id;
+    EXPECT_EQ(warm.plan, cold.plan) << workload[i].id;
+    EXPECT_EQ(cold.plan, golden_plans[g]) << workload[i].id;
+  }
+  EXPECT_EQ(g, golden_plans.size());
+
+  // The point of template keying: different literals, same template, warm
+  // hit with a byte-identical plan.
+  const serve::ServedQuery cold = server.SubmitSql(
+      "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE "
+      "mk.movie_id = t.id AND t.production_year > 2000;").get();
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  const serve::ServedQuery warm = server.SubmitSql(
+      "SELECT COUNT(*) FROM title t, movie_keyword mk WHERE "
+      "mk.movie_id = t.id AND t.production_year > 1985;").get();
+  ASSERT_TRUE(warm.status.ok()) << warm.status.ToString();
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.plan, cold.plan);
+
+  // Malformed text resolves at admission with an anchored diagnostic and
+  // never reaches the cache or the workers.
+  const serve::ServedQuery bad =
+      server.SubmitSql("SELECT COUNT(*) FROM nowhere x;").get();
+  EXPECT_EQ(bad.status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status.message().find("unknown table"), std::string::npos)
+      << bad.status.message();
+}
+
 /// The execution-engine knobs (DbConfig::vectorized_exec,
 /// predicate_transfer) are deliberately invisible to the planner — its cost
 /// model stays pinned to the scalar constants — and excluded from the plan
