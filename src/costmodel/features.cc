@@ -1,0 +1,79 @@
+#include "costmodel/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lqolab::costmodel {
+
+using optimizer::PhysicalPlan;
+using optimizer::PlanNode;
+using query::Query;
+
+namespace {
+
+/// Depth of the subtree rooted at `node` (leaves are depth 1).
+int32_t SubtreeDepth(const PhysicalPlan& plan, int32_t node) {
+  const PlanNode& n = plan.node(node);
+  if (n.type == PlanNode::Type::kScan) return 1;
+  return 1 + std::max(SubtreeDepth(plan, n.left), SubtreeDepth(plan, n.right));
+}
+
+}  // namespace
+
+PlanFeaturizer::PlanFeaturizer(const exec::DbContext* ctx,
+                               const stats::CardinalityEstimator* estimator)
+    : estimator_(estimator),
+      encoder_(ctx, estimator, lqo::PlanEncodingStyle::kCardinalityOnly) {
+  LQOLAB_CHECK(ctx != nullptr);
+  LQOLAB_CHECK(estimator != nullptr);
+}
+
+int32_t PlanFeaturizer::dim() const {
+  return 3 * encoder_.node_dim() + kShapeFeatures;
+}
+
+std::vector<float> PlanFeaturizer::Featurize(const Query& q,
+                                             const PhysicalPlan& plan) const {
+  const int32_t node_dim = encoder_.node_dim();
+  std::vector<float> features(static_cast<size_t>(dim()), 0.0f);
+  LQOLAB_CHECK(!plan.empty());
+
+  // Tree aggregation: [0, d) element-wise sum over all nodes, [d, 2d)
+  // element-wise max, [2d, 3d) the root node's own encoding.
+  int32_t bushy_joins = 0;
+  for (int32_t i = 0; i < static_cast<int32_t>(plan.nodes.size()); ++i) {
+    const std::vector<float> enc = encoder_.EncodeNode(q, plan, i);
+    for (int32_t f = 0; f < node_dim; ++f) {
+      features[static_cast<size_t>(f)] += enc[static_cast<size_t>(f)];
+      float& slot = features[static_cast<size_t>(node_dim + f)];
+      slot = std::max(slot, enc[static_cast<size_t>(f)]);
+    }
+    const PlanNode& node = plan.node(i);
+    if (node.type == PlanNode::Type::kJoin &&
+        plan.node(node.right).type == PlanNode::Type::kJoin) {
+      ++bushy_joins;
+    }
+  }
+  const std::vector<float> root_enc = encoder_.EncodeNode(q, plan, plan.root);
+  for (int32_t f = 0; f < node_dim; ++f) {
+    features[static_cast<size_t>(2 * node_dim + f)] =
+        root_enc[static_cast<size_t>(f)];
+  }
+
+  // Join-graph shape block.
+  float* shape = &features[static_cast<size_t>(3 * node_dim)];
+  shape[0] = static_cast<float>(q.relation_count()) / 16.0f;
+  shape[1] = static_cast<float>(plan.join_count()) / 16.0f;
+  shape[2] = static_cast<float>(SubtreeDepth(plan, plan.root)) / 16.0f;
+  shape[3] = plan.IsLeftDeep() ? 1.0f : 0.0f;
+  shape[4] = static_cast<float>(bushy_joins) / 8.0f;
+  const double root_rows =
+      estimator_->EstimateJoinRows(q, plan.node(plan.root).mask);
+  shape[5] =
+      static_cast<float>(std::log1p(std::max(0.0, root_rows)) / 20.0);
+  return features;
+}
+
+}  // namespace lqolab::costmodel

@@ -1,0 +1,50 @@
+#ifndef LQOLAB_COSTMODEL_FEATURES_H_
+#define LQOLAB_COSTMODEL_FEATURES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/db_context.h"
+#include "lqo/encoding.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "stats/cardinality_estimator.h"
+
+namespace lqolab::costmodel {
+
+/// Flattens a (query, physical plan) pair into the fixed-width feature
+/// vector of the learned cost model. Per node it reuses the schema-agnostic
+/// lqo::PlanEncoder kCardinalityOnly encoding (join/scan operator one-hots,
+/// log estimated cardinality, log per-node cost proxy — Table 1's Bao row),
+/// aggregated over the tree three ways (element-wise sum, element-wise max,
+/// and the root node verbatim), then appends join-graph shape features:
+/// relation count, join count, tree depth, left-deepness, bushy-join count
+/// and the log estimated root cardinality. Schema-agnostic by construction,
+/// so one architecture serves IMDB and TPC-H alike; see
+/// docs/cost_models.md for the exact slot map.
+///
+/// Stateless after construction and safe for concurrent Featurize calls
+/// (the estimator is read-only); serve workers share one instance.
+class PlanFeaturizer {
+ public:
+  /// Both pointers must outlive the featurizer (they are the parent
+  /// database's context and estimator).
+  PlanFeaturizer(const exec::DbContext* ctx,
+                 const stats::CardinalityEstimator* estimator);
+
+  /// Feature-vector width: 3 * PlanEncoder::node_dim() + kShapeFeatures.
+  int32_t dim() const;
+
+  std::vector<float> Featurize(const query::Query& q,
+                               const optimizer::PhysicalPlan& plan) const;
+
+  static constexpr int32_t kShapeFeatures = 6;
+
+ private:
+  const stats::CardinalityEstimator* estimator_;
+  lqo::PlanEncoder encoder_;
+};
+
+}  // namespace lqolab::costmodel
+
+#endif  // LQOLAB_COSTMODEL_FEATURES_H_

@@ -1,0 +1,60 @@
+#ifndef LQOLAB_COSTMODEL_GUIDED_OPTIMIZER_H_
+#define LQOLAB_COSTMODEL_GUIDED_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "engine/database.h"
+#include "lqo/interface.h"
+#include "optimizer/physical_plan.h"
+#include "query/query.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::costmodel {
+
+/// One candidate in a cost-model bake-off or guided-planning sweep.
+struct PlanCandidate {
+  optimizer::PhysicalPlan plan;
+  util::VirtualNanos planning_ns = 0;
+  /// Which perturbation produced it ("no_nestloop", "sel_x10", ...).
+  std::string source;
+};
+
+/// Candidate-plan generation shared by CostGuidedOptimizer and
+/// bench/cost_model_bakeoff: the native plan under every Bao hint set
+/// (lqo::DefaultHintSets, enable_* overlays) plus Lero-style cardinality
+/// perturbations (join_selectivity_scale x0.1 / x10), deduplicated by
+/// structural plan equality. The database's configuration is saved and
+/// restored around the sweep. Deterministic for a fixed (db, q).
+std::vector<PlanCandidate> GenerateCandidatePlans(engine::Database* db,
+                                                  const query::Query& q);
+
+/// A learned optimizer whose only learning lives in its cost model: plan
+/// candidates with the native planner under perturbations (Bao's hint
+/// sweep + Lero's selectivity sweep), rank them with a PlanCostModel, and
+/// return the cheapest-predicted plan. This is the serving form of the
+/// online cost-model refresh loop — OnlineRefresher trains and gates the
+/// model, then publishes one of these through the QueryServer's
+/// HotSwapSlot. Train() is therefore a no-op. Deterministic per query, so
+/// serve-path results stay worker-count-independent.
+class CostGuidedOptimizer : public lqo::LearnedOptimizer {
+ public:
+  explicit CostGuidedOptimizer(std::shared_ptr<const PlanCostModel> model);
+
+  std::string name() const override;
+  lqo::TrainReport Train(const std::vector<query::Query>& train_set,
+                         engine::Database* db) override;
+  lqo::Prediction Plan(const query::Query& q, engine::Database* db) override;
+  lqo::EncodingSpec encoding_spec() const override;
+
+  const PlanCostModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const PlanCostModel> model_;
+};
+
+}  // namespace lqolab::costmodel
+
+#endif  // LQOLAB_COSTMODEL_GUIDED_OPTIMIZER_H_

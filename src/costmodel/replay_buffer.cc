@@ -1,0 +1,47 @@
+#include "costmodel/replay_buffer.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace lqolab::costmodel {
+
+ReplayBuffer::ReplayBuffer(const ReplayBufferOptions& options)
+    : capacity_(options.capacity) {
+  LQOLAB_CHECK_GT(options.capacity, 0);
+}
+
+void ReplayBuffer::Add(CostSample sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++added_;
+  samples_[sample.sequence] = std::move(sample);
+  while (static_cast<int64_t>(samples_.size()) > capacity_) {
+    samples_.erase(samples_.begin());
+    ++dropped_;
+  }
+}
+
+std::vector<CostSample> ReplayBuffer::SnapshotSorted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CostSample> out;
+  out.reserve(samples_.size());
+  for (const auto& [seq, sample] : samples_) out.push_back(sample);
+  return out;
+}
+
+int64_t ReplayBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(samples_.size());
+}
+
+int64_t ReplayBuffer::added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+int64_t ReplayBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace lqolab::costmodel

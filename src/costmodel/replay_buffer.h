@@ -1,0 +1,56 @@
+#ifndef LQOLAB_COSTMODEL_REPLAY_BUFFER_H_
+#define LQOLAB_COSTMODEL_REPLAY_BUFFER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+
+namespace lqolab::costmodel {
+
+struct ReplayBufferOptions {
+  /// Samples retained; when full, the smallest-sequence (oldest-admitted)
+  /// sample is dropped first.
+  int64_t capacity = 1024;
+};
+
+/// Bounded, deterministic replay buffer of harvested cost samples. Samples
+/// key on CostSample::sequence (the admission ticket id), and retention
+/// keeps the largest sequences — so after a drain the retained *set* is a
+/// pure function of what was admitted, independent of the completion order
+/// or worker count under which samples arrived. SnapshotSorted() returns
+/// ascending sequence order, which is the canonical training order of
+/// LearnedCostModel (bit-identical retraining at any parallelism).
+///
+/// Thread-safe; serve workers Add concurrently while the refresh step
+/// snapshots.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(const ReplayBufferOptions& options);
+
+  /// Inserts (or, for a repeated sequence, replaces) a sample, then evicts
+  /// the smallest sequence while over capacity.
+  void Add(CostSample sample);
+
+  /// All retained samples in ascending sequence order.
+  std::vector<CostSample> SnapshotSorted() const;
+
+  int64_t size() const;
+  /// Lifetime Add calls.
+  int64_t added() const;
+  /// Lifetime capacity evictions.
+  int64_t dropped() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, CostSample> samples_;
+  int64_t added_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace lqolab::costmodel
+
+#endif  // LQOLAB_COSTMODEL_REPLAY_BUFFER_H_

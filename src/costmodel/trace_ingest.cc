@@ -1,0 +1,143 @@
+#include "costmodel/trace_ingest.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/metrics.h"
+#include "optimizer/plan_hint.h"
+
+namespace lqolab::costmodel {
+
+namespace {
+
+/// Finds the raw (still-encoded) value of `"key":` in a one-line JSON
+/// object; false when absent. Flat-record scanning only — good enough for
+/// the serve_sample schema this module itself writes.
+bool FindRawValue(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  size_t begin = at + needle.size();
+  size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    // String value: scan to the closing unescaped quote.
+    end = begin + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= line.size()) return false;
+    ++end;  // include the closing quote
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool GetString(const std::string& line, const std::string& key,
+               std::string* out) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw) || raw.size() < 2 || raw.front() != '"') {
+    return false;
+  }
+  // The fields this reader consumes (ids, plan hints) never need escapes;
+  // reject any rather than mis-decode.
+  const std::string body = raw.substr(1, raw.size() - 2);
+  if (body.find('\\') != std::string::npos) return false;
+  *out = body;
+  return true;
+}
+
+/// Parses a finite number; false for null, bare nan/inf (pre-fix traces),
+/// or trailing garbage.
+bool GetFiniteNumber(const std::string& line, const std::string& key,
+                     double* out) {
+  std::string raw;
+  if (!FindRawValue(line, key, &raw) || raw.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size()) return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void WriteServeSample(const ServeSampleRecord& record,
+                      obs::TraceWriter* trace) {
+  obs::JsonObject obj;
+  obj.Set("type", "serve_sample");
+  obj.Set("seq", static_cast<int64_t>(record.sequence));
+  obj.Set("query", record.query_id);
+  obj.Set("plan", record.plan_hint);
+  obj.Set("execution_ns", record.actual_ns);
+  obj.Set("analytic_cost", record.analytic_cost);
+  obj.Set("predicted_ns", record.predicted_ns);
+  trace->Write(obj);
+}
+
+IngestStats IngestServeTrace(
+    const std::string& path,
+    const std::unordered_map<std::string, query::Query>& queries_by_id,
+    const PlanFeaturizer& featurizer, ReplayBuffer* buffer) {
+  IngestStats stats;
+  std::ifstream in(path);
+  std::string line;
+  const auto skip = [&](int64_t* bucket) {
+    ++*bucket;
+    obs::Count(obs::Counter::kCostmodelTraceSkipped);
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.lines;
+    std::string type;
+    if (!GetString(line, "type", &type)) {
+      skip(&stats.skipped_malformed);
+      continue;
+    }
+    if (type != "serve_sample") {
+      ++stats.other_records;
+      continue;
+    }
+    std::string query_id;
+    std::string plan_hint;
+    double seq = 0.0;
+    double actual_ns = 0.0;
+    double analytic_cost = 0.0;
+    if (!GetString(line, "query", &query_id) ||
+        !GetString(line, "plan", &plan_hint) ||
+        !GetFiniteNumber(line, "seq", &seq) ||
+        !GetFiniteNumber(line, "execution_ns", &actual_ns) ||
+        !GetFiniteNumber(line, "analytic_cost", &analytic_cost) ||
+        actual_ns <= 0.0) {
+      skip(&stats.skipped_malformed);
+      continue;
+    }
+    const auto it = queries_by_id.find(query_id);
+    if (it == queries_by_id.end()) {
+      skip(&stats.skipped_unknown_query);
+      continue;
+    }
+    optimizer::PhysicalPlan plan;
+    std::string error;
+    if (!optimizer::ParsePlanHint(plan_hint, it->second, &plan, &error)) {
+      skip(&stats.skipped_bad_plan);
+      continue;
+    }
+    CostSample sample;
+    sample.sequence = static_cast<uint64_t>(seq);
+    sample.query_id = query_id;
+    sample.features = featurizer.Featurize(it->second, plan);
+    sample.actual_ns = static_cast<util::VirtualNanos>(actual_ns);
+    sample.analytic_cost = analytic_cost;
+    buffer->Add(std::move(sample));
+    ++stats.ingested;
+  }
+  return stats;
+}
+
+}  // namespace lqolab::costmodel

@@ -1,0 +1,70 @@
+#ifndef LQOLAB_COSTMODEL_TRACE_INGEST_H_
+#define LQOLAB_COSTMODEL_TRACE_INGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "costmodel/features.h"
+#include "costmodel/replay_buffer.h"
+#include "obs/trace.h"
+#include "query/query.h"
+
+namespace lqolab::costmodel {
+
+/// One serving observation as it appears on the obs/ JSONL trace stream
+/// ({"type":"serve_sample",...}); the durable form of a replay-buffer
+/// entry. The plan travels as its lossless optimizer::RenderPlanHint text,
+/// so ingestion can re-featurize under the ingesting database's statistics.
+struct ServeSampleRecord {
+  uint64_t sequence = 0;
+  std::string query_id;
+  std::string plan_hint;
+  int64_t actual_ns = 0;
+  double analytic_cost = 0.0;
+  /// The serving incumbent's prediction at harvest time (diagnostic only;
+  /// a diverged model may yield NaN here, which the trace layer renders as
+  /// JSON null and ingestion skips).
+  double predicted_ns = 0.0;
+};
+
+/// Appends `record` to `trace` as one {"type":"serve_sample"} line.
+void WriteServeSample(const ServeSampleRecord& record, obs::TraceWriter* trace);
+
+/// Per-file ingestion accounting. Every skip also counts
+/// obs::Counter::kCostmodelTraceSkipped on the calling thread's registry —
+/// corrupt telemetry must be visible, never fatal.
+struct IngestStats {
+  int64_t lines = 0;
+  /// Records ingested into the buffer.
+  int64_t ingested = 0;
+  /// Non-serve_sample records passed over (workload/query/metrics lines
+  /// share the stream; not an error, not counted as skipped()).
+  int64_t other_records = 0;
+  /// Lines that are not valid records: unparsable JSON, missing fields, or
+  /// null / non-finite numerics (e.g. a pre-fix trace's bare `nan`).
+  int64_t skipped_malformed = 0;
+  /// serve_sample records naming a query id absent from the workload map.
+  int64_t skipped_unknown_query = 0;
+  /// Plan hints that fail optimizer::ParsePlanHint against their query.
+  int64_t skipped_bad_plan = 0;
+
+  int64_t skipped() const {
+    return skipped_malformed + skipped_unknown_query + skipped_bad_plan;
+  }
+};
+
+/// Re-ingests a serve trace into `buffer`: parses each serve_sample line,
+/// resolves its query by id, parses the plan hint, re-featurizes with
+/// `featurizer`, and Add()s the sample keyed by its recorded sequence.
+/// Hardened by design: any malformed line (including invalid JSON from
+/// traces written before the non-finite fix in obs/trace.cc) is counted
+/// and skipped — a poisoned line must never abort a retraining run.
+IngestStats IngestServeTrace(
+    const std::string& path,
+    const std::unordered_map<std::string, query::Query>& queries_by_id,
+    const PlanFeaturizer& featurizer, ReplayBuffer* buffer);
+
+}  // namespace lqolab::costmodel
+
+#endif  // LQOLAB_COSTMODEL_TRACE_INGEST_H_

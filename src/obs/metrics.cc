@@ -51,6 +51,12 @@ constexpr CounterInfo kCounterInfo[] = {
     {"serve_breaker_recoveries", "serve"},
     {"serve_sql_queries", "serve"},
     {"serve_sql_rejected", "serve"},
+    {"costmodel_samples", "costmodel"},
+    {"costmodel_trace_skipped", "costmodel"},
+    {"costmodel_refreshes", "costmodel"},
+    {"costmodel_promotions", "costmodel"},
+    {"costmodel_rejections", "costmodel"},
+    {"costmodel_drift_alarms", "costmodel"},
     {"fault_injected_errors", "fault"},
     {"fault_injected_latency", "fault"},
     {"fault_injected_poison", "fault"},

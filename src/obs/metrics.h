@@ -50,6 +50,13 @@ enum class Counter : int32_t {
   kServeBreakerRecoveries,     ///< Circuit breaker kHalfOpen -> kClosed edges.
   kServeSqlQueries,       ///< SQL-text admissions parsed and bound (SubmitSql).
   kServeSqlRejected,      ///< SQL-text admissions refused at parse/bind.
+  // costmodel (the online cost-model refresh loop; docs/cost_models.md)
+  kCostmodelSamples,       ///< Served executions harvested into the buffer.
+  kCostmodelTraceSkipped,  ///< Corrupt trace records skipped at ingestion.
+  kCostmodelRefreshes,     ///< Refresh steps that trained a candidate.
+  kCostmodelPromotions,    ///< Candidates promoted past the regression gate.
+  kCostmodelRejections,    ///< Candidates refused by the regression gate.
+  kCostmodelDriftAlarms,   ///< Rolling-Q-error drift alarms (trip breaker).
   // faultlib
   kFaultInjectedErrors,   ///< kError fault-point fires.
   kFaultInjectedLatency,  ///< kLatency fault-point fires.
@@ -67,7 +74,7 @@ enum class Histogram : int32_t {
 /// Stable snake_case name of a counter (used as its JSON key).
 const char* CounterName(Counter c);
 /// Layer that emits the counter ("storage", "exec", "optimizer", "lqo",
-/// "serve").
+/// "serve", "costmodel", "fault").
 const char* CounterLayer(Counter c);
 /// Stable snake_case name of a histogram.
 const char* HistogramName(Histogram h);

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace lqolab::obs {
@@ -10,6 +11,14 @@ JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
 }
 
 JsonObject& JsonObject::Set(const std::string& key, double value) {
+  // JSON has no NaN/Infinity literal — a bare `nan` from %g corrupts the
+  // whole line for any conforming reader. Non-finite values (e.g. a
+  // diverged model's prediction) are data loss in one field, not in the
+  // record: emit null and let readers skip the field.
+  if (!std::isfinite(value)) {
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
   // %.12g round-trips every value the framework emits (losses, ratios)
   // while keeping lines compact; integers print without a trailing ".0".
   char buf[64];

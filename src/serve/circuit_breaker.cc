@@ -89,6 +89,11 @@ void CircuitBreaker::RecordSuccess() {
   }
 }
 
+void CircuitBreaker::Trip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) TripLocked();
+}
+
 void CircuitBreaker::RecordFailure() {
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {

@@ -48,6 +48,13 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
+  /// Forces the breaker open immediately, outside the AllowRequest pairing
+  /// protocol. For out-of-band evidence that the guarded arm is unhealthy —
+  /// e.g. the cost-model drift detector (docs/cost_models.md) observing a
+  /// rolling Q-error blowup across many already-reported requests. No-op
+  /// when already open.
+  void Trip();
+
   State state() const;
   /// Lifetime closed->open (or half-open->open) transitions.
   int64_t trips() const;

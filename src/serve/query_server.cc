@@ -7,6 +7,7 @@
 #include "exec/oracle.h"
 #include "faultlib/faultlib.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace lqolab::serve {
@@ -21,6 +22,11 @@ namespace {
 /// primary attempt's (both must be pure functions of the admission, not of
 /// scheduling).
 constexpr uint64_t kFallbackSaltBit = 1ull << 63;
+
+/// Mixed into the era of a native plan cached on the kLqo fallback path, so
+/// a fallback entry at model version v and an LQO entry at version v for the
+/// same query/template occupy distinct cache slots.
+constexpr uint64_t kNativeDomainSalt = 0x9a71fe0fba11bac6ULL;
 
 /// Degrades a plan to the canonical pathological shape — every scan
 /// sequential, every join a nested loop (the shape test_serve's
@@ -292,14 +298,25 @@ void QueryServer::WorkerLoop(WorkerState* state) {
 
 QueryServer::Acquired QueryServer::NativePlan(Database* replica,
                                               const Query& q,
-                                              uint64_t template_fp) {
+                                              uint64_t template_fp,
+                                              uint64_t model_version) {
+  // Era 0 — the pglite/shadow routes — keys the entry model-independently;
+  // a nonzero era (kLqo fallback) ties it to the model snapshot whose
+  // timeout produced it, so PublishModel invalidates fallback plans exactly
+  // like the LQO plans they shadow.
+  const uint64_t era =
+      model_version == 0 ? 0
+                         : util::MixSeed(model_version, kNativeDomainSalt);
   const uint64_t key =
       template_fp != 0
-          ? PlanCacheKeyForTemplate(template_fp, replica->config(),
-                                    /*model_version=*/0)
-          : PlanCacheKey(q, replica->config(), /*model_version=*/0);
+          ? PlanCacheKeyForTemplate(template_fp, replica->config(), era)
+          : PlanCacheKey(q, replica->config(), era);
   if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
-    return {std::move(hit), true};
+    Acquired out;
+    out.plan = std::move(hit);
+    out.cache_hit = true;
+    out.model_version = model_version;
+    return out;
   }
   const Database::Planned planned = replica->PlanQuery(q);
   CachedPlan cached;
@@ -308,7 +325,10 @@ QueryServer::Acquired QueryServer::NativePlan(Database* replica,
   cached.estimated_cost = planned.estimated_cost;
   auto snapshot = std::make_shared<const CachedPlan>(std::move(cached));
   cache_.Insert(key, snapshot);
-  return {std::move(snapshot), false};
+  Acquired out;
+  out.plan = std::move(snapshot);
+  out.model_version = model_version;
+  return out;
 }
 
 QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
@@ -322,7 +342,11 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
                                     snapshot.version)
           : PlanCacheKey(q, parent_->config(), snapshot.version);
   if (std::shared_ptr<const CachedPlan> hit = cache_.Lookup(key)) {
-    return {std::move(hit), true};
+    Acquired out;
+    out.plan = std::move(hit);
+    out.cache_hit = true;
+    out.model_version = snapshot.version;
+    return out;
   }
   // Model-serving fault site: inference errors, latency spikes, and
   // poisoned predictions (all on the cache-miss path — a cache hit never
@@ -331,6 +355,7 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
   if (fault.is_error()) {
     Acquired failed;
     failed.infer_fault = true;
+    failed.model_version = snapshot.version;
     return failed;
   }
   lqo::Prediction prediction;
@@ -356,6 +381,7 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
   cache_.Insert(key, shared);
   Acquired out;
   out.plan = std::move(shared);
+  out.model_version = snapshot.version;
   if (fault.is_latency()) out.infer_latency_ns = fault.latency_ns;
   if (fault.is_poison()) {
     // Corrupted prediction: this acquisition executes a degraded copy. The
@@ -413,6 +439,8 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
     }
   }
 
+  // The plan whose execution produced the final answer; feeds the observer.
+  std::shared_ptr<const CachedPlan> winning;
   if (options_.route == RouteMode::kLqo && lqo.plan != nullptr) {
     served.cache_hit = lqo.cache_hit;
     served.inference_ns =
@@ -423,6 +451,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
                                    options_.lqo_deadline_ns,
                                    ticket.occurrence);
     served.plan = lqo.plan->plan.ToString(q);
+    winning = lqo.plan;
     if (run.timed_out) {
       // The paper's timeout protocol: abandon the learned plan, re-execute
       // the query on the pglite plan, charge the wasted attempt. Blowing
@@ -431,13 +460,18 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       served.fell_back = true;
       served.wasted_ns = run.execution_ns;
       obs::Count(obs::Counter::kServeFallbacks);
-      const Acquired native = NativePlan(replica, q, ticket.sql_template_fp);
+      // The fallback plan is cached under the era of the snapshot that
+      // timed out (not era 0): a published replacement model must not hit
+      // the previous era's fallback entries.
+      const Acquired native = NativePlan(replica, q, ticket.sql_template_fp,
+                                         lqo.model_version);
       const VirtualNanos replan_ns =
           native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
       served.planning_ns += replan_ns;
       run = execute(native.plan->plan, replan_ns, /*deadline=*/0,
                     ticket.occurrence | kFallbackSaltBit);
       served.plan = native.plan->plan.ToString(q);
+      winning = native.plan;
     } else {
       // Success, or a storage/cancellation failure that is not the model's
       // doing (a transient exec fault retries the whole attempt instead).
@@ -456,7 +490,8 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       // no-op for the arm (keeps AllowRequest/Record* exactly paired).
       breaker_.RecordSuccess();
     }
-    const Acquired native = NativePlan(replica, q, ticket.sql_template_fp);
+    const Acquired native =
+        NativePlan(replica, q, ticket.sql_template_fp, /*model_version=*/0);
     served.cache_hit = native.cache_hit;
     served.planning_ns =
         native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
@@ -469,10 +504,18 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
                                          served.planning_ns, /*deadline=*/0,
                                          ticket.occurrence);
     served.plan = native.plan->plan.ToString(q);
+    winning = native.plan;
     served.execution_ns = run.execution_ns;
     served.timed_out = run.timed_out;
     served.result_rows = run.result_rows;
     served.status = run.status;
+  }
+
+  if (options_.observer != nullptr && winning != nullptr &&
+      served.status.ok() && !served.timed_out) {
+    options_.observer->OnPlanExecuted(
+        q, winning->plan, served.execution_ns,
+        static_cast<uint64_t>(ticket.id));
   }
 
   return served;

@@ -34,6 +34,24 @@ enum class RouteMode {
 
 const char* RouteModeName(RouteMode mode);
 
+/// Callback invoked by a worker after it successfully executes a plan
+/// (status OK, not timed out): the hook the online cost-model refresh loop
+/// (costmodel::OnlineRefresher) uses to harvest per-plan actuals without the
+/// server knowing anything about cost models. Called on the worker thread,
+/// inside its MetricsScope, holding no server locks except the worker's own
+/// state mutex — implementations must not call back into the server's
+/// submission API, but PublishModel/TripLqoBreaker are safe.
+class ServedPlanObserver {
+ public:
+  virtual ~ServedPlanObserver() = default;
+  /// `sequence` is the admission ticket id: unique, and assigned in
+  /// admission order regardless of which worker executes the query.
+  virtual void OnPlanExecuted(const query::Query& q,
+                              const optimizer::PhysicalPlan& plan,
+                              util::VirtualNanos execution_ns,
+                              uint64_t sequence) = 0;
+};
+
 struct ServerOptions {
   /// Worker threads, each owning a Database::CloneContextForWorker replica;
   /// 0 means util::ThreadPool::DefaultParallelism().
@@ -71,6 +89,9 @@ struct ServerOptions {
   int32_t shutdown_drain_ms = 2'000;
   /// Circuit breaker guarding the LQO route (consulted in kLqo mode only).
   CircuitBreakerOptions breaker;
+  /// Optional hook observing every successful execution (see
+  /// ServedPlanObserver). Must outlive the server; nullptr disables.
+  ServedPlanObserver* observer = nullptr;
 };
 
 /// Outcome of one served query, delivered through the Submit future.
@@ -187,6 +208,9 @@ class QueryServer {
   const PlanCache& plan_cache() const { return cache_; }
   /// The breaker guarding the LQO route (observable for tests/benches).
   const CircuitBreaker& breaker() const { return breaker_; }
+  /// Force-opens the LQO breaker (CircuitBreaker::Trip): the escape hatch
+  /// for out-of-band health signals such as cost-model drift alarms.
+  void TripLqoBreaker() { breaker_.Trip(); }
   uint64_t model_version() const { return model_.version(); }
   uint64_t seed() const { return seed_; }
   const ServerOptions& options() const { return options_; }
@@ -224,6 +248,9 @@ class QueryServer {
     bool infer_fault = false;
     /// Injected inference latency spike for this acquisition (not cached).
     util::VirtualNanos infer_latency_ns = 0;
+    /// Model version of the snapshot that produced (or would have produced)
+    /// this plan; the era any same-query fallback plan must be keyed under.
+    uint64_t model_version = 0;
   };
 
   void WorkerLoop(WorkerState* state);
@@ -244,8 +271,12 @@ class QueryServer {
   /// Returns the native plan for `q`, through the cache (planning on the
   /// worker's own replica on a miss — identical plan on every worker).
   /// `template_fp` != 0 keys the lookup on the normalized SQL template.
+  /// `model_version` is the era the entry is keyed under: 0 on the pglite
+  /// and shadow routes (native plans never change with the model there),
+  /// the acquiring snapshot's version on the kLqo fallback path — a model
+  /// swap must invalidate fallback entries exactly like LQO entries.
   Acquired NativePlan(engine::Database* replica, const query::Query& q,
-                      uint64_t template_fp);
+                      uint64_t template_fp, uint64_t model_version);
   /// Returns the published model's plan for `q` (inference serialized on
   /// the dedicated planning replica), through the cache; `plan` is null
   /// when no model is published. `template_fp` as in NativePlan.

@@ -10,9 +10,14 @@
 #   - BENCH_serve.json: recorded with --sql, every arm deterministic, and
 #     the normalized-template plan-cache key beats per-literal keying on
 #     the varied-literal workload by > 0.3 hit rate.
+#   - BENCH_costmodel.json: the learned cost model's median q-error beats
+#     the calibrated analytic model on at least one workload, the serve
+#     loop's first refresh promoted, the gate refused the poisoned
+#     candidate, and harvest->retrain was worker-count deterministic.
 # Regenerate with: build/bench/micro_parallel_runner BENCH_parallel_runner.json
 #                  build/bench/fuzz_soak BENCH_fuzz.json
 #                  build/bench/serve_throughput --sql BENCH_serve.json
+#                  build/bench/cost_model_bakeoff BENCH_costmodel.json
 set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 json="$root/BENCH_parallel_runner.json"
@@ -91,7 +96,32 @@ else
   fi
 fi
 
+costmodel="$root/BENCH_costmodel.json"
+if [ ! -f "$costmodel" ]; then
+  echo "FAIL: missing $costmodel"
+  fail=1
+else
+  wins=$(grep -o '"learned_beats_analytic_workloads": [0-9]*' "$costmodel" |
+    awk '{print $2}')
+  if [ "${wins:-0}" -lt 1 ]; then
+    echo "FAIL: learned model beats analytic on ${wins:-0} workloads (< 1) in $costmodel"
+    fail=1
+  fi
+  if ! grep -q '"first_refresh_promoted": true' "$costmodel"; then
+    echo "FAIL: serve-loop refresh did not promote a candidate in $costmodel"
+    fail=1
+  fi
+  if ! grep -q '"poisoned_candidate_rejected": true' "$costmodel"; then
+    echo "FAIL: promotion gate accepted the poisoned candidate in $costmodel"
+    fail=1
+  fi
+  if ! grep -q '"refresh_deterministic": true' "$costmodel"; then
+    echo "FAIL: harvest->retrain differed across worker counts in $costmodel"
+    fail=1
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "OK: benchmark gates hold ($json, $fuzz, $serve)"
+  echo "OK: benchmark gates hold ($json, $fuzz, $serve, $costmodel)"
 fi
 exit "$fail"

@@ -3,8 +3,10 @@
 // output, parallel-vs-serial counter aggregation, and the zero-effect
 // contract (enabling metrics never changes measured numbers).
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
@@ -124,8 +126,9 @@ TEST(MetricsRegistryTest, MergeAndReset) {
 
 TEST(MetricsRegistryTest, CounterNamesAreUniqueAndLayered) {
   std::set<std::string> names;
-  const std::set<std::string> layers = {"storage", "exec",  "optimizer",
-                                        "lqo",     "serve", "fault"};
+  const std::set<std::string> layers = {"storage", "exec",      "optimizer",
+                                        "lqo",     "serve",     "costmodel",
+                                        "fault"};
   for (int32_t i = 0; i < static_cast<int32_t>(Counter::kCounterCount); ++i) {
     const Counter c = static_cast<Counter>(i);
     ASSERT_NE(CounterName(c), nullptr);
@@ -165,6 +168,18 @@ TEST(JsonObjectTest, RendersTypedFieldsInOrder) {
   o.SetRaw("raw", "[1,2]");
   EXPECT_EQ(o.ToString(),
             "{\"i\":-3,\"d\":1.5,\"b\":true,\"s\":\"a\\\"b\\nc\",\"raw\":[1,2]}");
+}
+
+TEST(JsonObjectTest, NonFiniteDoublesRenderAsNull) {
+  // JSON has no NaN/Infinity literals; a bare `nan` token makes the whole
+  // record unparsable downstream. Non-finite values must degrade to null.
+  JsonObject o;
+  o.Set("nan", std::nan(""));
+  o.Set("pinf", std::numeric_limits<double>::infinity());
+  o.Set("ninf", -std::numeric_limits<double>::infinity());
+  o.Set("ok", 2.5);
+  EXPECT_EQ(o.ToString(),
+            "{\"nan\":null,\"pinf\":null,\"ninf\":null,\"ok\":2.5}");
 }
 
 TEST(TraceWriterTest, WritesOneRecordPerLine) {

@@ -383,6 +383,28 @@ TEST(QueryServer, CircuitBreakerTripsAndRecovers) {
   EXPECT_EQ(metrics.Get(obs::Counter::kServeFallbacks), 2);
 }
 
+TEST(QueryServer, TripLqoBreakerShortCircuitsOutOfBand) {
+  // The out-of-band trip (used by the cost-model drift detector) must open
+  // the breaker without a request in flight, and tripping an already-open
+  // breaker must be a no-op.
+  ServerOptions options;
+  options.workers = 1;
+  options.route = RouteMode::kLqo;
+  QueryServer server(SharedDb(), options);
+  server.PublishModel(std::make_shared<lqo::NativePassthroughOptimizer>());
+
+  EXPECT_EQ(server.breaker().state(), serve::CircuitBreaker::State::kClosed);
+  server.TripLqoBreaker();
+  EXPECT_EQ(server.breaker().state(), serve::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(server.breaker().trips(), 1);
+  server.TripLqoBreaker();
+  EXPECT_EQ(server.breaker().trips(), 1);
+
+  const ServedQuery shorted = server.Submit(Workload()[3]).get();
+  EXPECT_TRUE(shorted.breaker_short_circuit);
+  EXPECT_EQ(shorted.result_rows, ExpectedRun(Workload()[3]).result_rows);
+}
+
 TEST(QueryServer, SubmitAfterShutdownResolvesAsShutdownStatus) {
   ServerOptions options;
   options.workers = 1;
@@ -504,6 +526,51 @@ TEST(QueryServer, HotSwapInvalidatesLqoCachedPlans) {
   EXPECT_EQ(publisher_metrics.Get(obs::Counter::kServeModelSwaps), 2);
   const obs::MetricsRegistry metrics = server.SnapshotMetrics();
   EXPECT_EQ(metrics.Get(obs::Counter::kServeLqoPlanned), 2);
+}
+
+TEST(QueryServer, ModelSwapInvalidatesTemplateKeyedFallbackPlans) {
+  // Regression: the fallback path used to cache its native plan under
+  // model_version 0 regardless of which model's timeout produced it, so a
+  // hot swap left the stale template-keyed fallback entry live and the new
+  // model's fallback silently reused it. The fallback entry must be keyed
+  // by the era of the model that triggered it.
+  ServerOptions options;
+  options.workers = 1;
+  options.route = RouteMode::kLqo;
+  // Every degraded plan blows this deadline, so every submission exercises
+  // the fallback cache path.
+  options.lqo_deadline_ns = 50'000;
+  // Keep the breaker out of the picture: three straight fallbacks would
+  // otherwise trip it and short-circuit the third submission.
+  options.breaker.failure_threshold = 1 << 20;
+  QueryServer server(SharedDb(), options);
+  server.PublishModel(std::make_shared<SlowPlanOptimizer>());
+
+  const query::Query& q = Workload()[20];
+  const std::string sql = q.ToSql(SharedDb()->schema());
+
+  const ServedQuery cold = server.SubmitSql(sql, q.id).get();
+  EXPECT_TRUE(cold.fell_back);
+  const ServedQuery warm = server.SubmitSql(sql, q.id).get();
+  EXPECT_TRUE(warm.fell_back);
+  {
+    // Second submission hit both template entries: the LQO plan and the
+    // fallback native plan.
+    const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+    EXPECT_EQ(metrics.Get(obs::Counter::kPlanCacheHits), 2);
+    EXPECT_EQ(metrics.Get(obs::Counter::kPlanCacheMisses), 2);
+  }
+
+  // Swap models. The next submission must re-plan BOTH entries; before the
+  // fix the fallback native plan hit the stale version-agnostic key and
+  // hits would read 3.
+  server.PublishModel(std::make_shared<SlowPlanOptimizer>());
+  const ServedQuery swapped = server.SubmitSql(sql, q.id).get();
+  EXPECT_TRUE(swapped.fell_back);
+  EXPECT_EQ(swapped.result_rows, warm.result_rows);
+  const obs::MetricsRegistry metrics = server.SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(obs::Counter::kPlanCacheHits), 2);
+  EXPECT_EQ(metrics.Get(obs::Counter::kPlanCacheMisses), 4);
 }
 
 /// Blocks Plan() until released, to hold a worker busy deterministically.
