@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "loadgen/open_loop.h"
 #include "lqo/native_passthrough.h"
 #include "serve/query_server.h"
 #include "util/statistics.h"
@@ -307,6 +308,39 @@ int main(int argc, char** argv) {
                  r.deterministic ? "deterministic" : "[MISMATCH]");
   }
 
+  // Open-loop tail-latency-vs-offered-load sweep (docs/overload.md): the
+  // closed-loop arms above measure service capacity; this measures what a
+  // non-blocking arrival process observes below and above it. Deadline-
+  // aware shedding is on, so the overloaded point reports load-control
+  // behaviour (goodput held, misses shed) rather than queue collapse. The
+  // deep sweep with the shedding ablation lives in bench/overload_soak.
+  struct OpenLoopPoint {
+    double multiple = 0.0;
+    lqolab::loadgen::OpenLoopResult result;
+  };
+  std::vector<OpenLoopPoint> open_loop;
+  {
+    loadgen::OpenLoopRunner runner(db.get(), workload);
+    for (const double multiple : {0.5, 1.5}) {
+      loadgen::OpenLoopOptions options;
+      options.offered_multiple = multiple;
+      options.virtual_workers = 4;
+      options.target_arrivals = 300;
+      options.deadline_service_multiple = 8.0;
+      options.shed_on_predicted_miss = true;
+      options.seed = bench::kSeed;
+      OpenLoopPoint point;
+      point.multiple = multiple;
+      point.result = runner.Run(options);
+      const loadgen::TenantSlo& agg = point.result.report.aggregate;
+      std::fprintf(stderr,
+                   "  open_loop x%.1f: goodput=%.1fqps p99=%.2fms shed=%lld\n",
+                   multiple, agg.goodput_qps, agg.p99_total_ms,
+                   static_cast<long long>(agg.shed));
+      open_loop.push_back(std::move(point));
+    }
+  }
+
   std::string json = "{\n";
   json += "  \"bench\": \"serve_throughput\",\n";
   json += std::string("  \"sql_mode\": ") + (sql_mode ? "true" : "false") +
@@ -337,6 +371,26 @@ int main(int argc, char** argv) {
         i + 1 < results.size() ? "," : "");
     json += buffer;
   }
+  json += "  ],\n";
+  json += "  \"open_loop\": [\n";
+  for (size_t i = 0; i < open_loop.size(); ++i) {
+    const OpenLoopPoint& p = open_loop[i];
+    const loadgen::TenantSlo& agg = p.result.report.aggregate;
+    char buffer[384];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "    {\"offered_multiple\": %.2f, \"arrivals\": %lld, "
+        "\"offered_qps\": %.1f, \"capacity_qps\": %.1f, \"ok\": %lld, "
+        "\"shed\": %lld, \"deadline_missed\": %lld, \"goodput_qps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p99_queue_ms\": %.3f}%s\n",
+        p.multiple, static_cast<long long>(p.result.arrivals),
+        p.result.offered_qps, p.result.capacity_qps,
+        static_cast<long long>(agg.ok), static_cast<long long>(agg.shed),
+        static_cast<long long>(agg.deadline_missed), agg.goodput_qps,
+        agg.p50_total_ms, agg.p99_total_ms, agg.p99_queue_ms,
+        i + 1 < open_loop.size() ? "," : "");
+    json += buffer;
+  }
   json += "  ]\n}\n";
 
   if (out_path != nullptr) {
@@ -358,6 +412,12 @@ int main(int argc, char** argv) {
   // the tight-deadline arm must actually fall back.
   ok &= results[0].avg_planning_ns < results[1].avg_planning_ns;
   ok &= results[3].fallback_rate > 0.0;
+  // Open-loop sanity: both points completed work, and the overloaded point
+  // exercised the deadline-aware shedder harder than the light one.
+  ok &= open_loop[0].result.report.aggregate.ok > 0;
+  ok &= open_loop[1].result.report.aggregate.ok > 0;
+  ok &= open_loop[1].result.report.aggregate.shed >
+        open_loop[0].result.report.aggregate.shed;
   if (sql_mode) {
     const ArmResult& sql_pglite = results[5];
     const ArmResult& sql_varied = results[6];

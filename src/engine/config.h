@@ -130,6 +130,22 @@ struct DbConfig {
   /// valid range up to storage::ShardedTableSet::kMaxShards (64).
   int32_t table_shards = 1;
 
+  // --- Mid-query adaptive re-optimization (docs/overload.md) -------------
+  /// Cancel-and-replan when an observed node cardinality diverges from the
+  /// planner's estimate by more than replan_qerror_threshold: the executor
+  /// stops, the observed prefix truths are pinned into the estimator, the
+  /// remainder is re-planned and re-executed. Off by default — results are
+  /// byte-identical either way (locked by the replan differential suite);
+  /// only latency and plan choice change. Like vectorized_exec, not part of
+  /// serve::PlanCacheKey — the *initial* plan is unaffected.
+  bool adaptive_replan = false;
+  /// Divergence trigger: max(actual/est, est/actual) >= threshold.
+  double replan_qerror_threshold = 8.0;
+  /// ... on subsets where max(actual, estimate) >= this many rows.
+  int64_t replan_min_rows = 1024;
+  /// Replan rounds per query before the current plan is run to completion.
+  int32_t replan_max_per_query = 2;
+
   // --- Presets of Table 2 -------------------------------------------------
   /// PostgreSQL defaults.
   static DbConfig Default();

@@ -4,6 +4,7 @@
 #include <functional>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "catalog/imdb_schema.h"
 #include "catalog/tpch_schema.h"
@@ -284,6 +285,117 @@ QueryRun Database::ExecutePlan(const query::Query& q,
   run.pages_accessed = result.pages_accessed;
   run.node_rows = result.node_rows;
   run.node_stats = result.node_stats;
+  obs::Count(obs::Counter::kExecPlansExecuted);
+  if (run.timed_out) obs::Count(obs::Counter::kExecTimeouts);
+  obs::Observe(obs::Histogram::kExecutionLatencyNs, run.execution_ns);
+  return run;
+}
+
+QueryRun Database::ExecutePlanAdaptive(const query::Query& q,
+                                       const optimizer::PhysicalPlan& plan,
+                                       VirtualNanos planning_ns,
+                                       VirtualNanos timeout_ns,
+                                       const exec::QueryDeadline* deadline,
+                                       const exec::CardinalityPins* seed_pins) {
+  if (!ctx_.config.adaptive_replan) {
+    return ExecutePlan(q, plan, planning_ns, timeout_ns, deadline);
+  }
+  // One warm-up step and one noise draw for the whole query, shared by
+  // every attempt: a replan continues the same query run, it does not
+  // start a new one.
+  const double warm = WarmupMultiplier(q);
+  const double noise = std::exp(noise_rng_.Gaussian(0.0, cost::kNoiseSigma));
+  const double mult = warm * noise;
+  const VirtualNanos timeout =
+      timeout_ns > 0 ? timeout_ns
+                     : ctx_.config.statement_timeout_ms * util::kNanosPerMilli;
+
+  // Pins and the spooled-intermediate set live on the context for the
+  // duration of the adaptive loop so the estimator and cost model
+  // (re-planning) and the monitor (re-execution) all see them.
+  exec::CardinalityPins pins;
+  if (seed_pins != nullptr) pins = *seed_pins;
+  // Intermediates fully materialized (and paid for) by abandoned attempts,
+  // keyed by alias mask; the re-planner prices them at spool re-read cost
+  // and later attempts read them back instead of recomputing their
+  // subtrees (exec::ReplanMonitor::materialized).
+  std::unordered_map<uint32_t, int64_t> materialized;
+  struct PinGuard {
+    exec::DbContext* ctx;
+    ~PinGuard() {
+      ctx->card_pins = nullptr;
+      ctx->spooled = nullptr;
+    }
+  } guard{&ctx_};
+  ctx_.card_pins = &pins;
+  ctx_.spooled = &materialized;
+
+  QueryRun run;
+  run.planning_ns = planning_ns;
+  optimizer::PhysicalPlan current = plan;
+  VirtualNanos spent = 0;  // Abandoned prefixes + replan planning time.
+  int32_t replans = 0;
+  for (;;) {
+    const bool monitor_armed = replans < ctx_.config.replan_max_per_query;
+    if (!monitor_armed && replans > 0) {
+      obs::Count(obs::Counter::kExecReplanCapped);
+    }
+    exec::ReplanMonitor monitor;
+    // A null estimator disables the divergence trigger, so a capped attempt
+    // still reuses the spooled intermediates without ever replanning again.
+    monitor.estimator = monitor_armed ? &planner_->estimator() : nullptr;
+    monitor.pins = &pins;
+    monitor.qerror_threshold = ctx_.config.replan_qerror_threshold;
+    monitor.min_rows = ctx_.config.replan_min_rows;
+    monitor.materialized = materialized;
+    const bool pass_monitor = monitor_armed || !materialized.empty();
+    const exec::ExecutionResult result =
+        executor_->Execute(q, current, timeout - spent, mult, deadline,
+                           pass_monitor ? &monitor : nullptr);
+    if (!result.replan_requested) {
+      run.status = result.status;
+      run.execution_ns = spent + result.execution_ns;
+      run.timed_out = result.timed_out;
+      run.result_rows = result.result_rows;
+      run.pages_accessed = result.pages_accessed;
+      run.node_rows = result.node_rows;
+      run.node_stats = result.node_stats;
+      break;
+    }
+    // Divergence: keep the prefix latency, pin every observed truth, then
+    // re-plan the remainder with the estimator grounded on those pins.
+    obs::Count(obs::Counter::kExecReplans);
+    spent += result.execution_ns;
+    run.replan_wasted_ns += result.execution_ns;
+    ++replans;
+    for (const auto& [mask, rows] : monitor.observed) {
+      pins.Pin(mask, static_cast<double>(rows));
+    }
+    for (const auto& [mask, rows] : result.completed) {
+      materialized[mask] = rows;
+    }
+    const Planned replanned = PlanQuery(q);
+    spent += replanned.planning_ns;
+    run.replan_planning_ns += replanned.planning_ns;
+    if (replanned.plan == current) {
+      obs::Count(obs::Counter::kExecReplanNoChange);
+    }
+    current = replanned.plan;
+    if (spent >= timeout) {
+      // The wasted attempts alone exhausted the statement timeout.
+      run.status = util::Status(util::StatusCode::kDeadlineExceeded,
+                                "statement timeout");
+      run.execution_ns = timeout;
+      run.timed_out = true;
+      break;
+    }
+  }
+  run.replans = replans;
+  if (replans > 0) {
+    run.replanned_plan =
+        std::make_shared<const optimizer::PhysicalPlan>(std::move(current));
+    run.replan_pins = std::make_shared<const exec::CardinalityPins>(pins);
+  }
   obs::Count(obs::Counter::kExecPlansExecuted);
   if (run.timed_out) obs::Count(obs::Counter::kExecTimeouts);
   obs::Observe(obs::Histogram::kExecutionLatencyNs, run.execution_ns);

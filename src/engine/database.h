@@ -45,6 +45,26 @@ struct QueryRun {
   /// same order as node_rows. Input to obs::ExplainAnalyzeText/Json.
   std::vector<exec::PlanNodeStats> node_stats;
 
+  // --- Adaptive re-optimization (ExecutePlanAdaptive only) ---------------
+  /// Cancel-and-replan rounds taken (0 = the given plan ran straight
+  /// through; node_rows/node_stats always describe the final attempt).
+  int32_t replans = 0;
+  /// Prefix virtual time paid by abandoned attempts (inside execution_ns).
+  util::VirtualNanos replan_wasted_ns = 0;
+  /// Modeled planning time of the replan rounds (inside execution_ns, not
+  /// planning_ns: it is spent mid-execution).
+  util::VirtualNanos replan_planning_ns = 0;
+  /// The plan the final attempt executed, set only when replans > 0 (the
+  /// caller's plan is otherwise the executed plan). Shared because QueryRun
+  /// is copied around freely.
+  std::shared_ptr<const optimizer::PhysicalPlan> replanned_plan;
+  /// Cardinality truths accumulated across replan rounds, set only when
+  /// replans > 0. Feeding these back as `seed_pins` of a later
+  /// ExecutePlanAdaptive call (the serve path's plan-cache feedback) lets
+  /// repeat arrivals run the corrected plan without re-paying divergence
+  /// detection and replan planning time.
+  std::shared_ptr<const exec::CardinalityPins> replan_pins;
+
   util::VirtualNanos total_ns() const { return planning_ns + execution_ns; }
 };
 
@@ -157,6 +177,23 @@ class Database {
                        util::VirtualNanos planning_ns = 0,
                        util::VirtualNanos timeout_ns = 0,
                        const exec::QueryDeadline* deadline = nullptr);
+
+  /// ExecutePlan with mid-query adaptive re-optimization
+  /// (docs/overload.md): when an observed node cardinality diverges from
+  /// its estimate past DbConfig::replan_qerror_threshold, the attempt is
+  /// abandoned (its prefix latency is kept), the observed truths are pinned
+  /// into the estimator, the query is re-planned and re-executed, at most
+  /// replan_max_per_query times. Results are byte-identical to ExecutePlan
+  /// — only latency, plan choice and the replan_* QueryRun fields differ.
+  /// Pass-through to ExecutePlan when DbConfig::adaptive_replan is false.
+  /// A non-null `seed_pins` pre-loads cardinality truths from an earlier
+  /// adaptive run (QueryRun::replan_pins) so the estimator starts corrected.
+  QueryRun ExecutePlanAdaptive(const query::Query& q,
+                               const optimizer::PhysicalPlan& plan,
+                               util::VirtualNanos planning_ns = 0,
+                               util::VirtualNanos timeout_ns = 0,
+                               const exec::QueryDeadline* deadline = nullptr,
+                               const exec::CardinalityPins* seed_pins = nullptr);
 
   /// Plans and executes.
   QueryRun Run(const query::Query& q);

@@ -2,6 +2,7 @@
 #define LQOLAB_EXEC_DB_CONTEXT_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -13,6 +14,25 @@
 #include "storage/table.h"
 
 namespace lqolab::exec {
+
+/// Observed true cardinalities pinned into the estimator during mid-query
+/// adaptive re-optimization (docs/overload.md). Keys are query-relative
+/// alias masks (query::AliasMask, kept as a plain uint32_t here to avoid an
+/// include cycle with query/). A pinned mask short-circuits every estimate
+/// for that alias set — including any armed "stats.estimate" poison fault —
+/// so a re-plan sees ground truth for the already-executed prefix.
+struct CardinalityPins {
+  std::unordered_map<uint32_t, double> rows;
+
+  bool empty() const { return rows.empty(); }
+  bool Has(uint32_t mask) const { return rows.find(mask) != rows.end(); }
+  /// Pinned rows for `mask`, or a negative value when unpinned.
+  double Lookup(uint32_t mask) const {
+    auto it = rows.find(mask);
+    return it == rows.end() ? -1.0 : it->second;
+  }
+  void Pin(uint32_t mask, double r) { rows[mask] = r < 1.0 ? 1.0 : r; }
+};
 
 /// Per-replica view of one database instance used by the estimator, planner
 /// and executor. Owned and assembled by engine::Database.
@@ -35,6 +55,17 @@ struct DbContext {
   /// cache the way it partitions the heap.
   std::vector<std::unique_ptr<storage::BufferPool>> shard_pools;
   engine::DbConfig config;
+  /// Installed (non-null) only while engine::Database::ExecutePlanAdaptive
+  /// is re-planning; consulted first by stats::CardinalityEstimator. Owned
+  /// by the adaptive loop, never by the context.
+  const CardinalityPins* card_pins = nullptr;
+  /// Installed (non-null) only while ExecutePlanAdaptive is re-planning:
+  /// alias mask -> true rows of every intermediate an abandoned attempt
+  /// fully materialized. The planner prices these subsets at spool re-read
+  /// cost (optimizer/planner.cc) so a re-plan gravitates toward work
+  /// already paid for, and the executor elides their subtrees at run time
+  /// (exec::ReplanMonitor::materialized). Owned by the adaptive loop.
+  const std::unordered_map<uint32_t, int64_t>* spooled = nullptr;
 
   const std::vector<std::shared_ptr<storage::Table>>& tables() const {
     return shared->tables;

@@ -6,6 +6,7 @@
 #include "exec/cost_constants.h"
 #include "faultlib/faultlib.h"
 #include "obs/metrics.h"
+#include "stats/cardinality_estimator.h"
 #include "util/check.h"
 
 namespace lqolab::exec {
@@ -404,7 +405,8 @@ VirtualNanos Executor::JoinCost(const Query& q, const PhysicalPlan& plan,
 ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
                                   VirtualNanos timeout_ns,
                                   double time_multiplier,
-                                  const QueryDeadline* deadline) {
+                                  const QueryDeadline* deadline,
+                                  ReplanMonitor* monitor) {
   LQOLAB_CHECK(!plan.empty());
   ExecutionResult result;
   result.node_rows.assign(plan.nodes.size(), 0);
@@ -427,6 +429,28 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
     }
   }
 
+  // Intermediate reuse across replan attempts: a subset an abandoned
+  // attempt already materialized (monitor->materialized) is read back at
+  // per-tuple spool cost instead of recomputed, and its entire subtree is
+  // elided. Marked top-down (parents have higher indices) so the highest
+  // reusable subset wins and everything beneath it is covered.
+  std::vector<char> reused(plan.nodes.size(), 0);
+  std::vector<char> covered(plan.nodes.size(), 0);
+  if (monitor != nullptr && !monitor->materialized.empty()) {
+    const uint32_t root_mask = plan.node(plan.root).mask;
+    for (size_t i = plan.nodes.size(); i-- > 0;) {
+      const PlanNode& node = plan.nodes[i];
+      if (!covered[i] && !skip[i] && node.mask != root_mask &&
+          monitor->materialized.count(node.mask) != 0) {
+        reused[i] = 1;
+      }
+      if ((covered[i] || reused[i]) && node.type == PlanNode::Type::kJoin) {
+        covered[static_cast<size_t>(node.left)] = 1;
+        covered[static_cast<size_t>(node.right)] = 1;
+      }
+    }
+  }
+
   for (size_t i = 0; i < plan.nodes.size(); ++i) {
     // Node boundary: the cancellation poll point and the landing spot for
     // any fault latched inside the previous node's page charges.
@@ -446,6 +470,51 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
     }
     const PlanNode& node = plan.nodes[i];
     PlanNodeStats& stats = result.node_stats[i];
+    if (covered[i]) continue;  // Subtree replaced by a reused intermediate.
+    if (reused[i]) {
+      // Read the spooled rows back instead of recomputing the subtree. The
+      // row set of an alias mask is join-order-independent, so this is
+      // result-identical; its cardinality was observed by the attempt that
+      // materialized it, so the divergence check would be a no-op.
+      const int64_t rows = monitor->materialized.at(node.mask);
+      result.node_rows[i] = rows;
+      stats.actual_rows = rows;
+      const VirtualNanos node_cost = SaturatingNanos(
+          static_cast<double>(rows) *
+          static_cast<double>(
+              cost::TupleCostsFor(ctx_->config.vectorized_exec).scan_tuple));
+      stats.self_time_ns =
+          SaturatingNanos(static_cast<double>(node_cost) * time_multiplier);
+      total += static_cast<double>(node_cost);
+      if (total * time_multiplier >= static_cast<double>(timeout_ns)) break;
+      continue;
+    }
+    if (monitor != nullptr) {
+      // Divergence check against the estimate the planner believed, done as
+      // the node's output cardinality becomes known and before its parent
+      // (or this node's own cost) is charged. The estimator call goes
+      // through the same pin/poison layers planning went through.
+      const Oracle::CardResult actual = oracle_->TrueJoinRows(q, node.mask);
+      if (!actual.overflow) {
+        monitor->observed.emplace_back(node.mask, actual.rows);
+        const bool is_root = node.mask == plan.node(plan.root).mask;
+        const bool pinned =
+            monitor->pins != nullptr && monitor->pins->Has(node.mask);
+        if (!is_root && !pinned && monitor->estimator != nullptr) {
+          const double est = std::max(
+              1.0, monitor->estimator->EstimateJoinRows(q, node.mask));
+          const double act = std::max(1.0, static_cast<double>(actual.rows));
+          const double qerr = act > est ? act / est : est / act;
+          if (qerr >= monitor->qerror_threshold &&
+              std::max(est, act) >= static_cast<double>(monitor->min_rows)) {
+            result.replan_requested = true;
+            result.replan_node = i;
+            result.replan_qerror = qerr;
+            break;
+          }
+        }
+      }
+    }
     // Aggregated across the main and shard pools, so sharded tier
     // breakdowns stay comparable to unsharded ones.
     const int64_t shared_before = ctx_->buffer_shared_hits();
@@ -489,6 +558,20 @@ ExecutionResult Executor::Execute(const Query& q, const PhysicalPlan& plan,
 
   result.pages_accessed = pages_accessed_;
   const double scaled = total * time_multiplier;
+  if (result.replan_requested) {
+    // Abandoned attempt: report the prefix latency already paid and the
+    // intermediates that prefix fully materialized (probed index-NLJ
+    // inners and elided subtrees excluded), so the re-execution can reuse
+    // rather than recompute them; the adaptive loop re-plans with the
+    // observed truths pinned.
+    for (size_t j = 0; j < result.replan_node; ++j) {
+      if (skip[j] || covered[j] || result.node_rows[j] < 0) continue;
+      result.completed.emplace_back(plan.nodes[j].mask, result.node_rows[j]);
+    }
+    result.execution_ns =
+        SaturatingNanos(std::min(scaled, static_cast<double>(timeout_ns)));
+    return result;
+  }
   if (result.status.ok() && !fault_status_.ok()) {
     // A fault latched during the final node never reached a boundary check.
     result.status = fault_status_;

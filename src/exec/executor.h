@@ -1,6 +1,9 @@
 #ifndef LQOLAB_EXEC_EXECUTOR_H_
 #define LQOLAB_EXEC_EXECUTOR_H_
 
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/db_context.h"
@@ -10,6 +13,10 @@
 #include "query/query.h"
 #include "util/status.h"
 #include "util/virtual_clock.h"
+
+namespace lqolab::stats {
+class CardinalityEstimator;
+}  // namespace lqolab::stats
 
 namespace lqolab::exec {
 
@@ -34,6 +41,36 @@ struct PlanNodeStats {
   int64_t disk_reads = 0;
 };
 
+/// Opt-in mid-query divergence monitor (adaptive re-optimization,
+/// docs/overload.md). When passed to Execute, every node's observed true
+/// cardinality is compared against the estimate the planner believed (the
+/// same call path, so an armed "stats.estimate" poison is seen identically);
+/// when the q-error crosses `qerror_threshold` on a subset big enough to
+/// matter, the walk stops with ExecutionResult::replan_requested and the
+/// partial latency already paid. Masks in `pins` were observed by an earlier
+/// attempt and never re-trigger. Divergence is detected as a node's output
+/// materializes, before its parent consumes it, so the diverging node's own
+/// cost is not charged to the abandoned attempt.
+struct ReplanMonitor {
+  const stats::CardinalityEstimator* estimator = nullptr;
+  const CardinalityPins* pins = nullptr;
+  /// Trigger when max(actual/est, est/actual) >= this.
+  double qerror_threshold = 8.0;
+  /// ... and max(actual, estimate) >= this (small subsets cannot hurt).
+  int64_t min_rows = 1024;
+  /// Out: (alias mask, true rows) of every node the walk observed before
+  /// stopping, including the diverging node — the truths the re-plan pins.
+  std::vector<std::pair<uint32_t, int64_t>> observed;
+  /// In: mask -> rows of intermediates fully computed (and charged) by an
+  /// earlier abandoned attempt. A join result for an alias mask is the same
+  /// row set under any join order, so a re-execution that needs one of
+  /// these subsets reads the spooled intermediate (rows * kMatReadNs)
+  /// instead of recomputing its whole subtree — the POP/Rio-style
+  /// checkpoint reuse that makes abandoning a bad plan affordable. Fed by
+  /// ExecutionResult::completed (see Database::ExecutePlanAdaptive).
+  std::unordered_map<uint32_t, int64_t> materialized;
+};
+
 /// Outcome of one (simulated) plan execution.
 struct ExecutionResult {
   /// Outcome classification: OK on success, kDeadlineExceeded when
@@ -49,6 +86,18 @@ struct ExecutionResult {
   int64_t result_rows = 0;
   /// Heap/index pages touched through the buffer cache.
   int64_t pages_accessed = 0;
+
+  /// The walk stopped because a ReplanMonitor flagged divergence; status is
+  /// OK, execution_ns holds the wasted prefix latency, result_rows is 0.
+  bool replan_requested = false;
+  /// Index of the diverging node and its q-error (when replan_requested).
+  size_t replan_node = 0;
+  double replan_qerror = 0.0;
+  /// When replan_requested: (mask, rows) of every node fully charged before
+  /// the walk stopped — intermediates the abandoned attempt materialized.
+  /// The adaptive loop merges these into ReplanMonitor::materialized so the
+  /// next attempt reuses instead of recomputes them.
+  std::vector<std::pair<uint32_t, int64_t>> completed;
 
   /// Per plan node: true output rows (parallel to plan.nodes; join nodes
   /// whose subset overflowed report -1).
@@ -75,12 +124,15 @@ class Executor {
   /// the engine for warm-up state and execution noise); `timeout_ns` bounds
   /// the reported latency, marking the result timed out. A non-null
   /// `deadline` is polled at every plan-node boundary so another thread can
-  /// cancel the walk mid-plan (result.status carries the cancel code).
+  /// cancel the walk mid-plan (result.status carries the cancel code). A
+  /// non-null `monitor` arms mid-query divergence detection (see
+  /// ReplanMonitor).
   ExecutionResult Execute(const query::Query& q,
                           const optimizer::PhysicalPlan& plan,
                           util::VirtualNanos timeout_ns,
                           double time_multiplier = 1.0,
-                          const QueryDeadline* deadline = nullptr);
+                          const QueryDeadline* deadline = nullptr,
+                          ReplanMonitor* monitor = nullptr);
 
  private:
   /// Charges one page access and returns its cost. `sequential` selects the

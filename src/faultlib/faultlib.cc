@@ -103,6 +103,36 @@ FaultAction FaultInjector::Hit(std::string_view point) {
   action.kind = rule.kind;
   action.error_code = rule.error_code;
   action.latency_ns = rule.latency_ns;
+  action.poison_scale = rule.poison_scale;
+  return action;
+}
+
+FaultAction FaultInjector::HitKeyed(std::string_view point, uint64_t key) {
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultAction{};
+  PointState& state = *it->second;
+  const FaultRule& rule = state.rule;
+  state.hits.fetch_add(1, std::memory_order_relaxed);
+
+  // Unlike Hit(), the decision never reads the hit counter: two threads
+  // racing on different keys cannot perturb each other's outcomes, and the
+  // same key replays the same decision in any schedule.
+  const uint64_t word = util::MixSeed(state.stream_seed, key);
+  bool fire;
+  if (rule.every_nth > 0) {
+    fire = word % static_cast<uint64_t>(rule.every_nth) == 0;
+  } else {
+    fire = UniformFromWord(word) < rule.probability;
+  }
+  if (!fire) return FaultAction{};
+
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+  obs::Count(FireCounter(rule.kind));
+  FaultAction action;
+  action.kind = rule.kind;
+  action.error_code = rule.error_code;
+  action.latency_ns = rule.latency_ns;
+  action.poison_scale = rule.poison_scale;
   return action;
 }
 

@@ -30,6 +30,10 @@ struct FaultAction {
   FaultKind kind = FaultKind::kNone;
   util::StatusCode error_code = util::StatusCode::kUnavailable;
   util::VirtualNanos latency_ns = 0;
+  /// Multiplier a kPoison site applies to its numeric output (e.g. the
+  /// cardinality estimator scales its estimate by this; 1e-4 models a
+  /// catastrophic underestimate). 1.0 = site-defined poison behaviour.
+  double poison_scale = 1.0;
 
   bool fired() const { return kind != FaultKind::kNone; }
   bool is_error() const { return kind == FaultKind::kError; }
@@ -66,6 +70,8 @@ struct FaultRule {
   util::StatusCode error_code = util::StatusCode::kUnavailable;
   /// Virtual latency added by kLatency rules.
   util::VirtualNanos latency_ns = 0;
+  /// Output multiplier carried by kPoison rules (see FaultAction).
+  double poison_scale = 1.0;
 };
 
 /// A named, seeded fault schedule: the full configuration of one chaos
@@ -105,6 +111,16 @@ class FaultInjector {
   /// unarmed points). Fires are counted on the calling thread's
   /// obs::MetricsRegistry (fault_* counters).
   FaultAction Hit(std::string_view point);
+
+  /// Keyed variant: the fire decision is a pure function of
+  /// (plan seed, point name, key) — independent of how many times or in
+  /// what order threads hit the point. Sites that need schedule-independent
+  /// determinism (e.g. the cardinality estimator, hit from concurrent serve
+  /// workers) pass a stable semantic key such as hash(query, alias mask);
+  /// the same key always gets the same decision. skip_hits/max_fires are
+  /// hit-order concepts and are ignored in keyed mode; every_nth selects a
+  /// deterministic 1-in-N subset of the key space.
+  FaultAction HitKeyed(std::string_view point, uint64_t key);
 
   /// Lifetime hits/fires of one point (0/0 when the point is unarmed).
   int64_t hits(std::string_view point) const;
@@ -177,11 +193,22 @@ inline FaultAction Check(std::string_view point) {
   return injector == nullptr ? FaultAction{} : injector->Hit(point);
 }
 
+/// Keyed instrumentation-site entry point (see FaultInjector::HitKeyed).
+inline FaultAction CheckKeyed(std::string_view point, uint64_t key) {
+  FaultInjector* injector = Current();
+  return injector == nullptr ? FaultAction{} : injector->HitKeyed(point, key);
+}
+
 }  // namespace lqolab::faultlib
 
 /// Named fault point. Usage at a site:
 ///   const auto fault = LQOLAB_FAULT_POINT("buffer.read_page");
 ///   if (fault.is_error()) { ...propagate fault.error(...)... }
 #define LQOLAB_FAULT_POINT(point) ::lqolab::faultlib::Check(point)
+
+/// Keyed fault point: decision is a pure function of (seed, point, key),
+/// immune to thread interleaving of other hits.
+#define LQOLAB_FAULT_POINT_KEYED(point, key) \
+  ::lqolab::faultlib::CheckKeyed(point, key)
 
 #endif  // LQOLAB_FAULTLIB_FAULTLIB_H_

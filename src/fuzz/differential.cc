@@ -482,6 +482,49 @@ void DifferentialOracle::CheckExecution(const Query& q,
     }
   }
 
+  // Replan differential: one plan re-runs with mid-query adaptive
+  // re-optimization enabled, under a keyed estimator poison that forces
+  // q-error divergences mid-plan. The cancel/replan/resume protocol
+  // (Database::ExecutePlanAdaptive) must never change result rows — replans
+  // may only cost time, exactly like the paper's timeout fallbacks.
+  if (options_.replan_twin) {
+    ++report->checks.replan_differential;
+    faultlib::FaultPlan poison;
+    poison.name = "replan_twin";
+    poison.seed =
+        util::MixSeed(options_.exec_seed, exec::QueryFingerprint(q));
+    faultlib::FaultRule rule;
+    rule.point = "stats.estimate";
+    rule.kind = faultlib::FaultKind::kPoison;
+    rule.probability = 0.5;
+    rule.poison_scale = 1e-4;
+    poison.Add(rule);
+    faultlib::FaultInjector injector(poison);
+    faultlib::ScopedFaultInjection inject(&injector);
+
+    const std::unique_ptr<engine::Database> replica =
+        db_->CloneContextForWorker();
+    engine::DbConfig adaptive = db_->config();
+    adaptive.adaptive_replan = true;
+    adaptive.replan_qerror_threshold = 4.0;
+    adaptive.replan_min_rows = 1;
+    replica->SetConfig(adaptive);
+    replica->BeginQueryReplay(options_.exec_seed, q);
+    const engine::QueryRun run = replica->ExecutePlanAdaptive(
+        q, plans.front().plan, 0, options_.exec_timeout_ns);
+    ++report->plans_executed;
+    if (run.timed_out) {
+      ++report->timeouts;
+    } else if (run.result_rows != outcomes.front().rows) {
+      report->discrepancies.push_back(
+          {"replan_differential",
+           "adaptive replan (" + std::to_string(run.replans) +
+               " rounds) reported " + std::to_string(run.result_rows) +
+               " rows != " + std::to_string(outcomes.front().rows) + " for " +
+               q.id});
+    }
+  }
+
   // Fault mode: replay every arm under injected faults. Faults are allowed
   // to cost availability (typed error, timeout) but never correctness — a
   // faulted run that completes must report the clean cardinality.

@@ -37,11 +37,17 @@ struct CheckCounts {
                                     ///< to SQL, parse+bind it back, and the
                                     ///< rebound query must fingerprint,
                                     ///< render and plan byte-identically.
+  int64_t replan_differential = 0;  ///< Adaptive-replan twin arm: the same
+                                    ///< plan re-run with mid-query
+                                    ///< re-optimization enabled under a
+                                    ///< keyed estimator poison must report
+                                    ///< the same result rows.
 
   int64_t total() const {
     return cost_enumeration + execution + estimator + plan_cache +
            hint_roundtrip + corpus_roundtrip + fault_execution +
-           engine_differential + shard_differential + sql_round_trip;
+           engine_differential + shard_differential + sql_round_trip +
+           replan_differential;
   }
   CheckCounts& operator+=(const CheckCounts& o) {
     cost_enumeration += o.cost_enumeration;
@@ -54,6 +60,7 @@ struct CheckCounts {
     engine_differential += o.engine_differential;
     shard_differential += o.shard_differential;
     sql_round_trip += o.sql_round_trip;
+    replan_differential += o.replan_differential;
     return *this;
   }
 };
@@ -111,6 +118,14 @@ struct DifferentialOptions {
   /// frontend, and the rebound query must have the same fingerprint, render
   /// to the same bytes, and DP-plan to a byte-identical tree.
   bool sql_round_trip = true;
+  /// Adaptive-replan twin arm (on by default): one plan per query re-runs
+  /// with DbConfig::adaptive_replan enabled under a keyed "stats.estimate"
+  /// poison schedule (catastrophic underestimates on a seeded half of the
+  /// key space) that drives the mid-query q-error monitor over its
+  /// threshold. Cancel + replan-with-pinned-truths + re-execute must report
+  /// result rows byte-identical to the straight-through run
+  /// (docs/overload.md).
+  bool replan_twin = true;
   /// Optional fault mode: when the plan has rules, every arm that passed
   /// the clean execution check re-runs under a per-query FaultInjector
   /// seeded from (fault_plan.seed, query fingerprint). A faulted run may

@@ -1,0 +1,127 @@
+#include "loadgen/slo.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/statistics.h"
+
+namespace lqolab::loadgen {
+
+using util::VirtualNanos;
+
+namespace {
+constexpr double kNsPerMs = 1e6;
+}  // namespace
+
+SloAccountant::SloAccountant(std::vector<std::string> tenant_names) {
+  LQOLAB_CHECK(!tenant_names.empty());
+  buckets_.resize(tenant_names.size());
+  for (size_t i = 0; i < tenant_names.size(); ++i) {
+    buckets_[i].slo.name = std::move(tenant_names[i]);
+  }
+}
+
+void SloAccountant::Record(const serve::ServedQuery& served) {
+  LQOLAB_CHECK_GE(served.tenant, 0);
+  LQOLAB_CHECK_LT(static_cast<size_t>(served.tenant), buckets_.size());
+  TenantBucket& bucket = buckets_[static_cast<size_t>(served.tenant)];
+  TenantSlo& slo = bucket.slo;
+  ++slo.offered;
+  ++recorded_;
+
+  if (served.shed) {
+    ++slo.shed;
+    return;
+  }
+  if (served.rejected) {
+    ++slo.rejected;
+    return;
+  }
+  if (served.timed_out ||
+      served.status.code() == util::StatusCode::kDeadlineExceeded) {
+    ++slo.timed_out;
+    return;
+  }
+  if (!served.status.ok()) {
+    ++slo.failed;
+    return;
+  }
+  ++slo.ok;
+  slo.replans += served.replans;
+  if (served.deadline_missed) ++slo.deadline_missed;
+  bucket.total_ms.push_back(
+      static_cast<double>(served.total_latency_ns()) / kNsPerMs);
+  bucket.queue_ms.push_back(
+      static_cast<double>(served.queue_wait_ns) / kNsPerMs);
+}
+
+void SloAccountant::Finalize(TenantBucket* bucket, VirtualNanos horizon_ns) {
+  TenantSlo& slo = bucket->slo;
+  if (!bucket->total_ms.empty()) {
+    slo.p50_total_ms = util::Percentile(bucket->total_ms, 50.0);
+    slo.p95_total_ms = util::Percentile(bucket->total_ms, 95.0);
+    slo.p99_total_ms = util::Percentile(bucket->total_ms, 99.0);
+    slo.p99_queue_ms = util::Percentile(bucket->queue_ms, 99.0);
+  }
+  const double horizon_s =
+      static_cast<double>(horizon_ns) / util::kNanosPerSecond;
+  slo.offered_qps = static_cast<double>(slo.offered) / horizon_s;
+  slo.goodput_qps =
+      static_cast<double>(slo.ok - slo.deadline_missed) / horizon_s;
+  slo.miss_rate = slo.ok > 0
+                      ? static_cast<double>(slo.deadline_missed) /
+                            static_cast<double>(slo.ok)
+                      : 0.0;
+}
+
+SloReport SloAccountant::Report(VirtualNanos horizon_ns) const {
+  LQOLAB_CHECK_GT(horizon_ns, 0);
+  SloReport report;
+  report.horizon_ns = horizon_ns;
+  report.aggregate.name = "all";
+
+  TenantBucket aggregate;
+  aggregate.slo.name = "all";
+  for (const TenantBucket& bucket : buckets_) {
+    TenantBucket copy = bucket;
+    Finalize(&copy, horizon_ns);
+    report.tenants.push_back(copy.slo);
+
+    TenantSlo& agg = aggregate.slo;
+    const TenantSlo& slo = bucket.slo;
+    agg.offered += slo.offered;
+    agg.ok += slo.ok;
+    agg.shed += slo.shed;
+    agg.rejected += slo.rejected;
+    agg.timed_out += slo.timed_out;
+    agg.failed += slo.failed;
+    agg.deadline_missed += slo.deadline_missed;
+    agg.replans += slo.replans;
+    aggregate.total_ms.insert(aggregate.total_ms.end(),
+                              bucket.total_ms.begin(), bucket.total_ms.end());
+    aggregate.queue_ms.insert(aggregate.queue_ms.end(),
+                              bucket.queue_ms.begin(), bucket.queue_ms.end());
+  }
+  Finalize(&aggregate, horizon_ns);
+  report.aggregate = aggregate.slo;
+  return report;
+}
+
+std::string SloReport::ToString() const {
+  std::ostringstream out;
+  auto line = [&out](const TenantSlo& slo) {
+    out << "  " << slo.name << ": offered=" << slo.offered << " ok=" << slo.ok
+        << " shed=" << slo.shed << " rejected=" << slo.rejected
+        << " timed_out=" << slo.timed_out << " failed=" << slo.failed
+        << " missed=" << slo.deadline_missed << " replans=" << slo.replans
+        << " p99=" << slo.p99_total_ms << "ms goodput=" << slo.goodput_qps
+        << "qps miss_rate=" << slo.miss_rate << "\n";
+  };
+  out << "slo report (horizon "
+      << static_cast<double>(horizon_ns) / util::kNanosPerSecond << "s)\n";
+  line(aggregate);
+  for (const TenantSlo& slo : tenants) line(slo);
+  return out.str();
+}
+
+}  // namespace lqolab::loadgen

@@ -1,0 +1,86 @@
+#ifndef LQOLAB_LOADGEN_SLO_H_
+#define LQOLAB_LOADGEN_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/query_server.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::loadgen {
+
+/// Per-tenant SLO scorecard over one open-loop run. Every offered arrival
+/// lands in exactly one outcome bucket:
+///   ok           — completed successfully (may still have missed deadline),
+///   shed         — refused at admission by the deadline-aware shedder,
+///   rejected     — refused because the queue was full,
+///   timed_out    — admitted but exceeded its execution timeout,
+///   failed       — admitted but errored (breaker open, execution fault, ...).
+/// `deadline_missed` counts completed queries whose virtual completion time
+/// exceeded arrival + budget; goodput only credits on-time completions.
+struct TenantSlo {
+  std::string name;
+  int64_t offered = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+  int64_t timed_out = 0;
+  int64_t failed = 0;
+  int64_t deadline_missed = 0;
+  int64_t replans = 0;
+
+  /// Total (queue wait + service) virtual latency of completed queries.
+  double p50_total_ms = 0.0;
+  double p95_total_ms = 0.0;
+  double p99_total_ms = 0.0;
+  /// Queue wait alone, p99 — the congestion signal.
+  double p99_queue_ms = 0.0;
+
+  double offered_qps = 0.0;
+  /// Completed-on-time per virtual second. The headline overload metric.
+  double goodput_qps = 0.0;
+  /// deadline_missed / max(1, ok): miss rate among completions.
+  double miss_rate = 0.0;
+};
+
+/// Aggregate + per-tenant scorecards for one run.
+struct SloReport {
+  TenantSlo aggregate;
+  std::vector<TenantSlo> tenants;
+  util::VirtualNanos horizon_ns = 0;
+
+  std::string ToString() const;
+};
+
+/// Accumulates ServedQuery outcomes (from QueryServer::SubmitAt futures)
+/// and folds them into an SloReport. Not thread-safe; record from the
+/// collection loop only.
+class SloAccountant {
+ public:
+  explicit SloAccountant(std::vector<std::string> tenant_names);
+
+  void Record(const serve::ServedQuery& served);
+
+  /// Builds the report; percentiles and rates are computed here.
+  /// `horizon_ns` is the offered-load window (rates = counts / horizon).
+  SloReport Report(util::VirtualNanos horizon_ns) const;
+
+  int64_t recorded() const { return recorded_; }
+
+ private:
+  struct TenantBucket {
+    TenantSlo slo;
+    std::vector<double> total_ms;
+    std::vector<double> queue_ms;
+  };
+
+  static void Finalize(TenantBucket* bucket, util::VirtualNanos horizon_ns);
+
+  std::vector<TenantBucket> buckets_;
+  int64_t recorded_ = 0;
+};
+
+}  // namespace lqolab::loadgen
+
+#endif  // LQOLAB_LOADGEN_SLO_H_

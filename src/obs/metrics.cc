@@ -27,6 +27,9 @@ constexpr CounterInfo kCounterInfo[] = {
     {"exec_timeouts", "exec"},
     {"exec_cancelled", "exec"},
     {"oracle_cardinality_calls", "exec"},
+    {"exec_replans", "exec"},
+    {"exec_replan_no_change", "exec"},
+    {"exec_replan_capped", "exec"},
     {"planner_invocations", "optimizer"},
     {"planner_dp_subproblems", "optimizer"},
     {"planner_geqo_generations", "optimizer"},
@@ -51,6 +54,11 @@ constexpr CounterInfo kCounterInfo[] = {
     {"serve_breaker_recoveries", "serve"},
     {"serve_sql_queries", "serve"},
     {"serve_sql_rejected", "serve"},
+    {"serve_open_loop_queries", "serve"},
+    {"serve_shed", "serve"},
+    {"serve_deadline_missed", "serve"},
+    {"serve_replanned_queries", "serve"},
+    {"serve_plan_feedback", "serve"},
     {"costmodel_samples", "costmodel"},
     {"costmodel_trace_skipped", "costmodel"},
     {"costmodel_refreshes", "costmodel"},

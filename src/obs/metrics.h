@@ -23,6 +23,10 @@ enum class Counter : int32_t {
   kExecTimeouts,            ///< Executions that hit the statement timeout.
   kExecCancelled,           ///< Executions aborted by a QueryDeadline cancel.
   kOracleCardinalityCalls,  ///< True-cardinality requests to exec::Oracle.
+  kExecReplans,             ///< Mid-query cancel-and-replan rounds taken.
+  kExecReplanNoChange,      ///< Replans whose new plan equalled the old one.
+  kExecReplanCapped,        ///< Final attempts forced straight-through by
+                            ///< the replan_max_per_query cap.
   // optimizer
   kPlannerInvocations,      ///< Planner::Plan entry points.
   kPlannerDpSubproblems,    ///< DP subproblems enumerated (join-order search).
@@ -50,6 +54,11 @@ enum class Counter : int32_t {
   kServeBreakerRecoveries,     ///< Circuit breaker kHalfOpen -> kClosed edges.
   kServeSqlQueries,       ///< SQL-text admissions parsed and bound (SubmitSql).
   kServeSqlRejected,      ///< SQL-text admissions refused at parse/bind.
+  kServeOpenLoopQueries,  ///< Open-loop (SubmitAt) admissions accepted.
+  kServeShed,             ///< Admissions shed: predicted wait > deadline.
+  kServeDeadlineMissed,   ///< Completions past their arrival-stamped deadline.
+  kServeReplannedQueries,  ///< Served queries that took >= 1 adaptive replan.
+  kServePlanFeedback,  ///< Corrected plans + pins written back to the cache.
   // costmodel (the online cost-model refresh loop; docs/cost_models.md)
   kCostmodelSamples,       ///< Served executions harvested into the buffer.
   kCostmodelTraceSkipped,  ///< Corrupt trace records skipped at ingestion.

@@ -6,7 +6,8 @@
 #include <functional>
 #include <unordered_map>
 
-#include "exec/oracle.h"  // QueryFingerprint for GEQO seeding
+#include "exec/cost_constants.h"  // Spooled-intermediate re-read pricing.
+#include "exec/oracle.h"          // QueryFingerprint for GEQO seeding.
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -32,6 +33,19 @@ struct DpEntry {
   // Scan reconstruction (singletons).
   ScanChoice scan;
 };
+
+/// Re-read cost of a spooled intermediate for `mask`, or kImpossibleCost
+/// when none exists. During adaptive re-planning (docs/overload.md) the
+/// subsets an abandoned attempt materialized are readable at per-tuple
+/// spool cost instead of being recomputed, and a plan whose subtree covers
+/// exactly such a mask executes as that cheap read (exec/executor.cc).
+double SpoolReadCost(const exec::DbContext* ctx, AliasMask mask) {
+  if (ctx->spooled == nullptr) return kImpossibleCost;
+  const auto it = ctx->spooled->find(mask);
+  if (it == ctx->spooled->end()) return kImpossibleCost;
+  return static_cast<double>(it->second) *
+         static_cast<double>(exec::cost::kScanTupleNs);
+}
 
 int32_t BuildPlanFromDp(const std::vector<DpEntry>& dp, const Query& q,
                         AliasMask mask, PhysicalPlan* plan) {
@@ -95,7 +109,8 @@ PlanningResult Planner::PlanDynamicProgramming(const Query& q,
     DpEntry& entry = dp[query::MaskOf(a)];
     entry.valid = true;
     entry.scan = cost_model_.BestScan(q, a);
-    entry.cost = entry.scan.cost;
+    entry.cost = std::min(entry.scan.cost,
+                          SpoolReadCost(ctx_, query::MaskOf(a)));
     entry.rows = estimator_.EstimateBaseRows(q, a);
     ++result.planner_steps;
   }
@@ -168,6 +183,11 @@ PlanningResult Planner::PlanDynamicProgramming(const Query& q,
         if (std::popcount(rest) == 1) consider(single, rest);
       }
     }
+    // A spooled intermediate makes this whole subset readable at re-read
+    // cost; supersets (numerically larger masks) see the clamped value.
+    if (entry.valid) {
+      entry.cost = std::min(entry.cost, SpoolReadCost(ctx_, mask));
+    }
   }
 
   const DpEntry& top = dp[full];
@@ -190,7 +210,7 @@ double Planner::CostJoinOrder(const Query& q,
   PhysicalPlan plan;
   const ScanChoice first = cost_model_.BestScan(q, order[0]);
   int32_t current = plan.AddScan(order[0], first.type, first.index_column);
-  double total = first.cost;
+  double total = std::min(first.cost, SpoolReadCost(ctx_, query::MaskOf(order[0])));
   AliasMask mask = query::MaskOf(order[0]);
   double rows_left = estimator_.EstimateBaseRows(q, order[0]);
 
@@ -234,6 +254,9 @@ double Planner::CostJoinOrder(const Query& q,
     current = plan.AddJoin(best_algo, current, right);
     total += best_cost;
     mask |= next_mask;
+    // A spooled intermediate covering the prefix replaces everything paid
+    // so far with one cheap re-read (the executor elides the subtree).
+    total = std::min(total, SpoolReadCost(ctx_, mask));
     rows_left = rows_out;
   }
   if (plan_out != nullptr) {

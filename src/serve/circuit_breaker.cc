@@ -10,6 +10,7 @@ CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
   LQOLAB_CHECK_GT(options.failure_threshold, 0);
   LQOLAB_CHECK_GT(options.open_requests, 0);
   LQOLAB_CHECK_GT(options.probe_successes, 0);
+  LQOLAB_CHECK_GE(options.probe_spacing, 0);
 }
 
 const char* CircuitBreaker::StateName(State state) {
@@ -30,6 +31,7 @@ void CircuitBreaker::TripLocked() {
   open_count_ = 0;
   probes_in_flight_ = 0;
   probe_streak_ = 0;
+  half_open_requests_ = 0;
   ++trips_;
   obs::Count(obs::Counter::kServeBreakerTrips);
 }
@@ -46,6 +48,7 @@ bool CircuitBreaker::AllowRequest() {
         state_ = State::kHalfOpen;
         probe_streak_ = 0;
         probes_in_flight_ = 1;
+        half_open_requests_ = 1;
         obs::Count(obs::Counter::kServeBreakerProbes);
         return true;
       }
@@ -53,8 +56,26 @@ bool CircuitBreaker::AllowRequest() {
       obs::Count(obs::Counter::kServeBreakerShortCircuits);
       return false;
     case State::kHalfOpen:
-      // Admit one probe at a time: a burst of queries arriving half-open
-      // must not all hit a possibly-still-broken arm.
+      if (options_.probe_spacing > 0) {
+        // Deterministic selection: probe iff this request's index in the
+        // half-open window is a multiple of probe_spacing. Independent of
+        // whether earlier probes have reported back, so the probe sequence
+        // is identical under any load or thread interleaving.
+        const bool probe =
+            half_open_requests_++ % options_.probe_spacing == 0;
+        if (!probe) {
+          ++short_circuits_;
+          obs::Count(obs::Counter::kServeBreakerShortCircuits);
+          return false;
+        }
+        ++probes_in_flight_;
+        obs::Count(obs::Counter::kServeBreakerProbes);
+        return true;
+      }
+      ++half_open_requests_;
+      // Classic policy: admit one probe at a time — a burst of queries
+      // arriving half-open must not all hit a possibly-still-broken arm.
+      // Probe selection is load-dependent (see probe_spacing).
       if (probes_in_flight_ > 0) {
         ++short_circuits_;
         obs::Count(obs::Counter::kServeBreakerShortCircuits);
@@ -78,7 +99,7 @@ void CircuitBreaker::RecordSuccess() {
       // reset the streaks.
       return;
     case State::kHalfOpen:
-      probes_in_flight_ = 0;
+      if (probes_in_flight_ > 0) --probes_in_flight_;
       if (++probe_streak_ >= options_.probe_successes) {
         state_ = State::kClosed;
         failure_streak_ = 0;

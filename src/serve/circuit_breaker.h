@@ -18,6 +18,17 @@ struct CircuitBreakerOptions {
   int32_t open_requests = 32;
   /// Consecutive probe successes in kHalfOpen that close the breaker.
   int32_t probe_successes = 2;
+  /// Half-open probe admission policy. 0 (classic) admits one probe at a
+  /// time: a request is a probe iff no earlier probe is still unreported —
+  /// which makes probe *selection* depend on outcome timing, i.e. on load
+  /// (two configurations replaying the same request sequence pick
+  /// different probes when service times differ). > 0 selects
+  /// deterministically by request index instead: every probe_spacing-th
+  /// half-open request is a probe, counted under the breaker lock,
+  /// regardless of what earlier probes are doing. Same admitted-probe
+  /// *sequence* in any schedule — the property BENCH_overload.json's
+  /// reproducibility gate relies on.
+  int32_t probe_spacing = 0;
 };
 
 /// Per-route circuit breaker guarding the LQO arm of a QueryServer: after a
@@ -77,6 +88,8 @@ class CircuitBreaker {
   int32_t open_count_ = 0;
   /// Probes in flight (allowed but unreported) while half-open.
   int32_t probes_in_flight_ = 0;
+  /// Requests seen while half-open (deterministic probe selection).
+  int64_t half_open_requests_ = 0;
   /// Consecutive probe successes while half-open.
   int32_t probe_streak_ = 0;
   int64_t trips_ = 0;

@@ -1,0 +1,65 @@
+#include "serve/dispatcher.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lqolab::serve {
+
+using util::VirtualNanos;
+
+VirtualDispatcher::VirtualDispatcher(int32_t virtual_workers) {
+  LQOLAB_CHECK_GT(virtual_workers, 0);
+  free_heap_.assign(static_cast<size_t>(virtual_workers), 0);
+}
+
+void VirtualDispatcher::PlaceLocked(OpenLoopCompletion* completion) {
+  // Earliest-free worker under FIFO admission order.
+  std::pop_heap(free_heap_.begin(), free_heap_.end(),
+                std::greater<VirtualNanos>());
+  const VirtualNanos free_at = free_heap_.back();
+  const VirtualNanos start = std::max(completion->arrival_vt, free_at);
+  const VirtualNanos done = start + completion->service_ns;
+  free_heap_.back() = done;
+  std::push_heap(free_heap_.begin(), free_heap_.end(),
+                 std::greater<VirtualNanos>());
+
+  ServedQuery& served = completion->served;
+  served.queue_wait_ns = start - completion->arrival_vt;
+  served.completion_vt = done;
+  if (completion->deadline_vt > 0 && done > completion->deadline_vt) {
+    served.deadline_missed = true;
+    deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  finalized_.fetch_add(1, std::memory_order_relaxed);
+  VirtualNanos seen = horizon_.load(std::memory_order_relaxed);
+  while (done > seen &&
+         !horizon_.compare_exchange_weak(seen, done,
+                                         std::memory_order_relaxed)) {
+  }
+  completion->promise.set_value(std::move(served));
+}
+
+void VirtualDispatcher::Complete(uint64_t seq, OpenLoopCompletion completion) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seq != next_seq_) {
+    // Ahead of its turn (a racing worker finished a later admission first):
+    // buffer until the gap closes. Behind next_seq_ would be a double
+    // report — the admission protocol makes that impossible.
+    LQOLAB_CHECK_GT(seq, next_seq_);
+    pending_.emplace(seq, std::move(completion));
+    return;
+  }
+  PlaceLocked(&completion);
+  ++next_seq_;
+  // Flush every buffered successor that is now contiguous.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_seq_;
+       it = pending_.erase(it), ++next_seq_) {
+    PlaceLocked(&it->second);
+  }
+}
+
+}  // namespace lqolab::serve

@@ -1,0 +1,94 @@
+#ifndef LQOLAB_SERVE_DISPATCHER_H_
+#define LQOLAB_SERVE_DISPATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "serve/query_server.h"
+#include "util/virtual_clock.h"
+
+namespace lqolab::serve {
+
+/// One finished open-loop admission, reported by whichever worker executed
+/// it. `served` carries every service-side field (Process + retries);
+/// the dispatcher fills in the virtual placement — queue wait, completion
+/// time, deadline verdict — before resolving `promise`.
+struct OpenLoopCompletion {
+  ServedQuery served;
+  std::promise<ServedQuery> promise;
+  util::VirtualNanos arrival_vt = 0;
+  /// Absolute virtual deadline (arrival + budget); 0 = none.
+  util::VirtualNanos deadline_vt = 0;
+  /// Virtual service time (ServedQuery::latency_ns() at report time).
+  util::VirtualNanos service_ns = 0;
+};
+
+/// Deterministic G/G/k placement of open-loop completions in virtual time.
+///
+/// Real worker threads race, so the order in which executions *finish* is
+/// scheduling-dependent — but every quantity that matters is not: arrivals
+/// are virtual timestamps fixed at admission, service times are
+/// deterministic virtual latencies (deterministic replay + admission-order
+/// salts), and queueing is FIFO in admission order. The dispatcher
+/// therefore rebuilds the queueing timeline analytically: completions are
+/// buffered until their admission sequence number is next, then placed on
+/// a min-heap of k virtual worker free-times —
+///
+///   start      = max(arrival, earliest free worker)
+///   completion = start + service
+///
+/// — which makes queue waits, completion times and deadline verdicts pure
+/// functions of the admitted sequence, byte-identical for any real thread
+/// count or interleaving (BENCH_overload.json's reproducibility gate).
+/// Promises resolve at placement, i.e. strictly in admission order.
+class VirtualDispatcher {
+ public:
+  /// `virtual_workers` is k, the service capacity the timeline models
+  /// (usually the server's worker count, but fixable independently so
+  /// recorded metrics don't depend on the machine's thread count).
+  explicit VirtualDispatcher(int32_t virtual_workers);
+
+  VirtualDispatcher(const VirtualDispatcher&) = delete;
+  VirtualDispatcher& operator=(const VirtualDispatcher&) = delete;
+
+  /// Reports completion of open-loop admission `seq` (dense, 0-based,
+  /// assigned under the server's queue lock). Callable from any thread in
+  /// any order; each seq must be reported exactly once. Resolves the
+  /// promises of every contiguously-completed admission.
+  void Complete(uint64_t seq, OpenLoopCompletion completion);
+
+  int64_t finalized() const {
+    return finalized_.load(std::memory_order_relaxed);
+  }
+  int64_t deadline_missed() const {
+    return deadline_missed_.load(std::memory_order_relaxed);
+  }
+  /// Latest virtual completion placed so far (the timeline's high-water
+  /// mark; 0 before any completion).
+  util::VirtualNanos horizon() const {
+    return horizon_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Places `completion` on the virtual timeline and resolves its promise.
+  /// Caller holds mu_.
+  void PlaceLocked(OpenLoopCompletion* completion);
+
+  std::mutex mu_;
+  /// Min-heap (std::*_heap with std::greater) of virtual worker free times.
+  std::vector<util::VirtualNanos> free_heap_;
+  uint64_t next_seq_ = 0;
+  /// Completions that arrived ahead of their turn, keyed by seq.
+  std::map<uint64_t, OpenLoopCompletion> pending_;
+  std::atomic<int64_t> finalized_{0};
+  std::atomic<int64_t> deadline_missed_{0};
+  std::atomic<util::VirtualNanos> horizon_{0};
+};
+
+}  // namespace lqolab::serve
+
+#endif  // LQOLAB_SERVE_DISPATCHER_H_

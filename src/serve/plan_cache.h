@@ -13,6 +13,10 @@
 #include "storage/lru_cache.h"
 #include "util/virtual_clock.h"
 
+namespace lqolab::exec {
+struct CardinalityPins;
+}  // namespace lqolab::exec
+
 namespace lqolab::serve {
 
 /// Modeled cost of serving a plan from the cache (fingerprint hash + shard
@@ -49,6 +53,12 @@ struct CachedPlan {
   util::VirtualNanos planning_ns = 0;
   util::VirtualNanos inference_ns = 0;
   double estimated_cost = 0.0;
+  /// Cardinality truths learned by adaptive replans of this entry's query
+  /// (QueryRun::replan_pins), written back by the serve path's plan
+  /// feedback so repeat arrivals execute the corrected plan with the
+  /// estimator already grounded (no re-triggered replans). Null for plans
+  /// that never replanned.
+  std::shared_ptr<const exec::CardinalityPins> pins;
 };
 
 struct PlanCacheOptions {

@@ -1,11 +1,14 @@
 #include "serve/query_server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <functional>
 #include <utility>
 
 #include "exec/cost_constants.h"
 #include "exec/oracle.h"
 #include "faultlib/faultlib.h"
+#include "serve/dispatcher.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -71,6 +74,11 @@ QueryServer::QueryServer(Database* db, const ServerOptions& options)
                               : util::ThreadPool::DefaultParallelism();
   states_.reserve(static_cast<size_t>(workers));
   workers_.reserve(static_cast<size_t>(workers));
+  const int32_t virtual_workers = options_.virtual_workers > 0
+                                      ? options_.virtual_workers
+                                      : workers;
+  dispatcher_ = std::make_unique<VirtualDispatcher>(virtual_workers);
+  admit_heap_.assign(static_cast<size_t>(virtual_workers), 0);
   for (int32_t w = 0; w < workers; ++w) {
     auto state = std::make_unique<WorkerState>();
     state->db = db->CloneContextForWorker();
@@ -166,6 +174,93 @@ bool QueryServer::TrySubmit(Query q, std::future<ServedQuery>* result) {
   return true;
 }
 
+std::future<ServedQuery> QueryServer::SubmitAt(Query q,
+                                               const OpenLoopArrival& arrival) {
+  // Pre-built refusal results resolve outside queue_mu_.
+  ServedQuery refused;
+  refused.query_id = q.id;
+  refused.ticket = -1;
+  refused.route = options_.route;
+  refused.tenant = arrival.tenant;
+  refused.arrival_vt = arrival.arrival_vt;
+  refused.completion_vt = arrival.arrival_vt;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      lock.unlock();
+      return ShutdownFuture(q);
+    }
+    if (static_cast<int32_t>(queue_.size()) >= options_.queue_capacity) {
+      // Open-loop arrivals never block: a full queue is a refusal the SLO
+      // accountant sees, not backpressure the arrival process absorbs.
+      lock.unlock();
+      {
+        std::lock_guard<std::mutex> control(control_mu_);
+        control_metrics_.Add(obs::Counter::kServeRejected, 1);
+      }
+      refused.rejected = true;
+      refused.status = util::Status(util::StatusCode::kResourceExhausted,
+                                    "admission queue full");
+      std::promise<ServedQuery> promise;
+      promise.set_value(std::move(refused));
+      return promise.get_future();
+    }
+    if (options_.shed_on_predicted_miss && arrival.deadline_budget_ns > 0) {
+      // Deadline-aware shedding: predict this arrival's completion on the
+      // estimate heap (same G/G/k placement the dispatcher performs, on
+      // caller estimates instead of completed truths) and refuse it when
+      // it cannot make its deadline — better to fail one query instantly
+      // than to let it queue, miss anyway, and drag every later query
+      // further past its own budget.
+      const VirtualNanos predicted_start =
+          std::max(arrival.arrival_vt, admit_heap_.front());
+      if (predicted_start + arrival.estimated_service_ns >
+          arrival.arrival_vt + arrival.deadline_budget_ns) {
+        lock.unlock();
+        {
+          std::lock_guard<std::mutex> control(control_mu_);
+          control_metrics_.Add(obs::Counter::kServeShed, 1);
+        }
+        refused.shed = true;
+        refused.status = util::Status(util::StatusCode::kUnavailable,
+                                      "shed: predicted deadline miss");
+        std::promise<ServedQuery> promise;
+        promise.set_value(std::move(refused));
+        return promise.get_future();
+      }
+    }
+    // Admit: advance the estimate heap by this arrival's service estimate
+    // (refused arrivals above consumed no capacity, so they left it alone).
+    std::pop_heap(admit_heap_.begin(), admit_heap_.end(),
+                  std::greater<VirtualNanos>());
+    admit_heap_.back() = std::max(arrival.arrival_vt, admit_heap_.back()) +
+                         arrival.estimated_service_ns;
+    std::push_heap(admit_heap_.begin(), admit_heap_.end(),
+                   std::greater<VirtualNanos>());
+
+    Ticket ticket;
+    ticket.query = std::move(q);
+    ticket.id = next_ticket_++;
+    ticket.occurrence = occurrences_[exec::QueryFingerprint(ticket.query)]++;
+    ticket.open_loop = true;
+    ticket.open_seq = next_open_seq_++;
+    ticket.arrival_vt = arrival.arrival_vt;
+    ticket.deadline_vt = arrival.deadline_budget_ns > 0
+                             ? arrival.arrival_vt + arrival.deadline_budget_ns
+                             : 0;
+    ticket.tenant = arrival.tenant;
+    std::future<ServedQuery> result = ticket.promise.get_future();
+    queue_.push_back(std::move(ticket));
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> control(control_mu_);
+      control_metrics_.Add(obs::Counter::kServeOpenLoopQueries, 1);
+    }
+    queue_cv_.notify_one();
+    return result;
+  }
+}
+
 uint64_t QueryServer::PublishModel(
     std::shared_ptr<lqo::LearnedOptimizer> model) {
   return model_.Publish(std::move(model));
@@ -227,7 +322,23 @@ void QueryServer::Shutdown() {
   }
   queue_cv_.notify_all();
   for (Ticket& ticket : dropped) {
-    ticket.promise.set_value(ShutdownResult(ticket.query, ticket.id));
+    ServedQuery served = ShutdownResult(ticket.query, ticket.id);
+    if (ticket.open_loop) {
+      // Dropped open-loop admissions still report to the dispatcher (zero
+      // service): sequence order must keep advancing or every in-flight
+      // admission behind them would buffer forever.
+      served.tenant = ticket.tenant;
+      served.arrival_vt = ticket.arrival_vt;
+      OpenLoopCompletion completion;
+      completion.arrival_vt = ticket.arrival_vt;
+      completion.deadline_vt = ticket.deadline_vt;
+      completion.service_ns = 0;
+      completion.served = std::move(served);
+      completion.promise = std::move(ticket.promise);
+      dispatcher_->Complete(ticket.open_seq, std::move(completion));
+    } else {
+      ticket.promise.set_value(std::move(served));
+    }
   }
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -243,6 +354,10 @@ obs::MetricsRegistry QueryServer::SnapshotMetrics() const {
   {
     std::lock_guard<std::mutex> lock(control_mu_);
     merged.MergeFrom(control_metrics_);
+  }
+  if (dispatcher_ != nullptr) {
+    merged.Add(obs::Counter::kServeDeadlineMissed,
+               dispatcher_->deadline_missed());
   }
   return merged;
 }
@@ -286,7 +401,22 @@ void QueryServer::WorkerLoop(WorkerState* state) {
       served.backoff_ns = backoff;
       obs::Count(obs::Counter::kServeQueries);
     }
-    ticket.promise.set_value(std::move(served));
+    served.tenant = ticket.tenant;
+    served.arrival_vt = ticket.arrival_vt;
+    if (ticket.open_loop) {
+      // Open-loop: the dispatcher computes the virtual placement (queue
+      // wait, completion, deadline verdict) in admission order and resolves
+      // the promise — possibly buffering behind a slower earlier admission.
+      OpenLoopCompletion completion;
+      completion.arrival_vt = ticket.arrival_vt;
+      completion.deadline_vt = ticket.deadline_vt;
+      completion.service_ns = served.latency_ns();
+      completion.served = std::move(served);
+      completion.promise = std::move(ticket.promise);
+      dispatcher_->Complete(ticket.open_seq, std::move(completion));
+    } else {
+      ticket.promise.set_value(std::move(served));
+    }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       state->active_deadline = nullptr;
@@ -316,6 +446,7 @@ QueryServer::Acquired QueryServer::NativePlan(Database* replica,
     out.plan = std::move(hit);
     out.cache_hit = true;
     out.model_version = model_version;
+    out.key = key;
     return out;
   }
   const Database::Planned planned = replica->PlanQuery(q);
@@ -328,6 +459,7 @@ QueryServer::Acquired QueryServer::NativePlan(Database* replica,
   Acquired out;
   out.plan = std::move(snapshot);
   out.model_version = model_version;
+  out.key = key;
   return out;
 }
 
@@ -346,6 +478,7 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
     out.plan = std::move(hit);
     out.cache_hit = true;
     out.model_version = snapshot.version;
+    out.key = key;
     return out;
   }
   // Model-serving fault site: inference errors, latency spikes, and
@@ -382,6 +515,7 @@ QueryServer::Acquired QueryServer::LqoPlan(const Query& q,
   Acquired out;
   out.plan = std::move(shared);
   out.model_version = snapshot.version;
+  out.key = key;
   if (fault.is_latency()) out.infer_latency_ns = fault.latency_ns;
   if (fault.is_poison()) {
     // Corrupted prediction: this acquisition executes a degraded copy. The
@@ -411,13 +545,42 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
     return served;
   }
 
-  const auto execute = [&](const optimizer::PhysicalPlan& plan,
-                           VirtualNanos planning_ns, VirtualNanos deadline_ns,
-                           uint64_t salt) {
+  // The executed plan when adaptive replanning rewrote it mid-flight
+  // (kept alive for the observer; ServedQuery::plan renders it).
+  std::shared_ptr<const optimizer::PhysicalPlan> replanned;
+  const auto execute = [&](const Acquired& src, VirtualNanos planning_ns,
+                           VirtualNanos deadline_ns, uint64_t salt) {
     if (options_.deterministic_replay) {
       replica->BeginQueryReplay(seed_, q, salt);
     }
-    return replica->ExecutePlan(q, plan, planning_ns, deadline_ns, deadline);
+    // Pass-through to ExecutePlan unless DbConfig::adaptive_replan is on.
+    // Pins fed back by an earlier replan of this cache entry seed the
+    // estimator, so the corrected plan runs straight through.
+    engine::QueryRun run = replica->ExecutePlanAdaptive(
+        q, src.plan->plan, planning_ns, deadline_ns, deadline,
+        src.plan->pins.get());
+    served.replans = run.replans;
+    served.replan_wasted_ns = run.replan_wasted_ns;
+    replanned = run.replanned_plan;
+    if (run.replans > 0) obs::Count(obs::Counter::kServeReplannedQueries);
+    if (!ticket.open_loop && src.key != 0 && run.replans > 0 &&
+        run.replanned_plan != nullptr && run.status.ok() && !run.timed_out) {
+      // Plan feedback: write the corrected plan and its cardinality truths
+      // back under the entry's key, so repeat arrivals skip the divergence
+      // detection and replan planning this run just paid. Closed-loop
+      // (warm-up) only — the open-loop phase is cache-read-only, keeping
+      // its completion record independent of worker interleaving.
+      CachedPlan corrected;
+      corrected.plan = *run.replanned_plan;
+      corrected.planning_ns = src.plan->planning_ns;
+      corrected.inference_ns = src.plan->inference_ns;
+      corrected.estimated_cost = src.plan->estimated_cost;
+      corrected.pins = run.replan_pins;
+      cache_.Insert(src.key,
+                    std::make_shared<const CachedPlan>(std::move(corrected)));
+      obs::Count(obs::Counter::kServePlanFeedback);
+    }
+    return run;
   };
 
   // The breaker gates the LQO arm only: after a failure/timeout streak the
@@ -447,7 +610,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
         (lqo.cache_hit ? 0 : lqo.plan->inference_ns) + lqo.infer_latency_ns;
     served.planning_ns =
         lqo.cache_hit ? kPlanCacheHitNs : lqo.plan->planning_ns;
-    engine::QueryRun run = execute(lqo.plan->plan, served.planning_ns,
+    engine::QueryRun run = execute(lqo, served.planning_ns,
                                    options_.lqo_deadline_ns,
                                    ticket.occurrence);
     served.plan = lqo.plan->plan.ToString(q);
@@ -468,7 +631,7 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       const VirtualNanos replan_ns =
           native.cache_hit ? kPlanCacheHitNs : native.plan->planning_ns;
       served.planning_ns += replan_ns;
-      run = execute(native.plan->plan, replan_ns, /*deadline=*/0,
+      run = execute(native, replan_ns, /*deadline=*/0,
                     ticket.occurrence | kFallbackSaltBit);
       served.plan = native.plan->plan.ToString(q);
       winning = native.plan;
@@ -500,9 +663,8 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
       served.inference_ns =
           (lqo.cache_hit ? 0 : lqo.plan->inference_ns) + lqo.infer_latency_ns;
     }
-    const engine::QueryRun run = execute(native.plan->plan,
-                                         served.planning_ns, /*deadline=*/0,
-                                         ticket.occurrence);
+    const engine::QueryRun run = execute(native, served.planning_ns,
+                                         /*deadline=*/0, ticket.occurrence);
     served.plan = native.plan->plan.ToString(q);
     winning = native.plan;
     served.execution_ns = run.execution_ns;
@@ -511,11 +673,16 @@ ServedQuery QueryServer::Process(Database* replica, const Ticket& ticket,
     served.status = run.status;
   }
 
+  if (replanned != nullptr) {
+    // Adaptive replanning rewrote the plan mid-flight: report (and feed the
+    // observer) what actually executed, not the admission-time plan.
+    served.plan = replanned->ToString(q);
+  }
   if (options_.observer != nullptr && winning != nullptr &&
       served.status.ok() && !served.timed_out) {
     options_.observer->OnPlanExecuted(
-        q, winning->plan, served.execution_ns,
-        static_cast<uint64_t>(ticket.id));
+        q, replanned != nullptr ? *replanned : winning->plan,
+        served.execution_ns, static_cast<uint64_t>(ticket.id));
   }
 
   return served;

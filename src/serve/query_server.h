@@ -25,6 +25,8 @@
 
 namespace lqolab::serve {
 
+class VirtualDispatcher;
+
 /// How the server turns an admitted query into an executable plan.
 enum class RouteMode {
   kPglite,  ///< Native planner only (the paper's baseline that wins Fig. 5).
@@ -92,6 +94,34 @@ struct ServerOptions {
   /// Optional hook observing every successful execution (see
   /// ServedPlanObserver). Must outlive the server; nullptr disables.
   ServedPlanObserver* observer = nullptr;
+
+  // --- Open-loop admission (SubmitAt; docs/overload.md) ------------------
+  /// Virtual service capacity k the open-loop dispatcher and the shedding
+  /// predictor model; 0 adopts the real worker count. Fixing it decouples
+  /// recorded virtual metrics (queue waits, deadline misses) from the
+  /// machine's thread count.
+  int32_t virtual_workers = 0;
+  /// Deadline-aware load shedding: refuse an open-loop admission when its
+  /// predicted virtual start (earliest estimated-free worker) plus its
+  /// estimated service time lands past arrival + deadline budget. A shed
+  /// query resolves immediately (kUnavailable, ServedQuery::shed) and
+  /// consumes no capacity — the overload-control policy that keeps goodput
+  /// from collapsing past saturation.
+  bool shed_on_predicted_miss = false;
+};
+
+/// Admission metadata of one open-loop arrival (QueryServer::SubmitAt).
+struct OpenLoopArrival {
+  /// Virtual arrival timestamp; deadlines are stamped here, at arrival,
+  /// so queue wait counts against the SLO.
+  util::VirtualNanos arrival_vt = 0;
+  /// Deadline budget from arrival; 0 = no deadline.
+  util::VirtualNanos deadline_budget_ns = 0;
+  /// Caller-estimated virtual service time, the shedding predictor's
+  /// input (e.g. measured in a warm-up pass; see loadgen::OpenLoopRunner).
+  util::VirtualNanos estimated_service_ns = 0;
+  /// Tenant index for per-tenant SLO accounting (free-form, >= 0).
+  int32_t tenant = 0;
 };
 
 /// Outcome of one served query, delivered through the Submit future.
@@ -130,9 +160,37 @@ struct ServedQuery {
   /// In shadow mode: the plan the model proposed (not executed).
   std::string shadow_plan;
 
+  // --- Adaptive re-optimization (DbConfig::adaptive_replan) --------------
+  /// Mid-query cancel-and-replan rounds the winning execution took; its
+  /// wasted prefix time is inside execution_ns (QueryRun::replans).
+  int32_t replans = 0;
+  util::VirtualNanos replan_wasted_ns = 0;
+
+  // --- Open-loop admission (SubmitAt) ------------------------------------
+  int32_t tenant = 0;
+  util::VirtualNanos arrival_vt = 0;
+  /// Virtual time spent queued before service started (dispatcher-placed;
+  /// 0 on the closed-loop Submit path).
+  util::VirtualNanos queue_wait_ns = 0;
+  /// Virtual completion timestamp: arrival + queue wait + service.
+  util::VirtualNanos completion_vt = 0;
+  /// Completion landed past the deadline stamped at arrival.
+  bool deadline_missed = false;
+  /// Refused at admission: predicted queue wait exceeded the remaining
+  /// deadline budget (status kUnavailable).
+  bool shed = false;
+  /// Refused at admission: queue full (status kResourceExhausted; the
+  /// open-loop analogue of TrySubmit's false return).
+  bool rejected = false;
+
   /// Client-visible latency in virtual time.
   util::VirtualNanos latency_ns() const {
     return inference_ns + planning_ns + wasted_ns + backoff_ns + execution_ns;
+  }
+
+  /// Open-loop client-visible latency: queue wait + service.
+  util::VirtualNanos total_latency_ns() const {
+    return queue_wait_ns + latency_ns();
   }
 };
 
@@ -175,6 +233,21 @@ class QueryServer {
   /// results/metrics the way workload files do ("c7b").
   std::future<ServedQuery> SubmitSql(const std::string& sql,
                                      const std::string& id = "adhoc");
+
+  /// Open-loop admission: never blocks the arrival process. Where Submit
+  /// models a closed-loop client (backpressure pauses the workload), an
+  /// open-loop arrival happens at a virtual timestamp whether or not the
+  /// server has capacity — so a full queue *rejects* (kResourceExhausted,
+  /// ServedQuery::rejected) instead of blocking, and with
+  /// ServerOptions::shed_on_predicted_miss a doomed admission is *shed*
+  /// (kUnavailable, ServedQuery::shed) before consuming capacity. Deadlines
+  /// are stamped at arrival: queue wait counts against the budget. Virtual
+  /// placement (queue wait, completion time, deadline verdict) comes from
+  /// the deterministic VirtualDispatcher (serve/dispatcher.h), so results
+  /// are byte-identical for any worker count. The future resolves in
+  /// admission order.
+  std::future<ServedQuery> SubmitAt(query::Query q,
+                                    const OpenLoopArrival& arrival);
 
   /// Non-blocking admission: returns false (and counts
   /// obs::Counter::kServeRejected on the calling thread) when the queue is
@@ -226,6 +299,14 @@ class QueryServer {
     /// fixes the replay salt at admission so executions are independent of
     /// which worker runs them, in which order.
     uint64_t occurrence = 0;
+    /// Open-loop (SubmitAt) admissions route their completion through the
+    /// VirtualDispatcher under `open_seq` instead of resolving directly.
+    bool open_loop = false;
+    uint64_t open_seq = 0;
+    util::VirtualNanos arrival_vt = 0;
+    /// Absolute virtual deadline (arrival + budget); 0 = none.
+    util::VirtualNanos deadline_vt = 0;
+    int32_t tenant = 0;
     std::promise<ServedQuery> promise;
   };
 
@@ -251,6 +332,9 @@ class QueryServer {
     /// Model version of the snapshot that produced (or would have produced)
     /// this plan; the era any same-query fallback plan must be keyed under.
     uint64_t model_version = 0;
+    /// Plan-cache key this acquisition resolved through (0 when the plan
+    /// never touched the cache); the slot plan feedback writes back to.
+    uint64_t key = 0;
   };
 
   void WorkerLoop(WorkerState* state);
@@ -308,6 +392,16 @@ class QueryServer {
   int64_t next_ticket_ = 0;
   int64_t in_flight_ = 0;
   bool stopping_ = false;
+
+  // Open-loop admission state (guarded by queue_mu_): dense sequence
+  // numbers for the dispatcher, and the shedding predictor's min-heap of
+  // *estimated* virtual worker free-times. The predictor deliberately
+  // mirrors the dispatcher's G/G/k placement but runs on caller-provided
+  // estimates at admission time, so the shed decision is deterministic and
+  // requires no completed work.
+  uint64_t next_open_seq_ = 0;
+  std::vector<util::VirtualNanos> admit_heap_;
+  std::unique_ptr<VirtualDispatcher> dispatcher_;
 
   std::vector<std::unique_ptr<WorkerState>> states_;
   std::vector<std::thread> workers_;

@@ -5,7 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "faultlib/faultlib.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace lqolab::stats {
 
@@ -62,6 +64,10 @@ double CardinalityEstimator::PredicateSelectivity(const Query& q,
 
 double CardinalityEstimator::EstimateBaseRows(const Query& q,
                                               AliasId alias) const {
+  if (ctx_->card_pins != nullptr) {
+    const double pinned = ctx_->card_pins->Lookup(query::MaskOf(alias));
+    if (pinned >= 0.0) return pinned;
+  }
   const catalog::TableId table_id =
       q.relations[static_cast<size_t>(alias)].table;
   double rows = static_cast<double>(ctx_->table(table_id).row_count());
@@ -118,6 +124,37 @@ double CardinalityEstimator::EdgeSelectivity(const Query& q,
 
 double CardinalityEstimator::EstimateJoinRows(const Query& q,
                                               AliasMask mask) const {
+  // Pinned observed truths (adaptive replan) win over everything, including
+  // an armed poison schedule: a re-plan must see ground truth for the
+  // prefix it already paid for.
+  if (ctx_->card_pins != nullptr) {
+    const double pinned = ctx_->card_pins->Lookup(mask);
+    if (pinned >= 0.0) return pinned;
+  }
+  double rows = EstimateJoinRowsRaw(q, mask);
+  if (faultlib::Current() != nullptr) {
+    // Key = (query identity, alias subset): every estimate of the same
+    // subset of the same query gets the same decision in any schedule, so
+    // poisoned planning is reproducible across worker counts.
+    uint64_t key = 1469598103934665603ull;  // FNV-1a over the query id.
+    for (const char c : q.id) {
+      key ^= static_cast<uint8_t>(c);
+      key *= 1099511628211ull;
+    }
+    key = util::MixSeed(
+        key, (static_cast<uint64_t>(static_cast<uint32_t>(q.template_id))
+              << 32) |
+                 mask);
+    const auto fault = LQOLAB_FAULT_POINT_KEYED("stats.estimate", key);
+    if (fault.is_poison()) {
+      rows = std::max(1.0, rows * fault.poison_scale);
+    }
+  }
+  return rows;
+}
+
+double CardinalityEstimator::EstimateJoinRowsRaw(const Query& q,
+                                                 AliasMask mask) const {
   if (ctx_->config.estimator_mode == engine::EstimatorMode::kNaiveProduct) {
     // Ablation: the naive full-product formula whose deep-chain collapse
     // degenerates plan choice (DESIGN.md design decision 2).

@@ -31,9 +31,22 @@ class CardinalityEstimator {
 
   /// Estimated cardinality of the join over a connected subset: product of
   /// base estimates times the selectivity of every internal edge (>= 1).
+  ///
+  /// Two cross-cutting layers wrap the raw formula:
+  ///   1. Pinned truths — when the owning DbContext carries CardinalityPins
+  ///      (installed by the adaptive replan loop), a pinned mask returns its
+  ///      observed row count directly, bypassing both the formula and any
+  ///      armed poison.
+  ///   2. The keyed "stats.estimate" fault point — a kPoison rule scales the
+  ///      estimate by its poison_scale, deterministically per (query, mask)
+  ///      regardless of thread interleaving (FaultInjector::HitKeyed).
   double EstimateJoinRows(const query::Query& q, query::AliasMask mask) const;
 
  private:
+  /// The unpinned, unpoisoned stepwise estimate.
+  double EstimateJoinRowsRaw(const query::Query& q,
+                             query::AliasMask mask) const;
+
   const exec::DbContext* ctx_;
 };
 

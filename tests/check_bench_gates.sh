@@ -14,10 +14,15 @@
 #     the calibrated analytic model on at least one workload, the serve
 #     loop's first refresh promoted, the gate refused the poisoned
 #     candidate, and harvest->retrain was worker-count deterministic.
+#   - BENCH_overload.json: deadline-aware shedding preserves >= 2x the
+#     goodput of the no-shedding server at 1.5x capacity, adaptive replans
+#     beat straight-through p99 under the poisoned estimator, the replan
+#     differential stayed byte-identical, and the run was reproducible.
 # Regenerate with: build/bench/micro_parallel_runner BENCH_parallel_runner.json
 #                  build/bench/fuzz_soak BENCH_fuzz.json
 #                  build/bench/serve_throughput --sql BENCH_serve.json
 #                  build/bench/cost_model_bakeoff BENCH_costmodel.json
+#                  build/bench/overload_soak BENCH_overload.json
 set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 json="$root/BENCH_parallel_runner.json"
@@ -82,6 +87,10 @@ else
     echo "FAIL: non-deterministic serving arm recorded in $serve"
     fail=1
   fi
+  if ! grep -q '"open_loop":' "$serve"; then
+    echo "FAIL: no open-loop tail-latency sweep recorded in $serve"
+    fail=1
+  fi
   tmpl_hit=$(grep '"route": "sql_pglite_varied"' "$serve" |
     grep -o '"cache_hit_rate": [0-9.]*' | awk '{print $2}')
   literal_hit=$(grep '"route": "struct_pglite_varied"' "$serve" |
@@ -121,7 +130,45 @@ else
   fi
 fi
 
+overload="$root/BENCH_overload.json"
+if [ ! -f "$overload" ]; then
+  echo "FAIL: missing $overload"
+  fail=1
+else
+  ratio=$(grep -o '"shed_goodput_ratio": [0-9.]*' "$overload" | awk '{print $2}')
+  if [ -z "$ratio" ]; then
+    echo "FAIL: no shed_goodput_ratio recorded in $overload"
+    fail=1
+  elif ! awk -v r="$ratio" 'BEGIN { exit !(r >= 2.0) }'; then
+    echo "FAIL: shed goodput ratio $ratio < 2.0 at 1.5x capacity in $overload"
+    fail=1
+  fi
+  off_p99=$(grep -o '"no_replan_p99_ms": [0-9.]*' "$overload" | awk '{print $2}')
+  on_p99=$(grep -o '"replan_p99_ms": [0-9.]*' "$overload" | awk '{print $2}')
+  if [ -z "$off_p99" ] || [ -z "$on_p99" ]; then
+    echo "FAIL: replan pair missing from $overload"
+    fail=1
+  elif ! awk -v on="$on_p99" -v off="$off_p99" 'BEGIN { exit !(on < off) }'; then
+    echo "FAIL: replan p99 $on_p99 >= no-replan p99 $off_p99 in $overload"
+    fail=1
+  fi
+  if ! grep -q '"reproducible": true' "$overload"; then
+    echo "FAIL: overload soak fingerprint not reproducible in $overload"
+    fail=1
+  fi
+  if ! grep -q '"replan_differential_identical": true' "$overload"; then
+    echo "FAIL: replan differential produced different answers in $overload"
+    fail=1
+  fi
+  diff_replans=$(grep -o '"replan_differential_replans": [0-9]*' "$overload" |
+    awk '{print $2}')
+  if [ "${diff_replans:-0}" -lt 1 ]; then
+    echo "FAIL: replan differential never replanned in $overload"
+    fail=1
+  fi
+fi
+
 if [ "$fail" -eq 0 ]; then
-  echo "OK: benchmark gates hold ($json, $fuzz, $serve, $costmodel)"
+  echo "OK: benchmark gates hold ($json, $fuzz, $serve, $costmodel, $overload)"
 fi
 exit "$fail"
